@@ -1,0 +1,157 @@
+//! Adaptive, defense-aware attack (paper §VI-C).
+//!
+//! The adaptive attacker knows the deployed validation method and the
+//! system parameters `(ℓ, q)`. It cannot see honest clients' data, but it
+//! can run a **local copy** of the validation function on its *own* data
+//! and tune the poisoned update until that local check accepts — the
+//! strongest realistic evasion the paper considers.
+//!
+//! The tuning knob is a damping coefficient `t ∈ [0, 1]` interpolating
+//! between a benign update (`t = 0`) and the full poisoned update
+//! (`t = 1`). The attacker binary-searches for the largest `t` whose
+//! damped update still passes its local validator; the paper's result is
+//! that such updates nonetheless fail validation on honest clients'
+//! diverse data.
+
+use baffle_tensor::ops;
+
+/// Outcome of the adaptive damping search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DampedUpdate {
+    /// The update the attacker submits.
+    pub update: Vec<f32>,
+    /// The damping coefficient that produced it (1.0 = undamped poison,
+    /// 0.0 = fully benign).
+    pub strength: f32,
+    /// Whether the attacker's local validator accepted the final update.
+    pub self_accepted: bool,
+}
+
+/// Finds the strongest damped poisoned update that the attacker's own
+/// validator accepts.
+///
+/// `accepts` is the attacker's local stand-in for the deployed validation
+/// function: it receives a candidate *update* (to be applied to the
+/// current global model) and returns whether the resulting model would
+/// pass validation **on the attacker's data**.
+///
+/// The search first checks the undamped poison (`t = 1`); if rejected, it
+/// binary-searches `t` for `iterations` steps, keeping the largest
+/// accepted strength. If even `t = 0` (the benign update) is rejected,
+/// the benign update is returned with `self_accepted = false` — the
+/// attacker skips this round rather than get caught.
+///
+/// # Panics
+///
+/// Panics if the update lengths differ or `iterations == 0`.
+///
+/// # Example
+///
+/// ```
+/// use baffle_attack::adaptive::dampen_until_accepted;
+///
+/// let benign = vec![0.0, 0.0];
+/// let poison = vec![10.0, 0.0];
+/// // Toy validator: accepts updates with small first coordinate.
+/// let accepts = |u: &[f32]| u[0] <= 4.0;
+/// let damped = dampen_until_accepted(&benign, &poison, accepts, 20);
+/// assert!(damped.self_accepted);
+/// assert!(damped.update[0] <= 4.0);
+/// assert!(damped.update[0] > 3.5); // found the boundary
+/// ```
+pub fn dampen_until_accepted(
+    benign: &[f32],
+    poison: &[f32],
+    mut accepts: impl FnMut(&[f32]) -> bool,
+    iterations: usize,
+) -> DampedUpdate {
+    assert_eq!(
+        benign.len(),
+        poison.len(),
+        "dampen_until_accepted: benign and poison updates differ in length ({} vs {})",
+        benign.len(),
+        poison.len()
+    );
+    assert!(iterations > 0, "dampen_until_accepted: need at least one iteration");
+
+    if accepts(poison) {
+        return DampedUpdate { update: poison.to_vec(), strength: 1.0, self_accepted: true };
+    }
+    if !accepts(benign) {
+        // Even the benign update fails the attacker's local check: skip.
+        return DampedUpdate { update: benign.to_vec(), strength: 0.0, self_accepted: false };
+    }
+
+    let mut lo = 0.0_f32; // known accepted
+    let mut hi = 1.0_f32; // known rejected
+    let mut best = benign.to_vec();
+    for _ in 0..iterations {
+        let mid = 0.5 * (lo + hi);
+        let candidate = ops::lerp(benign, poison, mid);
+        if accepts(&candidate) {
+            lo = mid;
+            best = candidate;
+        } else {
+            hi = mid;
+        }
+    }
+    DampedUpdate { update: best, strength: lo, self_accepted: true }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_poison_accepted_returns_it_unchanged() {
+        let d = dampen_until_accepted(&[0.0], &[5.0], |_| true, 10);
+        assert_eq!(d.update, vec![5.0]);
+        assert_eq!(d.strength, 1.0);
+        assert!(d.self_accepted);
+    }
+
+    #[test]
+    fn hopeless_attacker_falls_back_to_benign() {
+        let d = dampen_until_accepted(&[1.0], &[5.0], |_| false, 10);
+        assert_eq!(d.update, vec![1.0]);
+        assert_eq!(d.strength, 0.0);
+        assert!(!d.self_accepted);
+    }
+
+    #[test]
+    fn binary_search_converges_to_the_boundary() {
+        let benign = vec![0.0];
+        let poison = vec![8.0];
+        let d = dampen_until_accepted(&benign, &poison, |u| u[0] < 2.0, 30);
+        assert!(d.self_accepted);
+        assert!((d.update[0] - 2.0).abs() < 0.01, "boundary at {}", d.update[0]);
+        assert!((d.strength - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn damped_update_is_a_convex_combination() {
+        let benign = vec![1.0, -1.0];
+        let poison = vec![3.0, 5.0];
+        let d = dampen_until_accepted(&benign, &poison, |u| u[1] < 2.0, 20);
+        // Every coordinate lies between the benign and poison values.
+        for ((&u, &b), &p) in d.update.iter().zip(&benign).zip(&poison) {
+            let (lo, hi) = (b.min(p), b.max(p));
+            assert!((lo..=hi).contains(&u), "{u} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn more_iterations_find_stronger_updates() {
+        let benign = vec![0.0];
+        let poison = vec![1.0];
+        let coarse = dampen_until_accepted(&benign, &poison, |u| u[0] < 0.7, 2);
+        let fine = dampen_until_accepted(&benign, &poison, |u| u[0] < 0.7, 25);
+        assert!(fine.strength >= coarse.strength);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in length")]
+    fn mismatched_lengths_panic() {
+        let _ = dampen_until_accepted(&[0.0], &[1.0, 2.0], |_| true, 5);
+    }
+}

@@ -1,0 +1,47 @@
+//! Backdoor attacks on federated learning, as used to evaluate BaFFLe.
+//!
+//! Implements the attacker side of the paper's threat model (§III):
+//!
+//! - [`BackdoorSpec`] — the adversarial task: make inputs from a chosen
+//!   *backdoor subpopulation* be classified as an attacker-chosen target
+//!   label. The semantic variant targets one `(class, subgroup)` pair
+//!   (the analogue of "cars with striped background → bird"); the
+//!   label-flip variant (the paper's FEMNIST adaptation) targets a whole
+//!   source class.
+//! - [`ModelReplacement`] — the train-and-scale attack of Bagdasaryan et
+//!   al.: train a local model on a blend of poisoned and clean data, then
+//!   submit the boosted update `γ · (X − G)` so aggregation replaces the
+//!   global model with the backdoored one.
+//! - [`adaptive`] — the defense-aware attacker of §VI-C: it evaluates a
+//!   local copy of the deployed validation function on *its own* data and
+//!   dampens the poisoned update until that local check passes.
+//! - [`voting`] — malicious validator behaviours (stealth-accept
+//!   collusion and denial-of-service rejection).
+//!
+//! # Example
+//!
+//! ```
+//! use baffle_attack::{BackdoorSpec, ModelReplacement};
+//! use baffle_data::{SyntheticVision, VisionSpec};
+//! use baffle_nn::{Mlp, MlpSpec};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(5);
+//! let gen = SyntheticVision::new(&VisionSpec::new(4, 8, 2), &mut rng);
+//! let spec = BackdoorSpec::semantic(0, 1, 3);
+//! let attacker_data = gen.generate(&mut rng, 200);
+//! let backdoor = gen.generate_subgroup(&mut rng, 40, spec.source_class(), spec.subgroup().unwrap());
+//! let global = Mlp::new(&MlpSpec::new(8, &[16], 4), &mut rng);
+//!
+//! let attack = ModelReplacement::new(spec, 1.0);
+//! let update = attack.poisoned_update(&global, &attacker_data, &backdoor, &mut rng);
+//! assert_eq!(update.len(), 8 * 16 + 16 + 16 * 4 + 4);
+//! ```
+
+pub mod adaptive;
+mod replacement;
+mod spec;
+pub mod voting;
+
+pub use replacement::ModelReplacement;
+pub use spec::BackdoorSpec;

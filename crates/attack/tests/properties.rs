@@ -1,0 +1,98 @@
+//! Property-based tests for the attack primitives.
+
+use baffle_attack::adaptive::dampen_until_accepted;
+use baffle_attack::BackdoorSpec;
+use baffle_data::Dataset;
+use baffle_tensor::Matrix;
+use proptest::prelude::*;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..6, 1usize..40).prop_flat_map(|(classes, n)| {
+        (
+            Just(classes),
+            prop::collection::vec(0..classes, n..=n),
+            prop::collection::vec(0u16..3, n..=n),
+        )
+            .prop_map(move |(classes, labels, tags)| {
+                let x = Matrix::from_fn(labels.len(), 2, |r, c| (r + c) as f32);
+                Dataset::with_subgroups(x, labels, tags, classes)
+            })
+    })
+}
+
+proptest! {
+    /// Poisoning never changes features, length or class count — only
+    /// labels, and only towards the target.
+    #[test]
+    fn poison_only_relabels_towards_target(data in dataset_strategy(), target in 0usize..6, source in 0usize..6) {
+        prop_assume!(target < data.num_classes() && source < data.num_classes());
+        prop_assume!(source != target);
+        let spec = BackdoorSpec::label_flip(source, target);
+        let poisoned = spec.poison(&data);
+        prop_assert_eq!(poisoned.len(), data.len());
+        prop_assert_eq!(poisoned.features(), data.features());
+        prop_assert_eq!(poisoned.num_classes(), data.num_classes());
+        for (i, (&orig, &new)) in data.labels().iter().zip(poisoned.labels()).enumerate() {
+            if orig == source {
+                prop_assert_eq!(new, target, "sample {} not flipped", i);
+            } else {
+                prop_assert_eq!(new, orig, "sample {} changed unexpectedly", i);
+            }
+        }
+    }
+
+    /// Poisoning is idempotent.
+    #[test]
+    fn poison_is_idempotent(data in dataset_strategy()) {
+        prop_assume!(data.num_classes() >= 2);
+        let spec = BackdoorSpec::label_flip(0, 1);
+        let once = spec.poison(&data);
+        let twice = spec.poison(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The semantic variant poisons a subset of what label-flip poisons.
+    #[test]
+    fn semantic_poisons_subset_of_label_flip(data in dataset_strategy()) {
+        prop_assume!(data.num_classes() >= 2);
+        let semantic = BackdoorSpec::semantic(0, 1, 1);
+        let flip = BackdoorSpec::label_flip(0, 1);
+        prop_assert!(semantic.count_in(&data) <= flip.count_in(&data));
+    }
+
+    /// The damped update is always a convex combination of benign and
+    /// poison, and the returned strength is consistent with it.
+    #[test]
+    fn damped_update_is_convex(
+        benign in prop::collection::vec(-5.0_f32..5.0, 4),
+        poison in prop::collection::vec(-5.0_f32..5.0, 4),
+        threshold in 0.0_f32..10.0,
+    ) {
+        let accepts = |u: &[f32]| baffle_tensor::ops::norm(u) <= threshold;
+        let d = dampen_until_accepted(&benign, &poison, accepts, 12);
+        prop_assert!((0.0..=1.0).contains(&d.strength));
+        for ((&u, &b), &p) in d.update.iter().zip(&benign).zip(&poison) {
+            let expect = (1.0 - d.strength) * b + d.strength * p;
+            prop_assert!((u - expect).abs() < 1e-4, "{u} vs {expect}");
+        }
+        // If self-accepted, the final update indeed passes the check.
+        if d.self_accepted {
+            prop_assert!(accepts(&d.update));
+        }
+    }
+
+    /// Damping strength is monotone in the acceptance threshold: a more
+    /// permissive validator admits at least as strong an update.
+    #[test]
+    fn strength_monotone_in_threshold(
+        poison in prop::collection::vec(-5.0_f32..5.0, 3),
+        t1 in 0.1_f32..5.0,
+        delta in 0.0_f32..5.0,
+    ) {
+        let benign = vec![0.0; 3];
+        let accepts = |t: f32| move |u: &[f32]| baffle_tensor::ops::norm(u) <= t;
+        let weak = dampen_until_accepted(&benign, &poison, accepts(t1), 16);
+        let strong = dampen_until_accepted(&benign, &poison, accepts(t1 + delta), 16);
+        prop_assert!(strong.strength >= weak.strength - 1e-4);
+    }
+}

@@ -1,0 +1,252 @@
+//! Byzantine-robust aggregation rules from the distributed-learning
+//! literature, applied to flat update vectors.
+//!
+//! All functions take the round's client updates `Uᵢ = Lᵢ − G` and return
+//! a single aggregated update (to be applied as `G' = G + λ/N · n·agg` or
+//! directly, depending on the caller's convention — the comparison
+//! harness applies `G' = G + agg` with the rules acting as drop-in
+//! replacements for the plain mean scaled to full replacement).
+
+use crate::{check_updates, BaselineError};
+use baffle_tensor::ops;
+
+/// Plain arithmetic mean of the updates — FedAvg's core, the non-robust
+/// reference point.
+///
+/// # Errors
+///
+/// Returns [`BaselineError`] on empty or ragged input.
+pub fn mean(updates: &[Vec<f32>]) -> Result<Vec<f32>, BaselineError> {
+    check_updates(updates)?;
+    Ok(ops::mean(updates))
+}
+
+/// Krum (Blanchard et al., NeurIPS 2017): selects the single update whose
+/// squared distance to its `n − f − 2` nearest neighbours is smallest,
+/// where `f` is the assumed number of Byzantine clients.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::Infeasible`] unless `n ≥ 2f + 3` (Krum's
+/// requirement), plus the usual shape errors.
+pub fn krum(updates: &[Vec<f32>], f: usize) -> Result<Vec<f32>, BaselineError> {
+    let scores = krum_scores(updates, f)?;
+    let best = scores
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("non-empty scores")
+        .0;
+    Ok(updates[best].clone())
+}
+
+/// Multi-Krum: averages the `m` updates with the best Krum scores,
+/// trading some robustness for convergence speed.
+///
+/// # Errors
+///
+/// As [`krum`]; additionally `m` must satisfy `1 ≤ m ≤ n`.
+pub fn multi_krum(updates: &[Vec<f32>], f: usize, m: usize) -> Result<Vec<f32>, BaselineError> {
+    if m == 0 || m > updates.len() {
+        return Err(BaselineError::Infeasible { what: "multi-krum needs 1 <= m <= n" });
+    }
+    let scores = krum_scores(updates, f)?;
+    let mut order: Vec<usize> = (0..updates.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let selected: Vec<Vec<f32>> = order[..m].iter().map(|&i| updates[i].clone()).collect();
+    Ok(ops::mean(&selected))
+}
+
+fn krum_scores(updates: &[Vec<f32>], f: usize) -> Result<Vec<f64>, BaselineError> {
+    check_updates(updates)?;
+    let n = updates.len();
+    if n < 2 * f + 3 {
+        return Err(BaselineError::Infeasible { what: "krum needs n >= 2f + 3" });
+    }
+    // Pairwise squared distances.
+    let mut d2 = vec![vec![0.0_f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = ops::distance(&updates[i], &updates[j]) as f64;
+            d2[i][j] = d * d;
+            d2[j][i] = d * d;
+        }
+    }
+    // Score: sum over the n − f − 2 closest other updates.
+    let keep = n - f - 2;
+    Ok((0..n)
+        .map(|i| {
+            let mut row: Vec<f64> = (0..n).filter(|&j| j != i).map(|j| d2[i][j]).collect();
+            row.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            row[..keep].iter().sum()
+        })
+        .collect())
+}
+
+/// Coordinate-wise median (Yin et al., ICML 2018).
+///
+/// # Errors
+///
+/// Returns [`BaselineError`] on empty or ragged input.
+pub fn median(updates: &[Vec<f32>]) -> Result<Vec<f32>, BaselineError> {
+    let dim = check_updates(updates)?;
+    let n = updates.len();
+    let mut out = Vec::with_capacity(dim);
+    let mut column = vec![0.0_f32; n];
+    for d in 0..dim {
+        for (c, u) in column.iter_mut().zip(updates) {
+            *c = u[d];
+        }
+        column.sort_by(f32::total_cmp);
+        let m = if n % 2 == 1 {
+            column[n / 2]
+        } else {
+            0.5 * (column[n / 2 - 1] + column[n / 2])
+        };
+        out.push(m);
+    }
+    Ok(out)
+}
+
+/// Coordinate-wise `β`-trimmed mean (Yin et al., ICML 2018): drops the
+/// `β` largest and `β` smallest values per coordinate, then averages.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::Infeasible`] when `2β ≥ n`.
+pub fn trimmed_mean(updates: &[Vec<f32>], beta: usize) -> Result<Vec<f32>, BaselineError> {
+    let dim = check_updates(updates)?;
+    let n = updates.len();
+    if 2 * beta >= n {
+        return Err(BaselineError::Infeasible { what: "trimmed mean needs 2*beta < n" });
+    }
+    let kept = (n - 2 * beta) as f32;
+    let mut out = Vec::with_capacity(dim);
+    let mut column = vec![0.0_f32; n];
+    for d in 0..dim {
+        for (c, u) in column.iter_mut().zip(updates) {
+            *c = u[d];
+        }
+        column.sort_by(f32::total_cmp);
+        out.push(column[beta..n - beta].iter().sum::<f32>() / kept);
+    }
+    Ok(out)
+}
+
+/// Robust Federated Aggregation (Pillutla et al.): the geometric median
+/// of the updates, computed with the smoothed Weiszfeld algorithm.
+///
+/// # Errors
+///
+/// Returns [`BaselineError`] on empty or ragged input.
+pub fn geometric_median(
+    updates: &[Vec<f32>],
+    iterations: usize,
+    smoothing: f32,
+) -> Result<Vec<f32>, BaselineError> {
+    check_updates(updates)?;
+    let mut z = ops::mean(updates);
+    for _ in 0..iterations {
+        let mut weight_sum = 0.0_f32;
+        let mut acc = vec![0.0_f32; z.len()];
+        for u in updates {
+            let dist = ops::distance(u, &z).max(smoothing);
+            let w = 1.0 / dist;
+            weight_sum += w;
+            ops::axpy(w, u, &mut acc);
+        }
+        for (a, _) in acc.iter_mut().zip(&z) {
+            *a /= weight_sum;
+        }
+        z = acc;
+    }
+    Ok(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn benign_cluster(n: usize) -> Vec<Vec<f32>> {
+        (0..n).map(|i| vec![0.1 + 0.001 * i as f32, -0.2 + 0.001 * i as f32]).collect()
+    }
+
+    #[test]
+    fn mean_is_plain_average() {
+        let m = mean(&[vec![0.0, 2.0], vec![2.0, 0.0]]).unwrap();
+        assert_eq!(m, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn krum_drops_a_far_outlier() {
+        let mut ups = benign_cluster(8);
+        ups.push(vec![100.0, 100.0]);
+        let k = krum(&ups, 1).unwrap();
+        assert!(k[0] < 1.0, "krum picked the outlier: {k:?}");
+    }
+
+    #[test]
+    fn krum_requires_enough_clients() {
+        let ups = benign_cluster(4);
+        assert!(matches!(krum(&ups, 1), Err(BaselineError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn multi_krum_averages_benign_subset() {
+        let mut ups = benign_cluster(8);
+        ups.push(vec![50.0, -50.0]);
+        let mk = multi_krum(&ups, 1, 4).unwrap();
+        assert!(mk[0].abs() < 1.0);
+        assert!(multi_krum(&ups, 1, 0).is_err());
+        assert!(multi_krum(&ups, 1, 99).is_err());
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        let odd = median(&[vec![1.0], vec![5.0], vec![3.0]]).unwrap();
+        assert_eq!(odd, vec![3.0]);
+        let even = median(&[vec![1.0], vec![5.0], vec![3.0], vec![4.0]]).unwrap();
+        assert_eq!(even, vec![3.5]);
+    }
+
+    #[test]
+    fn median_ignores_one_huge_coordinate() {
+        let ups = vec![vec![0.1], vec![0.2], vec![0.15], vec![1e9]];
+        assert!(median(&ups).unwrap()[0] < 1.0);
+    }
+
+    #[test]
+    fn trimmed_mean_matches_mean_without_trim() {
+        let ups = benign_cluster(5);
+        let t = trimmed_mean(&ups, 0).unwrap();
+        let m = mean(&ups).unwrap();
+        for (a, b) in t.iter().zip(&m) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        let ups = vec![vec![-100.0], vec![1.0], vec![2.0], vec![3.0], vec![100.0]];
+        let t = trimmed_mean(&ups, 1).unwrap();
+        assert!((t[0] - 2.0).abs() < 1e-6);
+        assert!(trimmed_mean(&ups, 3).is_err());
+    }
+
+    #[test]
+    fn geometric_median_resists_an_outlier_better_than_mean() {
+        let mut ups = benign_cluster(9);
+        ups.push(vec![1000.0, 1000.0]);
+        let gm = geometric_median(&ups, 50, 1e-6).unwrap();
+        let m = mean(&ups).unwrap();
+        assert!(gm[0].abs() < 5.0, "geometric median dragged away: {gm:?}");
+        assert!(m[0] > 50.0, "mean should be dragged: {m:?}");
+    }
+
+    #[test]
+    fn geometric_median_of_identical_points_is_the_point() {
+        let ups = vec![vec![1.0, 2.0]; 5];
+        let gm = geometric_median(&ups, 20, 1e-6).unwrap();
+        assert!((gm[0] - 1.0).abs() < 1e-4 && (gm[1] - 2.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,355 @@
+//! Detector ablations: simpler global-model checks that BaFFLe's
+//! LOF-on-error-variations analysis is measured against.
+//!
+//! All detectors share the [`Detector`] interface: given the candidate
+//! model, the accepted history and a validation set, produce an
+//! accept/reject vote. They are *secure-aggregation compatible* (they
+//! only look at the global model), so the comparison isolates the value
+//! of the cross-round per-class analysis itself.
+
+use baffle_attack::voting::Vote;
+use baffle_core::variation::variation_from_confusions;
+use baffle_core::{ValidateError, ValidationConfig, Validator};
+use baffle_data::Dataset;
+use baffle_nn::{ConfusionMatrix, Mlp, Model};
+
+/// A global-model poisoning detector (object-safe so harnesses can mix
+/// them in one list).
+pub trait Detector {
+    /// A short name for result tables.
+    fn name(&self) -> &'static str;
+
+    /// Votes on the candidate given the accepted history (oldest first)
+    /// and the caller's validation data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] when the inputs are unusable (empty
+    /// data, not enough history).
+    fn vote(&self, current: &Mlp, history: &[Mlp], data: &Dataset) -> Result<Vote, ValidateError>;
+}
+
+/// The full BaFFLe validator (Algorithm 2) behind the common interface.
+#[derive(Debug, Clone)]
+pub struct BaffleDetector {
+    validator: Validator,
+}
+
+impl BaffleDetector {
+    /// Wraps a configured validator.
+    pub fn new(config: ValidationConfig) -> Self {
+        Self { validator: Validator::new(config) }
+    }
+}
+
+impl Detector for BaffleDetector {
+    fn name(&self) -> &'static str {
+        "baffle-lof"
+    }
+
+    fn vote(&self, current: &Mlp, history: &[Mlp], data: &Dataset) -> Result<Vote, ValidateError> {
+        Ok(self.validator.validate(current, history, data)?.vote())
+    }
+}
+
+/// Naive accuracy gate: reject when the candidate's overall accuracy on
+/// the validation set drops more than `tolerance` below the previous
+/// model's. This is the "measuring model accuracy" anomaly detection the
+/// paper notes adaptive attackers bypass (§IV-A) — a boosted backdoor
+/// preserves overall accuracy by construction.
+#[derive(Debug, Clone)]
+pub struct AccuracyGate {
+    tolerance: f32,
+}
+
+impl AccuracyGate {
+    /// Creates the gate; `tolerance` is the permitted accuracy drop
+    /// (e.g. 0.02 = two accuracy points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is negative or not finite.
+    pub fn new(tolerance: f32) -> Self {
+        assert!(tolerance.is_finite() && tolerance >= 0.0, "tolerance must be non-negative");
+        Self { tolerance }
+    }
+}
+
+impl Detector for AccuracyGate {
+    fn name(&self) -> &'static str {
+        "accuracy-gate"
+    }
+
+    fn vote(&self, current: &Mlp, history: &[Mlp], data: &Dataset) -> Result<Vote, ValidateError> {
+        let prev = history.last().ok_or(ValidateError::NotEnoughHistory { got: 0, need: 1 })?;
+        if data.is_empty() {
+            return Err(ValidateError::EmptyDataset);
+        }
+        let acc_prev = prev.accuracy(data.features(), data.labels());
+        let acc_curr = current.accuracy(data.features(), data.labels());
+        Ok(if acc_prev - acc_curr > self.tolerance { Vote::Reject } else { Vote::Accept })
+    }
+}
+
+/// Z-score detector on the error-variation *norm*: rejects when the L2
+/// norm of the candidate's variation vector exceeds the history mean by
+/// `threshold` standard deviations. A cheaper cross-round analysis than
+/// LOF — it sees magnitude but not direction structure.
+#[derive(Debug, Clone)]
+pub struct VariationZScore {
+    threshold: f64,
+}
+
+impl VariationZScore {
+    /// Creates the detector with a rejection threshold in standard
+    /// deviations (e.g. 3.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive and finite.
+    pub fn new(threshold: f64) -> Self {
+        assert!(threshold.is_finite() && threshold > 0.0, "threshold must be positive");
+        Self { threshold }
+    }
+}
+
+impl Detector for VariationZScore {
+    fn name(&self) -> &'static str {
+        "variation-zscore"
+    }
+
+    fn vote(&self, current: &Mlp, history: &[Mlp], data: &Dataset) -> Result<Vote, ValidateError> {
+        if history.len() < 4 {
+            return Err(ValidateError::NotEnoughHistory { got: history.len(), need: 4 });
+        }
+        if data.is_empty() {
+            return Err(ValidateError::EmptyDataset);
+        }
+        let cms: Vec<ConfusionMatrix> = history
+            .iter()
+            .map(|m| ConfusionMatrix::from_model(m, data.features(), data.labels()))
+            .collect();
+        let current_cm = ConfusionMatrix::from_model(current, data.features(), data.labels());
+        let norms: Vec<f64> = cms
+            .windows(2)
+            .map(|w| norm64(&variation_from_confusions(&w[0], &w[1])))
+            .collect();
+        let new_norm = norm64(&variation_from_confusions(cms.last().expect("non-empty"), &current_cm));
+        let mean = norms.iter().sum::<f64>() / norms.len() as f64;
+        let var = norms.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / norms.len() as f64;
+        let std = var.sqrt().max(1e-9);
+        Ok(if (new_norm - mean) / std > self.threshold { Vote::Reject } else { Vote::Accept })
+    }
+}
+
+fn norm64(v: &[f32]) -> f64 {
+    v.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+}
+
+/// LOF detectors restricted to half the variation vector, for the
+/// source-only / target-only ablation called out in `DESIGN.md` §9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariationHalf {
+    /// Source-focused errors only (`vˢ`).
+    SourceOnly,
+    /// Target-focused errors only (`vᵗ`).
+    TargetOnly,
+}
+
+/// BaFFLe's LOF analysis run on only the source- or target-focused half
+/// of the variation vector.
+#[derive(Debug, Clone)]
+pub struct HalfVariationLof {
+    half: VariationHalf,
+    k: usize,
+    margin: f64,
+    trust_window: usize,
+}
+
+impl HalfVariationLof {
+    /// Creates the ablated detector with BaFFLe's defaults for window
+    /// `ℓ` (`k = ⌈ℓ/2⌉`, trusted window `⌊ℓ/4⌋`, margin as configured).
+    pub fn new(half: VariationHalf, lookback: usize, margin: f64) -> Self {
+        Self {
+            half,
+            k: lookback.div_ceil(2),
+            margin,
+            trust_window: (lookback / 4).max(1),
+        }
+    }
+}
+
+impl Detector for HalfVariationLof {
+    fn name(&self) -> &'static str {
+        match self.half {
+            VariationHalf::SourceOnly => "lof-source-only",
+            VariationHalf::TargetOnly => "lof-target-only",
+        }
+    }
+
+    fn vote(&self, current: &Mlp, history: &[Mlp], data: &Dataset) -> Result<Vote, ValidateError> {
+        if history.len() < 4 {
+            return Err(ValidateError::NotEnoughHistory { got: history.len(), need: 4 });
+        }
+        if data.is_empty() {
+            return Err(ValidateError::EmptyDataset);
+        }
+        let c = current.num_classes();
+        let slice = |v: Vec<f32>| -> Vec<f32> {
+            match self.half {
+                VariationHalf::SourceOnly => v[..c].to_vec(),
+                VariationHalf::TargetOnly => v[c..].to_vec(),
+            }
+        };
+        let cms: Vec<ConfusionMatrix> = history
+            .iter()
+            .map(|m| ConfusionMatrix::from_model(m, data.features(), data.labels()))
+            .collect();
+        let current_cm = ConfusionMatrix::from_model(current, data.features(), data.labels());
+        let refs: Vec<Vec<f32>> = cms
+            .windows(2)
+            .map(|w| slice(variation_from_confusions(&w[0], &w[1])))
+            .collect();
+        let v_new = slice(variation_from_confusions(cms.last().expect("non-empty"), &current_cm));
+
+        let phi = baffle_lof_score(&v_new, &refs, self.k)?;
+        let tw = self.trust_window.min(refs.len().saturating_sub(2)).max(1);
+        let mut trusted = Vec::new();
+        for i in refs.len() - tw..refs.len() {
+            let mut others = refs.clone();
+            let probe = others.remove(i);
+            let p = baffle_lof_score(&probe, &others, self.k)?;
+            if p.is_finite() {
+                trusted.push(p);
+            }
+        }
+        let tau = if trusted.is_empty() {
+            1.0
+        } else {
+            trusted.iter().sum::<f64>() / trusted.len() as f64
+        };
+        Ok(if phi > self.margin * tau { Vote::Reject } else { Vote::Accept })
+    }
+}
+
+fn baffle_lof_score(query: &[f32], refs: &[Vec<f32>], k: usize) -> Result<f64, ValidateError> {
+    baffle_lof::lof_against(query, refs, k).map_err(ValidateError::Lof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baffle_data::{SyntheticVision, VisionSpec};
+    use baffle_nn::{MlpSpec, Sgd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        history: Vec<Mlp>,
+        data: Dataset,
+        poisoned: Mlp,
+    }
+
+    fn fixture(seed: u64) -> Fixture {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gen = SyntheticVision::new(&VisionSpec::new(5, 12, 2), &mut rng);
+        let train = gen.generate(&mut rng, 2_500);
+        let data = gen.generate(&mut rng, 500);
+        let mut model = Mlp::new(&MlpSpec::new(12, &[20], 5), &mut rng);
+        let mut opt = Sgd::new(0.05).with_momentum(0.9);
+        let mut history = Vec::new();
+        for _ in 0..12 {
+            model.train_epoch(train.features(), train.labels(), 32, &mut opt, &mut rng);
+            history.push(model.clone());
+        }
+        let spec = baffle_attack::BackdoorSpec::label_flip(1, 3);
+        let attack = baffle_attack::ModelReplacement::new(spec, 1.0);
+        let bd = gen.generate_class(&mut rng, 150, 1);
+        let poisoned = attack.train_backdoored(&model, &train, &bd, &mut rng);
+        Fixture { history, data, poisoned }
+    }
+
+    fn detectors() -> Vec<Box<dyn Detector>> {
+        vec![
+            Box::new(BaffleDetector::new(ValidationConfig::new(10).with_margin(1.2))),
+            Box::new(VariationZScore::new(3.0)),
+            Box::new(HalfVariationLof::new(VariationHalf::SourceOnly, 10, 1.2)),
+            Box::new(HalfVariationLof::new(VariationHalf::TargetOnly, 10, 1.2)),
+        ]
+    }
+
+    #[test]
+    fn cross_round_detectors_flag_the_label_flip() {
+        let f = fixture(31);
+        for d in detectors() {
+            let vote = d.vote(&f.poisoned, &f.history, &f.data).unwrap();
+            assert_eq!(vote, Vote::Reject, "{} missed the label flip", d.name());
+        }
+    }
+
+    #[test]
+    fn cross_round_detectors_accept_the_latest_clean_model() {
+        let f = fixture(32);
+        let (current, history) = f.history.split_last().unwrap();
+        for d in detectors() {
+            let vote = d.vote(current, history, &f.data).unwrap();
+            assert_eq!(vote, Vote::Accept, "{} rejected a clean model", d.name());
+        }
+    }
+
+    #[test]
+    fn accuracy_gate_misses_an_accuracy_preserving_backdoor() {
+        // The label-flip of one of five classes costs some accuracy, so
+        // give the gate a generous tolerance as a deployment would to
+        // keep FPs low — then it misses subtler backdoors. Use the
+        // semantic backdoor (tiny subpopulation): accuracy is preserved.
+        let mut rng = StdRng::seed_from_u64(33);
+        let gen = SyntheticVision::new(&VisionSpec::new(5, 12, 3), &mut rng);
+        let train = gen.generate_excluding(&mut rng, 2_500, 1, 0);
+        let data = gen.generate_excluding(&mut rng, 500, 1, 0);
+        let mut model = Mlp::new(&MlpSpec::new(12, &[20], 5), &mut rng);
+        let mut opt = Sgd::new(0.05).with_momentum(0.9);
+        let mut history = Vec::new();
+        for _ in 0..10 {
+            model.train_epoch(train.features(), train.labels(), 32, &mut opt, &mut rng);
+            history.push(model.clone());
+        }
+        let spec = baffle_attack::BackdoorSpec::semantic(1, 0, 3);
+        let attack = baffle_attack::ModelReplacement::new(spec, 1.0);
+        let bd = gen.generate_subgroup(&mut rng, 150, 1, 0);
+        let poisoned = attack.train_backdoored(&model, &train, &bd, &mut rng);
+
+        // A deployment tunes the tolerance to its benign round-to-round
+        // fluctuation; 5 accuracy points is a conservative production
+        // setting (tighter gates reject genuine updates constantly).
+        let gate = AccuracyGate::new(0.05);
+        let vote = gate.vote(&poisoned, &history, &data).unwrap();
+        assert_eq!(
+            vote,
+            Vote::Accept,
+            "the semantic backdoor preserved accuracy; the gate should miss it"
+        );
+        // …while BaFFLe's per-class analysis still catches the same model.
+        let baffle = BaffleDetector::new(ValidationConfig::new(8).with_margin(1.2));
+        assert_eq!(baffle.vote(&poisoned, &history, &data).unwrap(), Vote::Reject);
+    }
+
+    #[test]
+    fn accuracy_gate_catches_a_model_collapse() {
+        let f = fixture(34);
+        let mut rng = StdRng::seed_from_u64(35);
+        let garbage = Mlp::new(&MlpSpec::new(12, &[20], 5), &mut rng); // untrained
+        let gate = AccuracyGate::new(0.02);
+        assert_eq!(gate.vote(&garbage, &f.history, &f.data).unwrap(), Vote::Reject);
+    }
+
+    #[test]
+    fn detectors_report_typed_errors() {
+        let f = fixture(36);
+        let empty = Dataset::empty(12, 5);
+        for d in detectors() {
+            assert!(d.vote(&f.poisoned, &f.history, &empty).is_err(), "{}", d.name());
+            assert!(d.vote(&f.poisoned, &f.history[..1], &f.data).is_err(), "{}", d.name());
+        }
+    }
+}

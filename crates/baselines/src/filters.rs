@@ -1,0 +1,215 @@
+//! Update-inspection defenses. These examine **individual** client
+//! updates — exactly what secure aggregation forbids — which is the
+//! paper's core argument for the feedback-loop design (§I, §VII).
+
+use crate::{check_updates, BaselineError};
+use baffle_tensor::ops;
+use rand::Rng;
+
+/// Norm clipping with Gaussian noise (Sun et al., "Can you really
+/// backdoor federated learning?"): clip every update to `max_norm`,
+/// average, then add `N(0, σ²)` noise per coordinate.
+///
+/// Defeats naive boosting (the boosted update is clipped back to an
+/// honest magnitude) but not norm-bounded attacks, and requires seeing
+/// raw updates.
+///
+/// # Errors
+///
+/// Returns [`BaselineError`] on empty or ragged input.
+pub fn clip_and_noise<R: Rng + ?Sized>(
+    updates: &[Vec<f32>],
+    max_norm: f32,
+    noise_std: f32,
+    rng: &mut R,
+) -> Result<Vec<f32>, BaselineError> {
+    check_updates(updates)?;
+    let clipped: Vec<Vec<f32>> = updates
+        .iter()
+        .map(|u| {
+            let mut c = u.clone();
+            ops::clip_norm(&mut c, max_norm);
+            c
+        })
+        .collect();
+    let mut out = ops::mean(&clipped);
+    if noise_std > 0.0 {
+        for o in &mut out {
+            *o += noise_std * baffle_tensor::rng::standard_normal(rng);
+        }
+    }
+    Ok(out)
+}
+
+/// FoolsGold (Fung et al.): down-weights clients whose *historical
+/// aggregate* updates are mutually similar (sybils pushing the same
+/// poisoned direction), using pairwise cosine similarity.
+///
+/// Faithful to the published scheme: per-client weights
+/// `w_i = 1 − max_j cs(i, j)`, rescaled by the pardoning step and the
+/// logit function. The paper notes it is defeated by a *single-client*
+/// attack — there is no sybil cluster to find — which the comparison
+/// harness demonstrates.
+#[derive(Debug, Clone, Default)]
+pub struct FoolsGold {
+    /// Running sum of each client's updates across rounds, keyed by
+    /// client id.
+    histories: std::collections::HashMap<usize, Vec<f32>>,
+}
+
+impl FoolsGold {
+    /// Creates an empty FoolsGold state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of clients with recorded history.
+    pub fn tracked_clients(&self) -> usize {
+        self.histories.len()
+    }
+
+    /// Records this round's per-client updates and returns the weighted
+    /// aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError`] on empty/ragged input.
+    pub fn aggregate(
+        &mut self,
+        client_ids: &[usize],
+        updates: &[Vec<f32>],
+    ) -> Result<Vec<f32>, BaselineError> {
+        if client_ids.len() != updates.len() {
+            return Err(BaselineError::Infeasible { what: "one client id per update" });
+        }
+        let dim = check_updates(updates)?;
+        // Update histories.
+        for (&id, u) in client_ids.iter().zip(updates) {
+            let h = self.histories.entry(id).or_insert_with(|| vec![0.0; dim]);
+            if h.len() != dim {
+                return Err(BaselineError::LengthMismatch { expected: h.len(), got: dim });
+            }
+            ops::axpy(1.0, u, h);
+        }
+
+        let n = updates.len();
+        // Pairwise cosine similarity of the *historical* directions.
+        let mut max_cs = vec![0.0_f32; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let hi = &self.histories[&client_ids[i]];
+                let hj = &self.histories[&client_ids[j]];
+                let cs = cosine(hi, hj);
+                if cs > max_cs[i] {
+                    max_cs[i] = cs;
+                }
+            }
+        }
+        // Pardoning: rescale by the row-wise maxima ratio.
+        let global_max = max_cs.iter().cloned().fold(0.0_f32, f32::max).max(1e-9);
+        let mut weights: Vec<f32> = max_cs
+            .iter()
+            .map(|&m| {
+                let w = 1.0 - m * (global_max / m.max(1e-9)).min(1.0);
+                w.clamp(0.0, 1.0)
+            })
+            .collect();
+        // Logit scaling as in the paper, clipped to [0, 1].
+        for w in &mut weights {
+            let x = (*w).clamp(1e-5, 1.0 - 1e-5);
+            *w = (0.5 + 0.125 * (x / (1.0 - x)).ln()).clamp(0.0, 1.0);
+        }
+        let wsum: f32 = weights.iter().sum();
+        let mut out = vec![0.0; dim];
+        if wsum > 0.0 {
+            for (w, u) in weights.iter().zip(updates) {
+                ops::axpy(w / wsum, u, &mut out);
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = ops::norm(a);
+    let nb = ops::norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    ops::dot(a, b) / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clipping_neutralises_a_boosted_update() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let honest = vec![vec![0.1, 0.0], vec![0.0, 0.1], vec![0.1, 0.1]];
+        let mut all = honest.clone();
+        all.push(vec![50.0, -50.0]); // boosted poison
+        let agg = clip_and_noise(&all, 0.2, 0.0, &mut rng).unwrap();
+        assert!(ops::norm(&agg) < 0.3, "boosted update survived clipping: {agg:?}");
+    }
+
+    #[test]
+    fn noise_perturbs_the_aggregate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ups = vec![vec![0.0; 8]; 3];
+        let agg = clip_and_noise(&ups, 1.0, 0.1, &mut rng).unwrap();
+        assert!(agg.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 3.0]).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn foolsgold_downweights_a_sybil_cluster() {
+        let mut fg = FoolsGold::new();
+        // Three sybils pushing an identical direction, two honest clients
+        // pushing diverse directions, across a few rounds.
+        let sybil = vec![1.0_f32, 1.0, 0.0, 0.0];
+        for round in 0..4 {
+            let honest1 = vec![0.1 * (round as f32 + 1.0), -0.05, 0.2, 0.05];
+            let honest2 = vec![-0.1, 0.2, -0.02 * (round as f32 + 1.0), 0.1];
+            let updates = vec![sybil.clone(), sybil.clone(), sybil.clone(), honest1, honest2];
+            let agg = fg.aggregate(&[0, 1, 2, 3, 4], &updates).unwrap();
+            if round == 3 {
+                // The sybil direction (coordinates 0 & 1 strongly positive,
+                // magnitude ~1) must be suppressed.
+                assert!(agg[0] < 0.5, "sybil direction survived: {agg:?}");
+            }
+        }
+        assert_eq!(fg.tracked_clients(), 5);
+    }
+
+    #[test]
+    fn foolsgold_passes_a_single_attacker_through() {
+        // The known weakness: a single poisoned client has no similar
+        // peer, so its weight stays high.
+        let mut fg = FoolsGold::new();
+        let updates = vec![
+            vec![5.0, 5.0],    // lone attacker
+            vec![0.1, -0.2],   // honest
+            vec![-0.15, 0.1],  // honest
+        ];
+        let agg = fg.aggregate(&[0, 1, 2], &updates).unwrap();
+        assert!(agg[0] > 0.5, "single attacker was (wrongly for FG) suppressed: {agg:?}");
+    }
+
+    #[test]
+    fn foolsgold_rejects_mismatched_ids() {
+        let mut fg = FoolsGold::new();
+        assert!(fg.aggregate(&[0], &[vec![1.0], vec![2.0]]).is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Simplified FLGuard/FLAME-style defense (Nguyen et al., cited as [20]
+//! in the paper).
+//!
+//! The published system is a two-layer defense: (1) cluster the round's
+//! updates by pairwise cosine distance and admit only the largest,
+//! mutually-similar group (model filtering); (2) clip the admitted
+//! updates to a common norm and add Gaussian noise (backdoor smoothing).
+//! The paper's §VII critique: the private version "introduces
+//! considerable and costly changes to the FL process", and like all
+//! update-inspection defenses it is incompatible with secure
+//! aggregation.
+//!
+//! This implementation uses single-linkage agglomerative clustering with
+//! a median-distance cutoff in place of HDBSCAN — the same admit-the-
+//! dense-majority behaviour without an extra dependency.
+
+use crate::{check_updates, BaselineError};
+use baffle_tensor::ops;
+use rand::Rng;
+
+/// The FLGuard-style aggregate: filtering + clipping + noising.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlGuard {
+    noise_factor: f32,
+}
+
+/// Outcome of one FLGuard aggregation, exposing which updates were
+/// admitted (C-INTERMEDIATE).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlGuardOutcome {
+    /// The aggregated (filtered, clipped, noised) update.
+    pub aggregate: Vec<f32>,
+    /// Indices of the updates admitted by the clustering filter.
+    pub admitted: Vec<usize>,
+    /// The clipping bound applied (median admitted norm).
+    pub clip_bound: f32,
+}
+
+impl Default for FlGuard {
+    fn default() -> Self {
+        Self::new(0.01)
+    }
+}
+
+impl FlGuard {
+    /// Creates the defense; `noise_factor` scales the Gaussian noise
+    /// relative to the clipping bound (the λ of FLAME's DP analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_factor` is negative or not finite.
+    pub fn new(noise_factor: f32) -> Self {
+        assert!(
+            noise_factor.is_finite() && noise_factor >= 0.0,
+            "FlGuard: noise_factor must be non-negative"
+        );
+        Self { noise_factor }
+    }
+
+    /// Filters, clips, noises and averages the round's updates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError`] on empty or ragged input.
+    pub fn aggregate<R: Rng + ?Sized>(
+        &self,
+        updates: &[Vec<f32>],
+        rng: &mut R,
+    ) -> Result<FlGuardOutcome, BaselineError> {
+        let dim = check_updates(updates)?;
+        let n = updates.len();
+
+        let admitted = if n <= 2 {
+            (0..n).collect::<Vec<_>>()
+        } else {
+            largest_cosine_cluster(updates)
+        };
+
+        // Clip admitted updates to the median admitted norm.
+        let mut norms: Vec<f32> = admitted.iter().map(|&i| ops::norm(&updates[i])).collect();
+        norms.sort_by(f32::total_cmp);
+        let clip_bound = norms[norms.len() / 2].max(f32::MIN_POSITIVE);
+
+        let mut acc = vec![0.0_f32; dim];
+        for &i in &admitted {
+            let mut u = updates[i].clone();
+            ops::clip_norm(&mut u, clip_bound);
+            ops::axpy(1.0 / admitted.len() as f32, &u, &mut acc);
+        }
+        if self.noise_factor > 0.0 {
+            let sigma = self.noise_factor * clip_bound / (dim as f32).sqrt();
+            for a in &mut acc {
+                *a += sigma * baffle_tensor::rng::standard_normal(rng);
+            }
+        }
+        Ok(FlGuardOutcome { aggregate: acc, admitted, clip_bound })
+    }
+}
+
+/// Single-linkage clustering over pairwise cosine distances, merging in
+/// ascending distance order until a **majority** cluster (size ≥ n/2+1)
+/// emerges — FLAME's "admit the dense majority" behaviour. Edges within
+/// a 2× slack band of the majority-forming distance are also merged, so
+/// the full dense group is admitted rather than a minimal majority.
+fn largest_cosine_cluster(updates: &[Vec<f32>]) -> Vec<usize> {
+    let n = updates.len();
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            edges.push((1.0 - cosine(&updates[i], &updates[j]), i, j));
+        }
+    }
+    edges.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut size = vec![1usize; n];
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    let majority = n / 2 + 1;
+    let mut majority_root = None;
+    let mut cutoff = f32::INFINITY;
+    for &(d, i, j) in &edges {
+        if d > cutoff {
+            break;
+        }
+        let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+        if a != b {
+            let (keep, merge) = (a.min(b), a.max(b));
+            parent[merge] = keep;
+            size[keep] += size[merge];
+            if majority_root.is_none() && size[keep] >= majority {
+                majority_root = Some(keep);
+                // Slack band: admit everything about as close as the
+                // majority-forming merge (at least an absolute floor so
+                // exact-duplicate clusters still extend).
+                cutoff = (2.0 * d).max(1e-4);
+            }
+        }
+    }
+    let root = match majority_root {
+        Some(r) => find(&mut parent, r),
+        // No majority ever formed (degenerate geometry): fall back to
+        // the largest cluster found.
+        None => {
+            let mut best = 0;
+            for i in 0..n {
+                let r = find(&mut parent, i);
+                if size[r] > size[find(&mut parent, best)] {
+                    best = r;
+                }
+            }
+            find(&mut parent, best)
+        }
+    };
+    (0..n).filter(|&i| find(&mut parent, i) == root).collect()
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = ops::norm(a);
+    let nb = ops::norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    ops::dot(a, b) / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn honest_cluster(n: usize) -> Vec<Vec<f32>> {
+        // Similar directions, moderate norms.
+        (0..n)
+            .map(|i| vec![1.0 + 0.05 * i as f32, 0.5 - 0.02 * i as f32, 0.1])
+            .collect()
+    }
+
+    #[test]
+    fn admits_everything_when_all_similar() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ups = honest_cluster(6);
+        let out = FlGuard::new(0.0).aggregate(&ups, &mut rng).unwrap();
+        assert_eq!(out.admitted.len(), 6);
+    }
+
+    #[test]
+    fn filters_an_opposite_direction_minority() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ups = honest_cluster(6);
+        ups.push(vec![-5.0, -3.0, 8.0]); // adversarial direction
+        let out = FlGuard::new(0.0).aggregate(&ups, &mut rng).unwrap();
+        assert!(!out.admitted.contains(&6), "poisoned direction admitted: {:?}", out.admitted);
+    }
+
+    #[test]
+    fn clipping_bounds_a_boosted_same_direction_update() {
+        // A boosted update in the honest direction survives the cosine
+        // filter but is clipped to the median norm.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ups = honest_cluster(6);
+        ups.push(ops::scale(50.0, &ups[0].clone()));
+        let out = FlGuard::new(0.0).aggregate(&ups, &mut rng).unwrap();
+        let agg_norm = ops::norm(&out.aggregate);
+        assert!(agg_norm <= out.clip_bound * 1.01, "aggregate norm {agg_norm} exceeds clip");
+    }
+
+    #[test]
+    fn noise_is_added_when_configured() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ups = vec![vec![0.0; 16]; 4];
+        let out = FlGuard::new(1.0).aggregate(&ups, &mut rng).unwrap();
+        // All-zero updates: any non-zero output is noise.
+        assert!(out.aggregate.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn two_updates_are_always_admitted() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ups = vec![vec![1.0, 0.0], vec![-1.0, 0.0]];
+        let out = FlGuard::default().aggregate(&ups, &mut rng).unwrap();
+        assert_eq!(out.admitted, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(FlGuard::default().aggregate(&[], &mut rng).is_err());
+    }
+
+    #[test]
+    fn largest_cluster_prefers_majority() {
+        // 4 similar + 3 similar-but-different: majority wins.
+        let mut ups = honest_cluster(4);
+        ups.push(vec![0.0, 0.0, 5.0]);
+        ups.push(vec![0.0, 0.1, 5.0]);
+        ups.push(vec![0.1, 0.0, 5.0]);
+        let admitted = largest_cosine_cluster(&ups);
+        assert_eq!(admitted.len(), 4);
+        assert!(admitted.iter().all(|&i| i < 4));
+    }
+}

@@ -1,0 +1,116 @@
+//! Baseline defenses against poisoning in federated learning.
+//!
+//! The BaFFLe paper positions itself against two families of prior work
+//! (§I, §VII):
+//!
+//! 1. **Byzantine-robust aggregation** from distributed learning — Krum
+//!    [Blanchard et al.], coordinate-wise median and trimmed mean [Yin et
+//!    al.], and Robust Federated Aggregation (geometric median) [Pillutla
+//!    et al.]. The paper argues these "crucially rely on the training
+//!    data being uniformly distributed among participants, which is
+//!    unrealistic for most FL applications".
+//! 2. **Update-inspection defenses** — FoolsGold [Fung et al.],
+//!    norm-clipping with noise [Sun et al.]. These examine *individual*
+//!    updates and are therefore incompatible with secure aggregation.
+//!
+//! This crate implements all of them faithfully, at the flat parameter
+//! vector level ([`aggregators`]) and as update filters ([`filters`]),
+//! plus the naive accuracy-gate detector used as an ablation against
+//! BaFFLe's LOF analysis ([`detectors`]). The
+//! `baseline_comparison` binary pits each against the model-replacement
+//! attack on the same non-IID substrate BaFFLe is evaluated on.
+//!
+//! # Example
+//!
+//! ```
+//! use baffle_baselines::aggregators::{krum, median};
+//!
+//! let updates = vec![
+//!     vec![0.1, 0.2],
+//!     vec![0.11, 0.19],
+//!     vec![0.09, 0.21],
+//!     vec![0.1, 0.18],
+//!     vec![9.0, -9.0], // outlier
+//! ];
+//! // Krum with one assumed Byzantine client (n ≥ 2f + 3) picks a benign update.
+//! let picked = krum(&updates, 1).unwrap();
+//! assert!(picked[0] < 1.0);
+//! // The coordinate-wise median also suppresses the outlier.
+//! let med = median(&updates).unwrap();
+//! assert!(med[0] < 1.0);
+//! ```
+
+pub mod aggregators;
+pub mod harness;
+pub mod detectors;
+pub mod filters;
+pub mod flguard;
+
+/// Error for baseline aggregation over malformed inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// No updates were provided.
+    NoUpdates,
+    /// Updates have inconsistent lengths.
+    LengthMismatch {
+        /// Length of the first update.
+        expected: usize,
+        /// Offending length.
+        got: usize,
+    },
+    /// The parameterisation is infeasible (e.g. Krum needs
+    /// `n ≥ 2f + 3`).
+    Infeasible {
+        /// Explanation of the violated requirement.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::NoUpdates => write!(f, "no updates to aggregate"),
+            BaselineError::LengthMismatch { expected, got } => {
+                write!(f, "update length mismatch: expected {expected}, got {got}")
+            }
+            BaselineError::Infeasible { what } => write!(f, "infeasible parameters: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+pub(crate) fn check_updates(updates: &[Vec<f32>]) -> Result<usize, BaselineError> {
+    let first = updates.first().ok_or(BaselineError::NoUpdates)?;
+    for u in updates {
+        if u.len() != first.len() {
+            return Err(BaselineError::LengthMismatch { expected: first.len(), got: u.len() });
+        }
+    }
+    Ok(first.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_updates_accepts_consistent_inputs() {
+        assert_eq!(check_updates(&[vec![1.0, 2.0], vec![3.0, 4.0]]), Ok(2));
+    }
+
+    #[test]
+    fn check_updates_rejects_empty_and_ragged() {
+        assert_eq!(check_updates(&[]), Err(BaselineError::NoUpdates));
+        assert!(matches!(
+            check_updates(&[vec![1.0], vec![1.0, 2.0]]),
+            Err(BaselineError::LengthMismatch { expected: 1, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(BaselineError::NoUpdates.to_string().contains("no updates"));
+        assert!(BaselineError::Infeasible { what: "n too small" }.to_string().contains("n too small"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the baseline aggregators.
+
+use baffle_baselines::aggregators::{geometric_median, krum, mean, median, multi_krum, trimmed_mean};
+use proptest::prelude::*;
+
+fn updates_strategy(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(-10.0_f32..10.0, dim..=dim), n..=n)
+}
+
+proptest! {
+    /// All aggregators are permutation invariant (Krum up to tie-breaking
+    /// on exact duplicates, which the strategy avoids w.h.p.).
+    #[test]
+    fn median_and_trimmed_mean_permutation_invariant(mut ups in updates_strategy(7, 4)) {
+        let m1 = median(&ups).unwrap();
+        let t1 = trimmed_mean(&ups, 2).unwrap();
+        ups.reverse();
+        let m2 = median(&ups).unwrap();
+        let t2 = trimmed_mean(&ups, 2).unwrap();
+        for (a, b) in m1.iter().zip(&m2) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+        for (a, b) in t1.iter().zip(&t2) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Median and trimmed mean are bounded coordinate-wise by the input
+    /// range (a breakdown-point property plain mean lacks).
+    #[test]
+    fn robust_rules_stay_within_coordinate_range(ups in updates_strategy(9, 3)) {
+        let med = median(&ups).unwrap();
+        let trim = trimmed_mean(&ups, 3).unwrap();
+        for d in 0..3 {
+            let lo = ups.iter().map(|u| u[d]).fold(f32::INFINITY, f32::min);
+            let hi = ups.iter().map(|u| u[d]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!((lo - 1e-4..=hi + 1e-4).contains(&med[d]));
+            prop_assert!((lo - 1e-4..=hi + 1e-4).contains(&trim[d]));
+        }
+    }
+
+    /// Krum always returns one of the inputs.
+    #[test]
+    fn krum_selects_an_input(ups in updates_strategy(8, 3)) {
+        let k = krum(&ups, 2).unwrap();
+        prop_assert!(ups.contains(&k));
+    }
+
+    /// Multi-Krum with m = n equals the mean.
+    #[test]
+    fn multi_krum_full_selection_is_mean(ups in updates_strategy(7, 3)) {
+        let mk = multi_krum(&ups, 1, 7).unwrap();
+        let m = mean(&ups).unwrap();
+        for (a, b) in mk.iter().zip(&m) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// The geometric median never leaves the bounding box of the inputs.
+    #[test]
+    fn geometric_median_in_bounding_box(ups in updates_strategy(6, 3)) {
+        let gm = geometric_median(&ups, 60, 1e-6).unwrap();
+        for d in 0..3 {
+            let lo = ups.iter().map(|u| u[d]).fold(f32::INFINITY, f32::min);
+            let hi = ups.iter().map(|u| u[d]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!((lo - 1e-2..=hi + 1e-2).contains(&gm[d]), "{} outside [{lo}, {hi}]", gm[d]);
+        }
+    }
+
+    /// Replacing one update with an arbitrarily large outlier moves the
+    /// median by a bounded amount (robustness), while it moves the mean
+    /// unboundedly.
+    #[test]
+    fn median_is_robust_to_one_outlier(ups in updates_strategy(9, 2), scale in 100.0_f32..10_000.0) {
+        let clean_med = median(&ups).unwrap();
+        let mut poisoned = ups.clone();
+        poisoned[0] = vec![scale, -scale];
+        let med = median(&poisoned).unwrap();
+        for d in 0..2 {
+            let lo = ups.iter().map(|u| u[d]).fold(f32::INFINITY, f32::min);
+            let hi = ups.iter().map(|u| u[d]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!((lo - 1e-3..=hi + 1e-3).contains(&med[d]));
+        }
+        // And the mean is dragged towards the outlier far more.
+        let m = mean(&poisoned).unwrap();
+        prop_assert!( (m[0] - clean_med[0]).abs() >= (med[0] - clean_med[0]).abs() );
+    }
+}

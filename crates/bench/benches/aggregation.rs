@@ -1,0 +1,52 @@
+//! FedAvg and secure-aggregation throughput at realistic update sizes.
+
+use baffle_bench::params;
+use baffle_fl::{fedavg, secagg::SecAggSession};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_fedavg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fedavg");
+    for &len in &[2_762usize, 10_718, 100_000] {
+        group.throughput(Throughput::Elements(len as u64 * 10));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            let global = params(len, 1);
+            let updates: Vec<Vec<f32>> = (0..10).map(|i| params(len, 2 + i)).collect();
+            b.iter(|| fedavg(black_box(&global), black_box(&updates), 10.0, 100));
+        });
+    }
+    group.finish();
+}
+
+fn bench_secagg_mask(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secagg_mask");
+    for &len in &[2_762usize, 10_718] {
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            let session = SecAggSession::new(7, 10, len);
+            let update = params(len, 3);
+            b.iter(|| session.mask(black_box(4), black_box(&update)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_secagg_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secagg_full_round");
+    group.sample_size(20);
+    for &len in &[2_762usize, 10_718] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            let session = SecAggSession::new(7, 10, len);
+            let updates: Vec<Vec<f32>> = (0..10).map(|i| params(len, 10 + i)).collect();
+            b.iter(|| {
+                let masked: Vec<Vec<f32>> =
+                    updates.iter().enumerate().map(|(i, u)| session.mask(i, u)).collect();
+                session.aggregate(black_box(&masked))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fedavg, bench_secagg_mask, bench_secagg_round);
+criterion_main!(benches);

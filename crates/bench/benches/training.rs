@@ -1,0 +1,72 @@
+//! Local-training benchmarks: one client's epoch, one attack crafting
+//! step, and one full honest FL round of the simulation substrate.
+
+use baffle_attack::{BackdoorSpec, ModelReplacement};
+use baffle_bench::cifar_fixture;
+use baffle_fl::{train_clients_parallel, LocalTrainer};
+use baffle_nn::Sgd;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_local_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_epoch");
+    group.sample_size(30);
+    for &samples in &[100usize, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, &samples| {
+            let fixture = cifar_fixture(samples, 1, 11);
+            b.iter(|| {
+                let mut m = fixture.model.clone();
+                let mut opt = Sgd::new(0.1).with_momentum(0.9);
+                let mut rng = StdRng::seed_from_u64(5);
+                m.train_epoch(
+                    black_box(fixture.data.features()),
+                    black_box(fixture.data.labels()),
+                    32,
+                    &mut opt,
+                    &mut rng,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("honest_round_10_clients");
+    group.sample_size(10);
+    let fixture = cifar_fixture(2_000, 1, 13);
+    let mut rng = StdRng::seed_from_u64(3);
+    let shards: Vec<_> = (0..10).map(|_| fixture.data.split_random(&mut rng, 180).0).collect();
+    let shard_refs: Vec<&_> = shards.iter().collect();
+    let trainer = LocalTrainer::new(2, 0.1, 32);
+    group.bench_function("train_clients_parallel", |b| {
+        b.iter(|| train_clients_parallel(black_box(&fixture.model), &shard_refs, &trainer, 42));
+    });
+    group.finish();
+}
+
+fn bench_attack_crafting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_replacement_crafting");
+    group.sample_size(10);
+    let fixture = cifar_fixture(500, 1, 17);
+    let mut rng = StdRng::seed_from_u64(5);
+    let backdoor = fixture.generator.generate_subgroup(&mut rng, 200, 1, 0);
+    let attack = ModelReplacement::new(BackdoorSpec::semantic(1, 0, 2), 10.0);
+    group.bench_function("poisoned_update", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            attack.poisoned_update(
+                black_box(&fixture.model),
+                black_box(&fixture.data),
+                black_box(&backdoor),
+                &mut rng,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_epoch, bench_parallel_round, bench_attack_crafting);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Cost of one VALIDATE call (Algorithm 2) as a function of the look-back
+//! window ℓ and the validation-set size — the per-round, per-validator
+//! cost a deployment pays for the feedback loop.
+
+use baffle_bench::cifar_fixture;
+use baffle_core::{ValidationConfig, Validator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_validate_lookback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validate_by_lookback");
+    group.sample_size(20);
+    for &ell in &[10usize, 20, 30] {
+        let fixture = cifar_fixture(200, ell + 2, 7);
+        let validator = Validator::new(ValidationConfig::new(ell));
+        let (current, history) = fixture.history.split_last().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(ell), &ell, |b, _| {
+            b.iter(|| {
+                validator
+                    .validate(black_box(current), black_box(history), black_box(&fixture.data))
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_validate_dataset_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validate_by_dataset_size");
+    group.sample_size(20);
+    for &samples in &[50usize, 200, 1000] {
+        let fixture = cifar_fixture(samples, 22, 9);
+        let validator = Validator::new(ValidationConfig::new(20));
+        let (current, history) = fixture.history.split_last().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, _| {
+            b.iter(|| {
+                validator
+                    .validate(black_box(current), black_box(history), black_box(&fixture.data))
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_validate_lookback, bench_validate_dataset_size);
+criterion_main!(benches);

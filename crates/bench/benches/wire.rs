@@ -1,0 +1,50 @@
+//! Wire-codec benchmarks: the cost of serialising the model history that
+//! the server ships to each validating client (§VI-D), per codec.
+
+use baffle_bench::params;
+use baffle_nn::wire;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_encode");
+    for &len in &[2_762usize, 10_718, 100_000] {
+        group.throughput(Throughput::Elements(len as u64));
+        let p = params(len, 21);
+        group.bench_with_input(BenchmarkId::new("f32", len), &p, |b, p| {
+            b.iter(|| wire::encode_f32(black_box(p)));
+        });
+        group.bench_with_input(BenchmarkId::new("q8", len), &p, |b, p| {
+            b.iter(|| wire::encode_q8(black_box(p)));
+        });
+        group.bench_with_input(BenchmarkId::new("q4", len), &p, |b, p| {
+            b.iter(|| wire::encode_q4(black_box(p)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_decode");
+    {
+        let &len = &10_718usize;
+        group.throughput(Throughput::Elements(len as u64));
+        let p = params(len, 22);
+        let f = wire::encode_f32(&p);
+        let q8 = wire::encode_q8(&p);
+        let q4 = wire::encode_q4(&p);
+        group.bench_function(BenchmarkId::new("f32", len), |b| {
+            b.iter(|| wire::decode_f32(black_box(&f)).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("q8", len), |b| {
+            b.iter(|| wire::decode_q8(black_box(&q8)).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("q4", len), |b| {
+            b.iter(|| wire::decode_q4(black_box(&q4)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Extension experiment: attack strength (boost γ) vs detectability and
+//! backdoor take-up.
+//!
+//! The model-replacement boost trades stealth for effect: γ = N/λ fully
+//! replaces the global model (maximum backdoor accuracy, maximum
+//! per-class error shift), while small γ dilutes the backdoor under
+//! averaging. This sweep shows BaFFLe's detection rate together with the
+//! candidate's actual backdoor accuracy per γ — the attacker has no
+//! operating point that both takes effect and goes unnoticed.
+//!
+//! Run with `cargo run --release -p baffle-core --bin ext_boost_sweep`.
+
+use baffle_core::exp::{cell, ExpArgs, Table};
+use baffle_core::{Simulation, SimulationConfig};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let boosts: &[f32] = if args.fast { &[1.0, 10.0] } else { &[0.5, 1.0, 2.0, 5.0, 10.0, 20.0] };
+
+    let mut table = Table::new(
+        "Extension: boost γ vs backdoor take-up and detection (CifarLike, γ=N/λ is full replacement = 10)",
+        &["boost γ", "candidate backdoor acc", "detected", "injections", "post-round backdoor acc"],
+    );
+    for &boost in boosts {
+        let mut cand_bd = Vec::new();
+        let mut post_bd = Vec::new();
+        let mut detected = 0usize;
+        let mut injections = 0usize;
+        for rep in 0..args.reps() {
+            let mut config = SimulationConfig::cifar_like(args.seed + 1000 * rep as u64);
+            config.boost = Some(boost);
+            config.track_accuracy = true;
+            if args.fast {
+                config.rounds = 20;
+                config.poison_rounds = vec![10, 15];
+            }
+            let report = Simulation::new(config).run();
+            for r in &report.records {
+                if r.poisoned && r.defense_active {
+                    injections += 1;
+                    if !r.decision.is_accepted() {
+                        detected += 1;
+                    }
+                    cand_bd.push(r.candidate_backdoor_accuracy.unwrap_or(0.0) as f64);
+                    post_bd.push(r.backdoor_accuracy.unwrap_or(0.0) as f64);
+                }
+            }
+        }
+        table.row(vec![
+            format!("{boost:.1}"),
+            cell(&cand_bd),
+            format!("{detected}/{injections}"),
+            injections.to_string(),
+            cell(&post_bd),
+        ]);
+    }
+    table.emit(&args);
+}

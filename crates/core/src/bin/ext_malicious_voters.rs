@@ -1,0 +1,78 @@
+//! Extension experiment: empirical validation of the §IV-B quorum
+//! calculus against malicious voters.
+//!
+//! Sweeps the number of attacker-controlled clients and measures
+//!
+//! - **stealth-accept collusion**: the FN rate on injections — the
+//!   quorum must fail once the expected number of colluders among the
+//!   validators outweighs honest rejections (`n_M > n − q`);
+//! - **denial of service**: the rejection rate on clean rounds — the
+//!   quorum must hold as long as `n_M < q` holds among selected
+//!   validators.
+//!
+//! Run with `cargo run --release -p baffle-core --bin ext_malicious_voters`.
+
+use baffle_attack::voting::VoterBehavior;
+use baffle_core::exp::{cell, repeat_rates, ExpArgs, Table};
+use baffle_core::{Simulation, SimulationConfig};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let fractions: &[f64] = if args.fast { &[0.0, 0.3, 0.6] } else { &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6] };
+
+    // Stealth-accept collusion vs FN rate.
+    let mut stealth = Table::new(
+        "Extension: stealth-accept colluders vs FN rate (CifarLike, n=10 validators, q=5)",
+        &["malicious fraction", "expected colluders/round", "FN rate", "FP rate"],
+    );
+    for &frac in fractions {
+        let mut config = SimulationConfig::cifar_like(args.seed);
+        config.malicious_clients = (frac * config.num_clients as f64).round() as usize;
+        config.malicious_voter_behavior = VoterBehavior::StealthAccept;
+        if args.fast {
+            config.rounds = 20;
+            config.poison_rounds = vec![10, 15];
+        }
+        let (fp, fnr) = repeat_rates(&config, &args);
+        stealth.row(vec![
+            format!("{frac:.1}"),
+            format!("{:.1}", frac * config.validators_per_round as f64),
+            cell(&fnr),
+            cell(&fp),
+        ]);
+    }
+    stealth.emit(&args);
+
+    // DoS vs clean-round rejection rate.
+    let mut dos = Table::new(
+        "Extension: denial-of-service voters vs clean-round rejection rate",
+        &["malicious fraction", "expected DoS voters/round", "clean rounds rejected"],
+    );
+    for &frac in fractions {
+        let mut rejected_rates = Vec::new();
+        for rep in 0..args.reps() {
+            let mut config = SimulationConfig::cifar_like(args.seed + 1000 * rep as u64);
+            config.malicious_clients = (frac * config.num_clients as f64).round() as usize;
+            config.malicious_voter_behavior = VoterBehavior::DenialOfService;
+            config.poison_rounds = vec![];
+            if args.fast {
+                config.rounds = 15;
+            }
+            let report = Simulation::new(config).run();
+            let rejected =
+                report.records.iter().filter(|r| !r.decision.is_accepted()).count() as f64;
+            rejected_rates.push(rejected / report.rounds_run as f64);
+        }
+        dos.row(vec![
+            format!("{frac:.1}"),
+            format!("{:.1}", frac * 10.0),
+            cell(&rejected_rates),
+        ]);
+    }
+    dos.emit(&args);
+    println!(
+        "§IV-B predicts the stealth attack wins once colluders can outvote honest\n\
+         rejections (n_M > n − q = 5 expected colluders), and DoS succeeds once\n\
+         n_M ≥ q = 5 expected DoS voters — i.e. both transitions near fraction 0.5."
+    );
+}

@@ -1,0 +1,58 @@
+//! Regenerates **Figure 3**: FP/FN rates of BAFFLE-C and BAFFLE for
+//! quorum threshold q ∈ [3..9] and the three data splits, on both
+//! datasets (ℓ = 20). The server-only configuration is reported once per
+//! split — it does not depend on q.
+//!
+//! Run with `cargo run --release -p baffle-core --bin fig3_quorum`.
+
+use baffle_core::exp::{base_config, cell, repeat_rates, server_shares, split_label, ExpArgs, Table};
+use baffle_core::{DatasetKind, DefenseMode};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let quorums: &[usize] = if args.fast { &[3, 5, 7] } else { &[3, 4, 5, 6, 7, 8, 9] };
+
+    for dataset in [DatasetKind::CifarLike, DatasetKind::FemnistLike] {
+        for share in server_shares(dataset) {
+            let mut table = Table::new(
+                &format!(
+                    "Figure 3 ({dataset:?}, split {}): detection rates vs quorum q, ℓ = 20",
+                    split_label(share)
+                ),
+                &["q", "FP C", "FP C+S", "FN C", "FN C+S"],
+            );
+            for &q in quorums {
+                let mut row = vec![q.to_string()];
+                let mut fps = Vec::new();
+                let mut fns = Vec::new();
+                for mode in [DefenseMode::ClientsOnly, DefenseMode::Both] {
+                    let mut config = base_config(dataset, args.seed);
+                    config.server_share = share;
+                    config.quorum = q;
+                    config.defense = mode;
+                    if args.fast {
+                        config.rounds = 20;
+                        config.poison_rounds = vec![10, 15];
+                    }
+                    let (fp, fnr) = repeat_rates(&config, &args);
+                    fps.push(cell(&fp));
+                    fns.push(cell(&fnr));
+                }
+                row.extend(fps);
+                row.extend(fns);
+                table.row(row);
+            }
+            // Server-only reference line (independent of q).
+            let mut config = base_config(dataset, args.seed);
+            config.server_share = share;
+            config.defense = DefenseMode::ServerOnly;
+            if args.fast {
+                config.rounds = 20;
+                config.poison_rounds = vec![10, 15];
+            }
+            let (fp, fnr) = repeat_rates(&config, &args);
+            table.row(vec!["S".into(), cell(&fp), "-".into(), cell(&fnr), "-".into()]);
+            table.emit(&args);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Regenerates **Figure 5**: the distribution of reject votes cast by the
+//! validating clients on adaptively poisoned models, for the three
+//! CIFAR-like data splits.
+//!
+//! The paper uses this to estimate ρ (the fraction of honest validators
+//! that judge a poisoned model correctly) and from it the tolerable
+//! number of malicious clients.
+//!
+//! Run with `cargo run --release -p baffle-core --bin fig5_vote_distribution`.
+
+use baffle_core::exp::{base_config, server_shares, split_label, ExpArgs, Table};
+use baffle_core::{AttackKind, DatasetKind, DefenseMode, Simulation, Vote};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let validators = 10;
+    let mut table = Table::new(
+        "Figure 5 (CifarLike): client reject votes on adaptively poisoned models (ℓ = 20)",
+        &["split", "votes=0-2", "3-4", "5-6", "7-8", "9-10", "min", "median", "rho"],
+    );
+    for share in server_shares(DatasetKind::CifarLike) {
+        let mut votes: Vec<usize> = Vec::new();
+        for rep in 0..args.reps() {
+            let mut config = base_config(DatasetKind::CifarLike, args.seed.wrapping_add(1000 * rep as u64));
+            config.server_share = share;
+            config.defense = DefenseMode::Both;
+            config.attack = AttackKind::Adaptive;
+            config.validators_per_round = validators;
+            if args.fast {
+                config.rounds = 20;
+                config.poison_rounds = vec![10, 15];
+            }
+            let mut sim = Simulation::new(config);
+            let report = sim.run();
+            for r in &report.records {
+                if r.poisoned && r.defense_active {
+                    // Count client votes only (subtract the server's
+                    // reject, if any) to match the paper's figure.
+                    let server_reject =
+                        matches!(r.server_vote, Some(Vote::Reject)) as usize;
+                    votes.push(r.reject_votes - server_reject);
+                }
+            }
+        }
+        let bucket = |lo: usize, hi: usize| votes.iter().filter(|&&v| v >= lo && v <= hi).count();
+        let mut sorted = votes.clone();
+        sorted.sort_unstable();
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0);
+        let min = sorted.first().copied().unwrap_or(0);
+        // ρ: mean fraction of validators that (correctly) rejected.
+        let rho = if votes.is_empty() {
+            0.0
+        } else {
+            votes.iter().sum::<usize>() as f64 / (votes.len() * validators) as f64
+        };
+        table.row(vec![
+            split_label(share),
+            bucket(0, 2).to_string(),
+            bucket(3, 4).to_string(),
+            bucket(5, 6).to_string(),
+            bucket(7, 8).to_string(),
+            bucket(9, 10).to_string(),
+            min.to_string(),
+            median.to_string(),
+            format!("{rho:.2}"),
+        ]);
+    }
+    table.emit(&args);
+}

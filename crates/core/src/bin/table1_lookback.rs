@@ -1,0 +1,46 @@
+//! Regenerates **Table I**: FP/FN rates of BAFFLE-C, BAFFLE-S and BAFFLE
+//! for look-back window ℓ ∈ {10, 20, 30} and the paper's three data
+//! splits, on both datasets, with the default quorum q = 5.
+//!
+//! Run with `cargo run --release -p baffle-core --bin table1_lookback`
+//! (`--fast` for a smoke run, `--reps N` to change the repetition count).
+
+use baffle_core::exp::{base_config, cell, repeat_rates, server_shares, split_label, ExpArgs, Table};
+use baffle_core::{DatasetKind, DefenseMode};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let lookbacks: &[usize] = if args.fast { &[10, 20] } else { &[10, 20, 30] };
+
+    for dataset in [DatasetKind::CifarLike, DatasetKind::FemnistLike] {
+        let mut table = Table::new(
+            &format!("Table I ({dataset:?}): detection rates vs look-back window ℓ, q = 5"),
+            &["split", "ℓ", "FP C", "FP S", "FP C+S", "FN C", "FN S", "FN C+S"],
+        );
+        for share in server_shares(dataset) {
+            for &ell in lookbacks {
+                let mut cells = vec![split_label(share), ell.to_string()];
+                let mut fps = Vec::new();
+                let mut fns = Vec::new();
+                for mode in [DefenseMode::ClientsOnly, DefenseMode::ServerOnly, DefenseMode::Both] {
+                    let mut config = base_config(dataset, args.seed);
+                    config.server_share = share;
+                    config.lookback = ell;
+                    config.warmup_rounds = ell + 1;
+                    config.defense = mode;
+                    if args.fast {
+                        config.rounds = 20;
+                        config.poison_rounds = vec![10, 15];
+                    }
+                    let (fp, fnr) = repeat_rates(&config, &args);
+                    fps.push(cell(&fp));
+                    fns.push(cell(&fnr));
+                }
+                cells.extend(fps);
+                cells.extend(fns);
+                table.row(cells);
+            }
+        }
+        table.emit(&args);
+    }
+}

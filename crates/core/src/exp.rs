@@ -1,0 +1,324 @@
+//! Support for the experiment binaries (`src/bin/*`): CLI parsing, result
+//! tables and repetition sweeps.
+//!
+//! Every experiment binary accepts:
+//!
+//! - `--seed <u64>`: base seed (default 1);
+//! - `--reps <usize>`: repetitions averaged per cell (default 5, the
+//!   paper's count);
+//! - `--fast`: shrink the workload (fewer reps and rounds) for smoke
+//!   runs;
+//! - `--out <path>`: also write the printed table to a file.
+
+use crate::metrics::mean_std;
+use crate::{Simulation, SimulationConfig};
+use std::fmt::Write as _;
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpArgs {
+    /// Base seed; repetition `i` uses `seed + 1000·i`.
+    pub seed: u64,
+    /// Repetitions per configuration cell.
+    pub reps: usize,
+    /// Smoke-test mode (binaries shrink their workload).
+    pub fast: bool,
+    /// Optional output file for the rendered table.
+    pub out: Option<String>,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        Self { seed: 1, reps: 5, fast: false, out: None }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args`-style arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments (these binaries
+    /// are developer tools; failing loudly is the right behaviour).
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--seed" => {
+                    out.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed needs a u64 value"));
+                }
+                "--reps" => {
+                    out.reps = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--reps needs a usize value"));
+                }
+                "--fast" => out.fast = true,
+                "--out" => {
+                    out.out = Some(args.next().unwrap_or_else(|| panic!("--out needs a path")));
+                }
+                "--help" | "-h" => {
+                    eprintln!("options: --seed <u64> --reps <n> --fast --out <path>");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other:?} (try --help)"),
+            }
+        }
+        if out.fast {
+            out.reps = out.reps.min(2);
+        }
+        out
+    }
+
+    /// Parses the process's actual CLI arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Effective repetition count.
+    pub fn reps(&self) -> usize {
+        self.reps.max(1)
+    }
+}
+
+/// The paper's client/server data splits (§VI-B): the fraction of all
+/// data held by the **server**, per dataset. Clients jointly hold the
+/// rest (90-10%, 95-5%, 99-1% for CIFAR; 99-1%, 99.5-0.5%, 99.9-0.1% for
+/// FEMNIST).
+pub fn server_shares(dataset: crate::DatasetKind) -> [f64; 3] {
+    match dataset {
+        crate::DatasetKind::CifarLike => [0.10, 0.05, 0.01],
+        crate::DatasetKind::FemnistLike => [0.01, 0.005, 0.001],
+    }
+}
+
+/// Human-readable split label ("90-10%" etc.) for a server share.
+pub fn split_label(server_share: f64) -> String {
+    let c = 100.0 * (1.0 - server_share);
+    let s = 100.0 * server_share;
+    format!("{c}-{s}%")
+}
+
+/// Base per-dataset configuration used by the table/figure binaries.
+pub fn base_config(dataset: crate::DatasetKind, seed: u64) -> SimulationConfig {
+    match dataset {
+        crate::DatasetKind::CifarLike => SimulationConfig::cifar_like(seed),
+        crate::DatasetKind::FemnistLike => SimulationConfig::femnist_like(seed),
+    }
+}
+
+/// Runs `reps` simulations of `config` with derived seeds and returns
+/// `(fp_rates, fn_rates)` across repetitions.
+pub fn repeat_rates(config: &SimulationConfig, args: &ExpArgs) -> (Vec<f64>, Vec<f64>) {
+    let mut fps = Vec::with_capacity(args.reps());
+    let mut fns = Vec::with_capacity(args.reps());
+    for i in 0..args.reps() {
+        let mut c = config.clone();
+        c.seed = args.seed.wrapping_add(1000 * i as u64);
+        let report = Simulation::new(c).run();
+        fps.push(report.fp_rate());
+        fns.push(report.fn_rate());
+    }
+    (fps, fns)
+}
+
+/// Formats a `mean ± std` cell like the paper's tables.
+pub fn cell(values: &[f64]) -> String {
+    let (m, s) = mean_std(values);
+    if s < 5e-4 {
+        format!("{m:.3}")
+    } else {
+        format!("{m:.3} ±{s:.3}")
+    }
+}
+
+/// A simple fixed-width text table accumulated row by row and printed to
+/// stdout (and optionally a file).
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(s, "{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(c.len()));
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * cols));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints to stdout and, if requested, writes to the `--out` path.
+    /// The first table a process emits truncates the file; subsequent
+    /// tables append, so multi-table binaries keep all their output.
+    pub fn emit(&self, args: &ExpArgs) {
+        use std::io::Write as _;
+        let rendered = self.render();
+        println!("{rendered}");
+        if let Some(path) = &args.out {
+            static TRUNCATED: std::sync::OnceLock<parking_lot::Mutex<std::collections::HashSet<String>>> =
+                std::sync::OnceLock::new();
+            let truncated = TRUNCATED.get_or_init(Default::default);
+            let fresh = truncated.lock().insert(path.clone());
+            let result = std::fs::OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(fresh)
+                .append(!fresh)
+                .open(path)
+                .and_then(|mut f| writeln!(f, "{rendered}"));
+            if let Err(e) = result {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+    }
+}
+
+/// Renders a time series as a compact ASCII chart (one row per series),
+/// for figure binaries that plot accuracies over rounds.
+///
+/// Values are expected in `[0, 1]`; each point maps to a glyph in nine
+/// height levels, with `!` marking rounds listed in `marks` (e.g.
+/// injection rounds).
+///
+/// # Example
+///
+/// ```
+/// use baffle_core::exp::ascii_series;
+///
+/// let s = ascii_series("main acc", &[0.1, 0.5, 0.9], &[2]);
+/// assert!(s.contains("main acc"));
+/// ```
+pub fn ascii_series(label: &str, values: &[f64], marks: &[usize]) -> String {
+    const GLYPHS: [char; 9] = ['_', '.', ',', '-', '~', '=', '*', '#', '@'];
+    let mut line = String::new();
+    for (i, &v) in values.iter().enumerate() {
+        if marks.contains(&(i + 1)) {
+            line.push('!');
+        }
+        let level = ((v.clamp(0.0, 1.0)) * (GLYPHS.len() - 1) as f64).round() as usize;
+        line.push(GLYPHS[level]);
+    }
+    format!("{label:<22} |{line}|")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> ExpArgs {
+        ExpArgs::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a, ExpArgs::default());
+        assert_eq!(a.reps(), 5);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&["--seed", "9", "--reps", "2", "--out", "/tmp/t.txt"]);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.reps, 2);
+        assert_eq!(a.out.as_deref(), Some("/tmp/t.txt"));
+        assert!(!a.fast);
+    }
+
+    #[test]
+    fn fast_caps_reps() {
+        let a = parse(&["--fast", "--reps", "10"]);
+        assert!(a.fast);
+        assert_eq!(a.reps, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_panics() {
+        let _ = parse(&["--bogus"]);
+    }
+
+    #[test]
+    fn cell_formats_mean_and_std() {
+        assert_eq!(cell(&[0.5, 0.5]), "0.500");
+        let c = cell(&[0.0, 1.0]);
+        assert!(c.starts_with("0.500 ±0.5"), "{c}");
+    }
+
+    #[test]
+    fn emit_truncates_once_then_appends() {
+        let path = std::env::temp_dir().join(format!("baffle_emit_test_{}.txt", std::process::id()));
+        let path_str = path.to_string_lossy().to_string();
+        std::fs::write(&path, "stale content from a previous run\n").unwrap();
+        let args = ExpArgs { out: Some(path_str), ..ExpArgs::default() };
+        let mut t1 = Table::new("first", &["a"]);
+        t1.row(vec!["1".into()]);
+        t1.emit(&args);
+        let mut t2 = Table::new("second", &["b"]);
+        t2.row(vec!["2".into()]);
+        t2.emit(&args);
+        let content = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(!content.contains("stale"), "first emit must truncate");
+        assert!(content.contains("# first") && content.contains("# second"), "{content}");
+    }
+
+    #[test]
+    fn ascii_series_marks_and_levels() {
+        let s = ascii_series("x", &[0.0, 1.0], &[2]);
+        assert!(s.contains("_"), "{s}");
+        assert!(s.contains("!@"), "{s}");
+        // Out-of-range values are clamped, not panicking.
+        let s = ascii_series("y", &[-3.0, 9.0], &[]);
+        assert!(s.contains("_@"), "{s}");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.row(vec!["xxx".into(), "y".into()]);
+        let r = t.render();
+        assert!(r.contains("# demo"));
+        assert!(r.contains("a    bbbb"));
+        assert!(r.contains("xxx  y"));
+    }
+}

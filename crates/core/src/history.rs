@@ -1,0 +1,162 @@
+//! Sliding history of accepted global models.
+
+use baffle_nn::Mlp;
+
+/// The last `ℓ + 1` **accepted** global models, oldest first — the
+/// `history` input of Algorithms 1 and 2.
+///
+/// Rejected updates are never pushed: the feedback loop discards them and
+/// the history keeps describing the trusted lineage (the paper's
+/// "bootstrapping trust across rounds").
+///
+/// # Example
+///
+/// ```
+/// use baffle_core::ModelHistory;
+/// use baffle_nn::{Mlp, MlpSpec};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let spec = MlpSpec::new(2, &[], 2);
+/// let mut history = ModelHistory::new(3); // ℓ = 2 → capacity 3
+/// for _ in 0..5 {
+///     history.push(Mlp::new(&spec, &mut rng));
+/// }
+/// assert_eq!(history.len(), 3);
+/// assert!(history.is_full());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelHistory {
+    models: Vec<Mlp>,
+    capacity: usize,
+}
+
+impl ModelHistory {
+    /// Creates an empty history holding at most `capacity = ℓ + 1`
+    /// models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2` (Algorithm 2 needs at least two history
+    /// models to form one variation vector).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "ModelHistory: capacity must be at least 2, got {capacity}");
+        Self { models: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Appends an accepted model, evicting the oldest when full.
+    pub fn push(&mut self, model: Mlp) {
+        if self.models.len() == self.capacity {
+            self.models.remove(0);
+        }
+        self.models.push(model);
+    }
+
+    /// The stored models, oldest first.
+    pub fn models(&self) -> &[Mlp] {
+        &self.models
+    }
+
+    /// The most recently accepted model, if any.
+    pub fn latest(&self) -> Option<&Mlp> {
+        self.models.last()
+    }
+
+    /// Number of stored models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether no models have been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Whether the history holds its full `ℓ + 1` models.
+    pub fn is_full(&self) -> bool {
+        self.models.len() == self.capacity
+    }
+
+    /// Maximum number of models retained (`ℓ + 1`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Removes and returns the most recently accepted model — the
+    /// rollback primitive of the deferred-validation mode (§VI-D), where
+    /// round `r`'s contributors vote on `G^{r−1}` and a rejection undoes
+    /// the previous acceptance.
+    pub fn pop(&mut self) -> Option<Mlp> {
+        self.models.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baffle_nn::{Model, MlpSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mlp::new(&MlpSpec::new(2, &[], 2), &mut rng)
+    }
+
+    #[test]
+    fn push_evicts_oldest_beyond_capacity() {
+        let mut h = ModelHistory::new(2);
+        let (a, b, c) = (model(1), model(2), model(3));
+        let a_params = a.params();
+        h.push(a);
+        h.push(b);
+        assert!(h.is_full());
+        h.push(c);
+        assert_eq!(h.len(), 2);
+        // `a` was evicted.
+        assert!(h.models().iter().all(|m| m.params() != a_params));
+    }
+
+    #[test]
+    fn latest_is_the_most_recent_push() {
+        let mut h = ModelHistory::new(3);
+        assert!(h.latest().is_none());
+        let b = model(2);
+        let b_params = b.params();
+        h.push(model(1));
+        h.push(b);
+        assert_eq!(h.latest().unwrap().params(), b_params);
+    }
+
+    #[test]
+    fn order_is_oldest_first() {
+        let mut h = ModelHistory::new(3);
+        let params: Vec<Vec<f32>> = (0..3).map(|i| model(i).params()).collect();
+        for i in 0..3 {
+            h.push(model(i));
+        }
+        for (m, p) in h.models().iter().zip(&params) {
+            assert_eq!(&m.params(), p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_capacity_panics() {
+        let _ = ModelHistory::new(1);
+    }
+
+    #[test]
+    fn pop_undoes_the_latest_push() {
+        let mut h = ModelHistory::new(3);
+        assert!(h.pop().is_none());
+        let a = model(1);
+        let a_params = a.params();
+        h.push(a);
+        h.push(model(2));
+        let popped = h.pop().unwrap();
+        assert_eq!(popped.params(), model(2).params());
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.latest().unwrap().params(), a_params);
+    }
+}

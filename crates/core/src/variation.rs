@@ -1,0 +1,152 @@
+//! Error-variation vectors (paper §V, eqs. 2–3).
+//!
+//! For two models `f` (previous) and `f'` (current) evaluated on the same
+//! dataset `D`, and each label `y`, the paper defines
+//!
+//! ```text
+//! vˢ(f, f', D, y) = err_D(f)^{y→✱} − err_D(f')^{y→✱}    (source-focused)
+//! vᵗ(f, f', D, y) = err_D(f)^{✱→y} − err_D(f')^{✱→y}    (target-focused)
+//! ```
+//!
+//! and the **error-variation point** `v(f, f', D) = [vˢ, vᵗ] ∈ ℝ^{2|Y|}`.
+//! Under benign training these points cluster round to round; a freshly
+//! injected backdoor boosts the error of one or a few classes and moves
+//! the point out of the cluster — which Algorithm 2 detects with LOF.
+
+use baffle_data::Dataset;
+use baffle_nn::{ConfusionMatrix, Model};
+
+/// Computes the error-variation vector from two precomputed confusion
+/// matrices over the same dataset.
+///
+/// The result has length `2 · num_classes`: source-focused variations
+/// first, then target-focused ones. Every entry lies in `[-1, 1]`.
+///
+/// # Panics
+///
+/// Panics if the matrices have different class counts.
+///
+/// # Example
+///
+/// ```
+/// use baffle_core::variation::variation_from_confusions;
+/// use baffle_nn::ConfusionMatrix;
+///
+/// let mut prev = ConfusionMatrix::new(2);
+/// prev.record(0, 1); // one class-0 sample misclassified
+/// prev.record(1, 1);
+/// let mut curr = ConfusionMatrix::new(2);
+/// curr.record(0, 0); // now classified correctly
+/// curr.record(1, 1);
+/// let v = variation_from_confusions(&prev, &curr);
+/// assert_eq!(v.len(), 4);
+/// assert!((v[0] - 0.5).abs() < 1e-6); // source error of class 0 dropped by 0.5
+/// ```
+pub fn variation_from_confusions(prev: &ConfusionMatrix, curr: &ConfusionMatrix) -> Vec<f32> {
+    assert_eq!(
+        prev.num_classes(),
+        curr.num_classes(),
+        "variation_from_confusions: class count mismatch {} vs {}",
+        prev.num_classes(),
+        curr.num_classes()
+    );
+    let c = prev.num_classes();
+    let mut v = Vec::with_capacity(2 * c);
+    for y in 0..c {
+        v.push(prev.source_error(y) - curr.source_error(y));
+    }
+    for y in 0..c {
+        v.push(prev.target_error(y) - curr.target_error(y));
+    }
+    v
+}
+
+/// Computes `v(prev, curr, data)` by evaluating both models on `data`.
+///
+/// # Panics
+///
+/// Panics if the models disagree on the number of classes or the data has
+/// mismatched labels.
+pub fn variation<M: Model + ?Sized>(prev: &M, curr: &M, data: &Dataset) -> Vec<f32> {
+    let cm_prev = ConfusionMatrix::from_model(prev, data.features(), data.labels());
+    let cm_curr = ConfusionMatrix::from_model(curr, data.features(), data.labels());
+    variation_from_confusions(&cm_prev, &cm_curr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baffle_data::{SyntheticVision, VisionSpec};
+    use baffle_nn::{Mlp, MlpSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_models_have_zero_variation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let gen = SyntheticVision::new(&VisionSpec::new(3, 6, 2), &mut rng);
+        let data = gen.generate(&mut rng, 100);
+        let model = Mlp::new(&MlpSpec::new(6, &[8], 3), &mut rng);
+        let v = variation(&model, &model, &data);
+        assert_eq!(v.len(), 6);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn variation_is_antisymmetric() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let gen = SyntheticVision::new(&VisionSpec::new(3, 6, 2), &mut rng);
+        let data = gen.generate(&mut rng, 200);
+        let a = Mlp::new(&MlpSpec::new(6, &[8], 3), &mut rng);
+        let b = Mlp::new(&MlpSpec::new(6, &[8], 3), &mut rng);
+        let ab = variation(&a, &b, &data);
+        let ba = variation(&b, &a, &data);
+        for (x, y) in ab.iter().zip(&ba) {
+            assert!((x + y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn entries_are_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let gen = SyntheticVision::new(&VisionSpec::new(4, 6, 2), &mut rng);
+        let data = gen.generate(&mut rng, 150);
+        let a = Mlp::new(&MlpSpec::new(6, &[4], 4), &mut rng);
+        let b = Mlp::new(&MlpSpec::new(6, &[4], 4), &mut rng);
+        for x in variation(&a, &b, &data) {
+            assert!((-1.0..=1.0).contains(&x), "entry {x} out of bounds");
+        }
+    }
+
+    #[test]
+    fn known_confusion_shift_shows_in_the_right_slot() {
+        // 4 samples, 2 classes. prev: class 1 all wrong -> class 0.
+        let mut prev = ConfusionMatrix::new(2);
+        prev.record(0, 0);
+        prev.record(0, 0);
+        prev.record(1, 0);
+        prev.record(1, 0);
+        // curr: everything right.
+        let mut curr = ConfusionMatrix::new(2);
+        curr.record(0, 0);
+        curr.record(0, 0);
+        curr.record(1, 1);
+        curr.record(1, 1);
+        let v = variation_from_confusions(&prev, &curr);
+        // Source error of class 1 dropped from 0.5 to 0 → v[1] = 0.5.
+        assert!((v[1] - 0.5).abs() < 1e-6, "v = {v:?}");
+        // Target error of class 0 dropped from 0.5 to 0 → v[2] = 0.5.
+        assert!((v[2] - 0.5).abs() < 1e-6, "v = {v:?}");
+        // Class 0 source and class 1 target unchanged.
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[3], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "class count mismatch")]
+    fn mismatched_classes_panic() {
+        let a = ConfusionMatrix::new(2);
+        let b = ConfusionMatrix::new(3);
+        let _ = variation_from_confusions(&a, &b);
+    }
+}

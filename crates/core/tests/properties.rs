@@ -1,0 +1,127 @@
+//! Property-based tests for the defense's algebraic components.
+
+use baffle_core::feedback::{max_tolerable_malicious, quorum_bounds, recommended_quorum, QuorumRule};
+use baffle_core::metrics::{mean_std, DetectionCounts};
+use baffle_core::variation::variation_from_confusions;
+use baffle_core::Vote;
+use baffle_nn::ConfusionMatrix;
+use proptest::prelude::*;
+
+fn confusion_strategy(classes: usize) -> impl Strategy<Value = ConfusionMatrix> {
+    prop::collection::vec((0..classes, 0..classes), 1..80).prop_map(move |pairs| {
+        let mut cm = ConfusionMatrix::new(classes);
+        for (t, p) in pairs {
+            cm.record(t, p);
+        }
+        cm
+    })
+}
+
+proptest! {
+    /// Variation vectors are antisymmetric and bounded in [-1, 1].
+    #[test]
+    fn variation_antisymmetric_and_bounded(a in confusion_strategy(4), b in confusion_strategy(4)) {
+        let ab = variation_from_confusions(&a, &b);
+        let ba = variation_from_confusions(&b, &a);
+        prop_assert_eq!(ab.len(), 8);
+        for (&x, &y) in ab.iter().zip(&ba) {
+            prop_assert!((x + y).abs() < 1e-5);
+            prop_assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    /// v(f, f) = 0 for any confusion matrix.
+    #[test]
+    fn self_variation_is_zero(a in confusion_strategy(5)) {
+        let v = variation_from_confusions(&a, &a);
+        prop_assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    /// The quorum decision is monotone: adding reject votes never flips
+    /// Rejected back to Accepted.
+    #[test]
+    fn quorum_monotone(n in 1usize..20, q in 1usize..20, rejects in 0usize..20) {
+        prop_assume!(q <= n);
+        let rule = QuorumRule::new(n, q).unwrap();
+        let rejects = rejects.min(n);
+        let mk = |r: usize| {
+            let mut v = vec![Vote::Accept; n];
+            for slot in v.iter_mut().take(r) {
+                *slot = Vote::Reject;
+            }
+            v
+        };
+        let d1 = rule.decide(&mk(rejects));
+        if rejects < n {
+            let d2 = rule.decide(&mk(rejects + 1));
+            // d2 can only be "more rejected" than d1.
+            prop_assert!(!(d1 == baffle_core::Decision::Rejected && d2 == baffle_core::Decision::Accepted));
+        }
+        // Exact threshold semantics.
+        prop_assert_eq!(d1 == baffle_core::Decision::Rejected, rejects >= q);
+    }
+
+    /// quorum_bounds returns a feasible, §IV-B-consistent interval exactly
+    /// when there is an honest majority.
+    #[test]
+    fn quorum_bounds_consistent(n in 1usize..50, n_m in 0usize..50) {
+        match quorum_bounds(n, n_m) {
+            Some((lo, hi)) => {
+                prop_assert!(lo > n_m);
+                prop_assert!(hi <= n - n_m);
+                prop_assert!(lo <= hi);
+                prop_assert!(2 * n_m < n + 1, "bounds exist without honest majority: n={n}, n_m={n_m}");
+            }
+            None => prop_assert!(n_m >= n || 2 * n_m >= n, "missing bounds for n={n}, n_m={n_m}"),
+        }
+    }
+
+    /// The recommended quorum is within [1, n − n_m].
+    #[test]
+    fn recommended_quorum_in_range(n in 2usize..40, n_m in 0usize..40, rho in 0.05f64..1.0) {
+        prop_assume!(n_m < n);
+        let q = recommended_quorum(n, n_m, rho);
+        prop_assert!(q >= 1);
+        prop_assert!(q <= n - n_m);
+    }
+
+    /// Tolerable-malicious bound is below n/2 (honest majority) and
+    /// decreasing in the erring fraction.
+    #[test]
+    fn tolerable_malicious_bounds(n in 1usize..100, rho in 0.0f64..0.97) {
+        let t = max_tolerable_malicious(n, rho);
+        prop_assert!(t <= n as f64 / 2.0 + 1e-9);
+        // Monotone decreasing in the erring fraction.
+        let t2 = max_tolerable_malicious(n, rho + 0.01);
+        prop_assert!(t2 <= t + 1e-9);
+    }
+
+    /// DetectionCounts rates are probabilities, and merge preserves totals.
+    #[test]
+    fn detection_counts_sane(obs in prop::collection::vec((any::<bool>(), any::<bool>()), 0..50)) {
+        let mut c = DetectionCounts::default();
+        for &(p, r) in &obs {
+            c.record(p, r);
+        }
+        prop_assert_eq!(c.total(), obs.len());
+        for rate in [c.false_positive_rate(), c.false_negative_rate(), c.accuracy()] {
+            prop_assert!((0.0..=1.0).contains(&rate));
+        }
+        let mut merged = DetectionCounts::default();
+        merged.merge(&c);
+        merged.merge(&c);
+        prop_assert_eq!(merged.total(), 2 * obs.len());
+    }
+
+    /// mean_std: the std is zero iff all values are equal, and the mean is
+    /// within [min, max].
+    #[test]
+    fn mean_std_bounds(xs in prop::collection::vec(-100.0f64..100.0, 1..30)) {
+        let (m, s) = mean_std(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        prop_assert!(s >= 0.0);
+        prop_assert!(s <= (hi - lo) + 1e-9);
+    }
+}

@@ -1,0 +1,129 @@
+//! Dirichlet sampling, built on the local [`crate::gamma`] sampler.
+
+use crate::gamma::sample_gamma;
+use rand::Rng;
+
+/// Draws one sample from a symmetric `Dirichlet(alpha, …, alpha)` over
+/// `dim` categories. The result is a probability vector (non-negative,
+/// sums to 1).
+///
+/// The paper uses `alpha = 0.9` to emulate a non-IID assignment of class
+/// data to clients (§VI-A).
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or `alpha` is not finite and positive.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let p = baffle_data::dirichlet::sample_symmetric(&mut rng, 0.9, 10);
+/// assert_eq!(p.len(), 10);
+/// assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// ```
+pub fn sample_symmetric<R: Rng + ?Sized>(rng: &mut R, alpha: f64, dim: usize) -> Vec<f64> {
+    assert!(dim > 0, "sample_symmetric: dim must be positive");
+    sample(rng, &vec![alpha; dim])
+}
+
+/// Draws one sample from `Dirichlet(alpha)` with per-category
+/// concentration parameters.
+///
+/// # Panics
+///
+/// Panics if `alpha` is empty or contains a non-positive or non-finite
+/// entry.
+pub fn sample<R: Rng + ?Sized>(rng: &mut R, alpha: &[f64]) -> Vec<f64> {
+    assert!(!alpha.is_empty(), "dirichlet::sample: alpha must be non-empty");
+    let mut draws: Vec<f64> = alpha.iter().map(|&a| sample_gamma(rng, a)).collect();
+    let total: f64 = draws.iter().sum();
+    if total <= 0.0 {
+        // All gammas underflowed (tiny alpha); fall back to uniform.
+        let u = 1.0 / alpha.len() as f64;
+        return vec![u; alpha.len()];
+    }
+    for d in &mut draws {
+        *d /= total;
+    }
+    draws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sums_to_one_and_non_negative() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let p = sample_symmetric(&mut rng, 0.9, 7);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn mean_is_uniform_for_symmetric_alpha() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dim = 5;
+        let n = 20_000;
+        let mut acc = vec![0.0; dim];
+        for _ in 0..n {
+            let p = sample_symmetric(&mut rng, 0.9, dim);
+            for (a, x) in acc.iter_mut().zip(&p) {
+                *a += x;
+            }
+        }
+        for a in &acc {
+            let m = a / n as f64;
+            assert!((m - 0.2).abs() < 0.01, "marginal mean = {m}");
+        }
+    }
+
+    #[test]
+    fn small_alpha_is_spikier_than_large_alpha() {
+        // Smaller alpha concentrates mass on few categories; measure via
+        // the mean max coordinate.
+        let dim = 10;
+        let n = 2000;
+        let mean_max = |alpha: f64, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..n)
+                .map(|_| {
+                    sample_symmetric(&mut rng, alpha, dim)
+                        .into_iter()
+                        .fold(0.0_f64, f64::max)
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        let spiky = mean_max(0.1, 3);
+        let flat = mean_max(10.0, 4);
+        assert!(spiky > flat + 0.2, "spiky {spiky} vs flat {flat}");
+    }
+
+    #[test]
+    fn asymmetric_alpha_biases_marginals() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 10_000;
+        let mut acc = [0.0; 2];
+        for _ in 0..n {
+            let p = sample(&mut rng, &[8.0, 2.0]);
+            acc[0] += p[0];
+            acc[1] += p[1];
+        }
+        let m0 = acc[0] / n as f64;
+        assert!((m0 - 0.8).abs() < 0.02, "marginal = {m0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_alpha_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = sample(&mut rng, &[]);
+    }
+}

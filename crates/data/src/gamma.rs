@@ -1,0 +1,116 @@
+//! Gamma sampling via the Marsaglia–Tsang method.
+//!
+//! Implemented locally (rather than pulling `rand_distr`) because the only
+//! consumer is the Dirichlet partitioner and the offline dependency list is
+//! deliberately small.
+
+use rand::Rng;
+
+/// Draws one sample from `Gamma(shape, 1)` using Marsaglia–Tsang squeeze
+//  rejection (2000), with the `shape < 1` boost `G(a) = G(a+1) · U^{1/a}`.
+///
+/// # Panics
+///
+/// Panics if `shape` is not finite and positive.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let g = baffle_data::gamma::sample_gamma(&mut rng, 0.9);
+/// assert!(g > 0.0);
+/// ```
+pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape.is_finite() && shape > 0.0, "sample_gamma: shape must be positive, got {shape}");
+    if shape < 1.0 {
+        // Boost: G(a) = G(a + 1) * U^(1/a).
+        let u: f64 = loop {
+            let u = rng.gen::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller (f64 precision).
+        let u1: f64 = loop {
+            let u = rng.gen::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+
+        let v = 1.0 + c * z;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u: f64 = rng.gen();
+        // Squeeze acceptance.
+        if u < 1.0 - 0.0331 * z.powi(4) {
+            return d * v3;
+        }
+        if u.ln() < 0.5 * z * z + d * (1.0 - v3 + v3.ln()) {
+            return d * v3;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_stats(shape: f64, n: usize) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(17);
+        let xs: Vec<f64> = (0..n).map(|_| sample_gamma(&mut rng, shape)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn gamma_mean_and_variance_shape_2() {
+        // Gamma(k, 1) has mean k and variance k.
+        let (mean, var) = sample_stats(2.0, 50_000);
+        assert!((mean - 2.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - 2.0).abs() < 0.15, "var = {var}");
+    }
+
+    #[test]
+    fn gamma_mean_shape_below_one() {
+        let (mean, _) = sample_stats(0.5, 50_000);
+        assert!((mean - 0.5).abs() < 0.03, "mean = {mean}");
+    }
+
+    #[test]
+    fn gamma_mean_shape_point_nine() {
+        // The paper's Dirichlet hyperparameter.
+        let (mean, var) = sample_stats(0.9, 50_000);
+        assert!((mean - 0.9).abs() < 0.04, "mean = {mean}");
+        assert!((var - 0.9).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(sample_gamma(&mut rng, 0.1) > 0.0);
+            assert!(sample_gamma(&mut rng, 5.0) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be positive")]
+    fn non_positive_shape_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = sample_gamma(&mut rng, 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Non-IID partitioning of a dataset across federated clients.
+//!
+//! Follows the paper's setup (§VI-A): data is assigned to clients
+//! according to a symmetric `Dirichlet(0.9)` distribution per class, so
+//! client datasets are unbalanced with respect to the classes. The
+//! *C-S%* data splits of §VI (clients jointly hold C% of the data, the
+//! server the remaining S%) are produced by [`client_server_split`].
+
+use crate::{dirichlet, Dataset};
+use rand::Rng;
+
+/// Assigns each sample index to one of `num_clients` shards, class by
+/// class, with per-class client proportions drawn from a symmetric
+/// `Dirichlet(alpha)`.
+///
+/// Every index in `0..labels.len()` appears in exactly one shard. Shards
+/// may be empty (that is realistic: with small `alpha` some clients hold
+/// no samples of a class, or none at all).
+///
+/// # Panics
+///
+/// Panics if `num_clients == 0`, `num_classes == 0`, or a label is out of
+/// range.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let labels = vec![0, 0, 1, 1, 1, 0];
+/// let shards = baffle_data::partition::dirichlet_indices(&mut rng, &labels, 2, 3, 0.9);
+/// let total: usize = shards.iter().map(Vec::len).sum();
+/// assert_eq!(total, labels.len());
+/// ```
+pub fn dirichlet_indices<R: Rng + ?Sized>(
+    rng: &mut R,
+    labels: &[usize],
+    num_classes: usize,
+    num_clients: usize,
+    alpha: f64,
+) -> Vec<Vec<usize>> {
+    assert!(num_clients > 0, "dirichlet_indices: need at least one client");
+    assert!(num_classes > 0, "dirichlet_indices: need at least one class");
+    assert!(
+        labels.iter().all(|&l| l < num_classes),
+        "dirichlet_indices: a label is out of range for {num_classes} classes"
+    );
+    let mut shards = vec![Vec::new(); num_clients];
+    for class in 0..num_classes {
+        let class_indices: Vec<usize> =
+            (0..labels.len()).filter(|&i| labels[i] == class).collect();
+        if class_indices.is_empty() {
+            continue;
+        }
+        let props = dirichlet::sample_symmetric(rng, alpha, num_clients);
+        // Largest-remainder apportionment of this class's samples.
+        let counts = apportion(&props, class_indices.len());
+        let mut cursor = 0;
+        for (client, &count) in counts.iter().enumerate() {
+            shards[client].extend_from_slice(&class_indices[cursor..cursor + count]);
+            cursor += count;
+        }
+    }
+    shards
+}
+
+/// Largest-remainder apportionment: distributes `total` units over
+/// categories proportionally to `props`, exactly.
+fn apportion(props: &[f64], total: usize) -> Vec<usize> {
+    let mut counts: Vec<usize> = props.iter().map(|&p| (p * total as f64).floor() as usize).collect();
+    let assigned: usize = counts.iter().sum();
+    let mut remainders: Vec<(usize, f64)> = props
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (i, p * total as f64 - counts[i] as f64))
+        .collect();
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for &(i, _) in remainders.iter().take(total - assigned) {
+        counts[i] += 1;
+    }
+    counts
+}
+
+/// Splits a dataset into `num_clients` non-IID client shards plus a
+/// server-held validation share.
+///
+/// `server_share` is the *S* of the paper's C-S% splits: the fraction of
+/// all data held by the server (e.g. `0.10` for the 90-10% split). The
+/// server share is drawn uniformly at random (it is an IID sample of the
+/// natural distribution — the server is assumed to hold a small benign
+/// test set); the remainder is Dirichlet-partitioned across clients.
+///
+/// # Panics
+///
+/// Panics if `server_share` is not in `[0, 1)` or `num_clients == 0`.
+pub fn client_server_split<R: Rng + ?Sized>(
+    rng: &mut R,
+    dataset: &Dataset,
+    num_clients: usize,
+    alpha: f64,
+    server_share: f64,
+) -> (Vec<Dataset>, Dataset) {
+    assert!(
+        (0.0..1.0).contains(&server_share),
+        "client_server_split: server_share must be in [0, 1), got {server_share}"
+    );
+    let server_n = (server_share * dataset.len() as f64).round() as usize;
+    let (server, client_pool) = dataset.split_random(rng, server_n);
+    let shards = dirichlet_indices(
+        rng,
+        client_pool.labels(),
+        client_pool.num_classes(),
+        num_clients,
+        alpha,
+    );
+    let clients = shards.iter().map(|idx| client_pool.subset(idx)).collect();
+    (clients, server)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baffle_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_dataset(n: usize, num_classes: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Matrix::from_fn(n, 2, |r, c| (r + c) as f32);
+        let y = (0..n).map(|_| rng.gen_range(0..num_classes)).collect();
+        Dataset::new(x, y, num_classes)
+    }
+
+    #[test]
+    fn apportion_is_exact() {
+        let counts = apportion(&[0.5, 0.3, 0.2], 10);
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert_eq!(counts, vec![5, 3, 2]);
+    }
+
+    #[test]
+    fn apportion_handles_rounding() {
+        let counts = apportion(&[1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0], 10);
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn partition_covers_every_index_exactly_once() {
+        let d = toy_dataset(500, 10, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let shards = dirichlet_indices(&mut rng, d.labels(), 10, 20, 0.9);
+        let mut all: Vec<usize> = shards.iter().flatten().cloned().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn low_alpha_is_more_skewed_than_high_alpha() {
+        // Measure skew as the std-dev of per-client class-0 share.
+        let d = toy_dataset(5000, 5, 3);
+        let skew = |alpha: f64, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let shards = dirichlet_indices(&mut rng, d.labels(), 5, 20, alpha);
+            let shares: Vec<f64> = shards
+                .iter()
+                .map(|s| {
+                    let c0 = s.iter().filter(|&&i| d.labels()[i] == 0).count();
+                    c0 as f64 / s.len().max(1) as f64
+                })
+                .collect();
+            let m = shares.iter().sum::<f64>() / shares.len() as f64;
+            (shares.iter().map(|s| (s - m) * (s - m)).sum::<f64>() / shares.len() as f64).sqrt()
+        };
+        assert!(skew(0.1, 4) > skew(100.0, 5), "low alpha should be skewed");
+    }
+
+    #[test]
+    fn client_server_split_shares_add_up() {
+        let d = toy_dataset(1000, 10, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let (clients, server) = client_server_split(&mut rng, &d, 10, 0.9, 0.1);
+        assert_eq!(server.len(), 100);
+        let client_total: usize = clients.iter().map(Dataset::len).sum();
+        assert_eq!(client_total, 900);
+        assert_eq!(clients.len(), 10);
+    }
+
+    #[test]
+    fn zero_server_share_gives_empty_server_set() {
+        let d = toy_dataset(100, 3, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let (clients, server) = client_server_split(&mut rng, &d, 5, 0.9, 0.0);
+        assert!(server.is_empty());
+        assert_eq!(clients.iter().map(Dataset::len).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn partition_is_deterministic_under_seed() {
+        let d = toy_dataset(200, 4, 10);
+        let shards1 = dirichlet_indices(&mut StdRng::seed_from_u64(11), d.labels(), 4, 7, 0.9);
+        let shards2 = dirichlet_indices(&mut StdRng::seed_from_u64(11), d.labels(), 4, 7, 0.9);
+        assert_eq!(shards1, shards2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = dirichlet_indices(&mut rng, &[0, 1], 2, 0, 0.9);
+    }
+}

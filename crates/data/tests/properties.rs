@@ -1,0 +1,90 @@
+//! Property-based tests for the data substrate.
+
+use baffle_data::{dirichlet, partition, Dataset, SyntheticVision, VisionSpec};
+use baffle_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Dirichlet samples are probability vectors for any (α, dim).
+    #[test]
+    fn dirichlet_is_a_distribution(alpha in 0.05f64..20.0, dim in 1usize..30, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = dirichlet::sample_symmetric(&mut rng, alpha, dim);
+        prop_assert_eq!(p.len(), dim);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    /// The Dirichlet partition is an exact partition of the index set,
+    /// for any label distribution and client count.
+    #[test]
+    fn partition_is_exact(
+        labels in prop::collection::vec(0usize..5, 1..120),
+        clients in 1usize..15,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shards = partition::dirichlet_indices(&mut rng, &labels, 5, clients, 0.9);
+        prop_assert_eq!(shards.len(), clients);
+        let mut all: Vec<usize> = shards.into_iter().flatten().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..labels.len()).collect::<Vec<_>>());
+    }
+
+    /// client_server_split conserves samples exactly.
+    #[test]
+    fn split_conserves_samples(n in 1usize..150, share in 0.0f64..0.9, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Matrix::from_fn(n, 2, |r, c| (r * 2 + c) as f32);
+        let y: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let d = Dataset::new(x, y, 3);
+        let (clients, server) = partition::client_server_split(&mut rng, &d, 4, 0.9, share);
+        let total: usize = clients.iter().map(Dataset::len).sum::<usize>() + server.len();
+        prop_assert_eq!(total, n);
+        prop_assert_eq!(server.len(), (share * n as f64).round() as usize);
+    }
+
+    /// Generated datasets have valid labels and tags for any spec.
+    #[test]
+    fn generation_respects_the_spec(
+        classes in 2usize..8,
+        dim in 1usize..16,
+        subgroups in 1u16..5,
+        n in 0usize..80,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = VisionSpec::new(classes, dim, subgroups);
+        let gen = SyntheticVision::new(&spec, &mut rng);
+        let d = gen.generate(&mut rng, n);
+        prop_assert_eq!(d.len(), n);
+        prop_assert_eq!(d.input_dim(), dim);
+        prop_assert!(d.labels().iter().all(|&y| y < classes));
+        prop_assert!(d.subgroups().iter().all(|&s| s < subgroups));
+        prop_assert!(d.features().is_finite());
+    }
+
+    /// Subset ∘ concat interplay: concatenating then taking the first
+    /// half reproduces the original.
+    #[test]
+    fn concat_then_subset_roundtrip(n in 1usize..40) {
+        let x = Matrix::from_fn(n, 3, |r, c| (r * 3 + c) as f32);
+        let y: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let d = Dataset::new(x, y, 2);
+        let doubled = d.concat(&d);
+        let first: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(doubled.subset(&first), d);
+    }
+
+    /// relabel with a never-matching predicate is the identity.
+    #[test]
+    fn relabel_nothing_is_identity(n in 1usize..40) {
+        let x = Matrix::from_fn(n, 1, |r, _| r as f32);
+        let y: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let d = Dataset::new(x, y, 3);
+        let same = d.relabel(0, |_, _, _| false);
+        prop_assert_eq!(same, d);
+    }
+}

@@ -1,0 +1,107 @@
+//! FedAvg aggregation.
+
+use baffle_tensor::ops;
+
+/// FedAvg with a global learning rate (paper §II-B):
+///
+/// ```text
+/// G' = G + (λ / N) · Σᵢ Uᵢ
+/// ```
+///
+/// `updates` are the client deltas `Uᵢ = Lᵢ − G`. With `λ = N/n` and all
+/// `n` selected clients reporting, `G'` is exactly the mean of the local
+/// models.
+///
+/// # Panics
+///
+/// Panics if `updates` is empty, the lengths are inconsistent,
+/// `num_clients == 0`, or `lambda` is not finite.
+///
+/// # Example
+///
+/// ```
+/// use baffle_fl::fedavg;
+/// let g = vec![1.0, 1.0];
+/// let ups = vec![vec![2.0, 0.0], vec![0.0, 2.0]];
+/// // λ/N = 1/2: move halfway along the summed update.
+/// assert_eq!(fedavg(&g, &ups, 1.0, 2), vec![2.0, 2.0]);
+/// ```
+pub fn fedavg(global: &[f32], updates: &[Vec<f32>], lambda: f32, num_clients: usize) -> Vec<f32> {
+    assert!(!updates.is_empty(), "fedavg: need at least one update");
+    assert!(num_clients > 0, "fedavg: num_clients must be positive");
+    assert!(lambda.is_finite(), "fedavg: lambda must be finite, got {lambda}");
+    let scale = lambda / num_clients as f32;
+    let mut out = global.to_vec();
+    for u in updates {
+        ops::axpy(scale, u, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_replacement_with_lambda_n_over_n() {
+        // N = 4, n = 2 selected, λ = N/n = 2: G' = mean of local models.
+        let g = vec![0.0, 10.0];
+        let l1 = vec![2.0, 12.0];
+        let l2 = vec![4.0, 14.0];
+        let ups = vec![ops_sub(&l1, &g), ops_sub(&l2, &g)];
+        let out = fedavg(&g, &ups, 2.0, 4);
+        assert_eq!(out, vec![3.0, 13.0]);
+    }
+
+    fn ops_sub(a: &[f32], b: &[f32]) -> Vec<f32> {
+        baffle_tensor::ops::sub(a, b)
+    }
+
+    #[test]
+    fn zero_updates_leave_global_unchanged() {
+        let g = vec![1.0, -2.0, 3.0];
+        let ups = vec![vec![0.0; 3]; 5];
+        assert_eq!(fedavg(&g, &ups, 7.0, 100), g);
+    }
+
+    #[test]
+    fn single_boosted_update_replaces_model() {
+        // Model-replacement algebra: attacker submits γ·(X − G) with
+        // γ = N/λ (single reporting client), yielding G' = X.
+        let g = vec![1.0, 1.0];
+        let x = vec![5.0, -3.0];
+        let n_total = 100;
+        let lambda = 10.0;
+        let gamma = n_total as f32 / lambda;
+        let poisoned: Vec<f32> = g
+            .iter()
+            .zip(&x)
+            .map(|(&gi, &xi)| gamma * (xi - gi))
+            .collect();
+        let out = fedavg(&g, &[poisoned], lambda, n_total);
+        for (o, e) in out.iter().zip(&x) {
+            assert!((o - e).abs() < 1e-4, "{o} vs {e}");
+        }
+    }
+
+    #[test]
+    fn aggregation_is_linear_in_updates() {
+        let g = vec![0.0; 3];
+        let u1 = vec![1.0, 2.0, 3.0];
+        let u2 = vec![-1.0, 0.5, 2.0];
+        let joint = fedavg(&g, &[u1.clone(), u2.clone()], 3.0, 6);
+        let seq = {
+            let mid = fedavg(&g, &[u1], 3.0, 6);
+            fedavg(&mid, &[u2], 3.0, 6)
+        };
+        for (a, b) in joint.iter().zip(&seq) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one update")]
+    fn empty_updates_panics() {
+        let _ = fedavg(&[0.0], &[], 1.0, 1);
+    }
+}

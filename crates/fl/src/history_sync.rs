@@ -1,0 +1,181 @@
+//! Incremental history shipping (paper §VI-D).
+//!
+//! The feedback loop requires each validating client to hold the last
+//! `ℓ+1` accepted global models. Shipping the full history every time a
+//! client is selected costs `(ℓ+1) · |model|` bytes; but a client that
+//! was selected recently already holds most of the window, so the server
+//! only needs to send the models **accepted since the client's last
+//! sync**. The paper estimates this caps steady-state traffic at about
+//! two model-equivalents per selection; [`HistorySync`] implements the
+//! bookkeeping and makes the estimate measurable.
+
+use std::collections::HashMap;
+
+/// Monotone identifier of an accepted global model.
+pub type ModelId = u64;
+
+/// Server-side bookkeeping for incremental history shipping.
+///
+/// # Example
+///
+/// ```
+/// use baffle_fl::history_sync::HistorySync;
+///
+/// let mut sync = HistorySync::new(3); // history window ℓ+1 = 3
+/// for _ in 0..5 {
+///     sync.push_accepted();
+/// }
+/// // A fresh client needs the whole window …
+/// assert_eq!(sync.models_to_send(7).count(), 3);
+/// sync.mark_synced(7);
+/// // … but after one more accepted round, only the newest model.
+/// sync.push_accepted();
+/// assert_eq!(sync.models_to_send(7).count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HistorySync {
+    window: usize,
+    next_id: ModelId,
+    synced_up_to: HashMap<usize, ModelId>,
+}
+
+impl HistorySync {
+    /// Creates the bookkeeping for a history window of `window = ℓ+1`
+    /// models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "HistorySync: window must be positive");
+        Self { window, next_id: 0, synced_up_to: HashMap::new() }
+    }
+
+    /// Records that a new global model was accepted, returning its id.
+    pub fn push_accepted(&mut self) -> ModelId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Number of models accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.next_id
+    }
+
+    /// The current history window as model ids (oldest first).
+    pub fn window_ids(&self) -> std::ops::Range<ModelId> {
+        let lo = self.next_id.saturating_sub(self.window as u64);
+        lo..self.next_id
+    }
+
+    /// The model ids that must be sent to `client` so it holds the full
+    /// current window: the part of the window it has not seen since its
+    /// last sync.
+    pub fn models_to_send(&self, client: usize) -> std::ops::Range<ModelId> {
+        let window = self.window_ids();
+        let seen = self.synced_up_to.get(&client).copied().unwrap_or(0);
+        seen.max(window.start)..window.end
+    }
+
+    /// Marks `client` as holding the entire current window.
+    pub fn mark_synced(&mut self, client: usize) {
+        self.synced_up_to.insert(client, self.next_id);
+    }
+
+    /// Bytes needed to bring `client` up to date, given a serialized
+    /// model size.
+    pub fn bytes_to_send(&self, client: usize, model_bytes: usize) -> usize {
+        self.models_to_send(client).count() * model_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_client_needs_full_window() {
+        let mut sync = HistorySync::new(21);
+        for _ in 0..100 {
+            sync.push_accepted();
+        }
+        assert_eq!(sync.models_to_send(3).count(), 21);
+    }
+
+    #[test]
+    fn early_history_smaller_than_window() {
+        let mut sync = HistorySync::new(21);
+        for _ in 0..5 {
+            sync.push_accepted();
+        }
+        assert_eq!(sync.models_to_send(0).count(), 5);
+    }
+
+    #[test]
+    fn recently_synced_client_gets_only_the_delta() {
+        let mut sync = HistorySync::new(21);
+        for _ in 0..50 {
+            sync.push_accepted();
+        }
+        sync.mark_synced(9);
+        for _ in 0..2 {
+            sync.push_accepted();
+        }
+        assert_eq!(sync.models_to_send(9).count(), 2);
+    }
+
+    #[test]
+    fn long_absent_client_is_capped_at_the_window() {
+        let mut sync = HistorySync::new(10);
+        sync.push_accepted();
+        sync.mark_synced(1);
+        for _ in 0..500 {
+            sync.push_accepted();
+        }
+        // 500 models passed, but only the current window matters.
+        assert_eq!(sync.models_to_send(1).count(), 10);
+    }
+
+    #[test]
+    fn bytes_accounting_multiplies_by_model_size() {
+        let mut sync = HistorySync::new(4);
+        for _ in 0..4 {
+            sync.push_accepted();
+        }
+        assert_eq!(sync.bytes_to_send(0, 1000), 4000);
+        sync.mark_synced(0);
+        sync.push_accepted();
+        assert_eq!(sync.bytes_to_send(0, 1000), 1000);
+    }
+
+    #[test]
+    fn steady_state_cost_matches_paper_estimate() {
+        // Paper §VI-D: with 1/10 selection probability per round and a
+        // 20-round window, a client re-selected within the window only
+        // downloads the models accepted since — on average ≈ 10 models
+        // per selection (selection gap is geometric with mean 10).
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut sync = HistorySync::new(21);
+        let clients = 100;
+        let mut sent = 0usize;
+        let mut selections = 0usize;
+        for _ in 0..2_000 {
+            sync.push_accepted();
+            for c in 0..clients {
+                if rng.gen_bool(0.1) {
+                    sent += sync.models_to_send(c).count();
+                    sync.mark_synced(c);
+                    selections += 1;
+                }
+            }
+        }
+        let avg = sent as f64 / selections as f64;
+        assert!(
+            (6.0..14.0).contains(&avg),
+            "steady-state models per selection = {avg} (expected ≈ 10, well below the 21 full window)"
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Client selection.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Selects `n` distinct client indices uniformly at random from
+/// `0..total` (the per-round contributor/validator draw of §II-B).
+///
+/// # Panics
+///
+/// Panics if `n > total`.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(4);
+/// let picked = baffle_fl::sampling::select_clients(&mut rng, 100, 10);
+/// assert_eq!(picked.len(), 10);
+/// ```
+pub fn select_clients<R: Rng + ?Sized>(rng: &mut R, total: usize, n: usize) -> Vec<usize> {
+    assert!(n <= total, "select_clients: cannot select {n} of {total}");
+    // Partial Fisher–Yates via `choose_multiple` keeps this O(total).
+    let mut all: Vec<usize> = (0..total).collect();
+    all.shuffle(rng);
+    all.truncate(n);
+    all
+}
+
+/// Selects contributors and validators for one round.
+///
+/// The paper's communication-saving variant (§VI-D) sets the validating
+/// clients equal to the contributing clients; `disjoint = true` selects
+/// two disjoint sets instead (the general Algorithm 1 formulation).
+///
+/// # Panics
+///
+/// Panics if the requested sets cannot be drawn from `total` clients.
+pub fn select_round_clients<R: Rng + ?Sized>(
+    rng: &mut R,
+    total: usize,
+    contributors: usize,
+    validators: usize,
+    disjoint: bool,
+) -> (Vec<usize>, Vec<usize>) {
+    if disjoint {
+        assert!(
+            contributors + validators <= total,
+            "select_round_clients: cannot draw {contributors}+{validators} disjoint from {total}"
+        );
+        let both = select_clients(rng, total, contributors + validators);
+        let (c, v) = both.split_at(contributors);
+        (c.to_vec(), v.to_vec())
+    } else {
+        assert!(
+            contributors.max(validators) <= total,
+            "select_round_clients: cannot draw {} from {total}",
+            contributors.max(validators)
+        );
+        let c = select_clients(rng, total, contributors);
+        let v = select_clients(rng, total, validators);
+        (c, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn selection_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let s = select_clients(&mut rng, 30, 10);
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 10, "duplicates in {s:?}");
+            assert!(s.iter().all(|&i| i < 30));
+        }
+    }
+
+    #[test]
+    fn selecting_all_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = select_clients(&mut rng, 8, 8);
+        s.sort_unstable();
+        assert_eq!(s, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn selection_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 20];
+        let trials = 5000;
+        for _ in 0..trials {
+            for i in select_clients(&mut rng, 20, 5) {
+                counts[i] += 1;
+            }
+        }
+        // Each client expected trials * 5/20 = 1250 draws.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((1100..1400).contains(&c), "client {i} drawn {c} times");
+        }
+    }
+
+    #[test]
+    fn disjoint_round_selection_does_not_overlap() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (c, v) = select_round_clients(&mut rng, 40, 10, 10, true);
+        assert_eq!(c.len(), 10);
+        assert_eq!(v.len(), 10);
+        assert!(c.iter().all(|i| !v.contains(i)));
+    }
+
+    #[test]
+    fn overlapping_round_selection_allows_overlap() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // With total == contributors == validators the sets must overlap.
+        let (c, v) = select_round_clients(&mut rng, 10, 10, 10, false);
+        assert_eq!(c.len(), 10);
+        assert_eq!(v.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot select")]
+    fn oversampling_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = select_clients(&mut rng, 3, 5);
+    }
+}

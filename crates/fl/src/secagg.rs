@@ -1,0 +1,208 @@
+//! Pairwise-mask secure-aggregation simulation.
+//!
+//! Models the core mechanism of Bonawitz et al. (CCS 2017): every ordered
+//! client pair `(i, j)` with `i < j` shares a seed; client `i` **adds** the
+//! PRG expansion of that seed to its update while client `j` **subtracts**
+//! it. Summing all masked updates cancels every mask, so the server learns
+//! only `Σᵢ Uᵢ` — never an individual update.
+//!
+//! This is exactly the property BaFFLe's design depends on (§I, §VIII):
+//! the defense must make its decision from the *aggregated* global model
+//! alone. The simulation omits the dropout-recovery machinery (Shamir
+//! shares of the seeds) since no experiment requires it; dropouts during
+//! *voting* are handled at the feedback-loop layer instead.
+//!
+//! # Example
+//!
+//! ```
+//! use baffle_fl::secagg::SecAggSession;
+//! use baffle_tensor::ops;
+//!
+//! let updates = vec![vec![1.0, 2.0], vec![3.0, -1.0], vec![0.5, 0.5]];
+//! let session = SecAggSession::new(42, 3, 2);
+//! let masked: Vec<Vec<f32>> = (0..3).map(|i| session.mask(i, &updates[i])).collect();
+//! // No masked update equals its plaintext …
+//! assert_ne!(masked[0], updates[0]);
+//! // … but the sums agree.
+//! let sum = session.aggregate(&masked);
+//! let expected = ops::add(&ops::add(&updates[0], &updates[1]), &updates[2]);
+//! for (a, b) in sum.iter().zip(&expected) {
+//!     assert!((a - b).abs() < 1e-3);
+//! }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One round's secure-aggregation state: the pairwise seeds for a fixed
+/// set of participants and a fixed update length.
+#[derive(Debug, Clone)]
+pub struct SecAggSession {
+    round_seed: u64,
+    participants: usize,
+    len: usize,
+}
+
+impl SecAggSession {
+    /// Creates a session for `participants` clients exchanging updates of
+    /// `len` parameters. `round_seed` stands in for the key agreement of
+    /// the real protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants == 0`.
+    pub fn new(round_seed: u64, participants: usize, len: usize) -> Self {
+        assert!(participants > 0, "SecAggSession: need at least one participant");
+        Self { round_seed, participants, len }
+    }
+
+    /// Number of participants in the session.
+    pub fn participants(&self) -> usize {
+        self.participants
+    }
+
+    /// The PRG mask shared by the ordered pair `(i, j)`, `i < j`.
+    fn pair_mask(&self, i: usize, j: usize) -> Vec<f32> {
+        debug_assert!(i < j);
+        // Derive a per-pair seed; SplitMix-style mixing keeps pairs distinct.
+        let pair_id = (i as u64) << 32 | j as u64;
+        let seed = self
+            .round_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(pair_id.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..self.len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    /// Masks client `client`'s update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client >= participants` or `update.len() != len`.
+    pub fn mask(&self, client: usize, update: &[f32]) -> Vec<f32> {
+        assert!(
+            client < self.participants,
+            "SecAggSession::mask: client {client} out of range for {} participants",
+            self.participants
+        );
+        assert_eq!(
+            update.len(),
+            self.len,
+            "SecAggSession::mask: update length {} != session length {}",
+            update.len(),
+            self.len
+        );
+        let mut out = update.to_vec();
+        for peer in 0..self.participants {
+            if peer == client {
+                continue;
+            }
+            let (lo, hi) = (client.min(peer), client.max(peer));
+            let mask = self.pair_mask(lo, hi);
+            let sign = if client == lo { 1.0 } else { -1.0 };
+            baffle_tensor::ops::axpy(sign, &mask, &mut out);
+        }
+        out
+    }
+
+    /// Sums masked updates; the pairwise masks cancel, yielding `Σᵢ Uᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of masked updates differs from the session's
+    /// participant count (this simulation has no dropout recovery) or the
+    /// lengths are inconsistent.
+    pub fn aggregate(&self, masked: &[Vec<f32>]) -> Vec<f32> {
+        assert_eq!(
+            masked.len(),
+            self.participants,
+            "SecAggSession::aggregate: got {} masked updates for {} participants \
+             (dropout recovery is not simulated)",
+            masked.len(),
+            self.participants
+        );
+        let mut sum = vec![0.0; self.len];
+        for m in masked {
+            baffle_tensor::ops::axpy(1.0, m, &mut sum);
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn updates(n: usize, len: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| (0..len).map(|j| (i * len + j) as f32 * 0.1 - 1.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn masks_cancel_in_the_sum() {
+        let n = 5;
+        let len = 17;
+        let ups = updates(n, len);
+        let session = SecAggSession::new(7, n, len);
+        let masked: Vec<Vec<f32>> = (0..n).map(|i| session.mask(i, &ups[i])).collect();
+        let sum = session.aggregate(&masked);
+        let mut expected = vec![0.0; len];
+        for u in &ups {
+            baffle_tensor::ops::axpy(1.0, u, &mut expected);
+        }
+        for (a, b) in sum.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn individual_masked_updates_hide_plaintext() {
+        let n = 4;
+        let len = 64;
+        let ups = updates(n, len);
+        let session = SecAggSession::new(99, n, len);
+        for (i, u) in ups.iter().enumerate() {
+            let m = session.mask(i, u);
+            let dist = baffle_tensor::ops::distance(&m, u);
+            assert!(dist > 0.5, "client {i}'s mask is too weak: {dist}");
+        }
+    }
+
+    #[test]
+    fn single_participant_has_no_masks() {
+        let session = SecAggSession::new(1, 1, 3);
+        let u = vec![1.0, 2.0, 3.0];
+        assert_eq!(session.mask(0, &u), u);
+    }
+
+    #[test]
+    fn different_rounds_use_different_masks() {
+        let u = vec![0.0; 8];
+        let a = SecAggSession::new(1, 2, 8).mask(0, &u);
+        let b = SecAggSession::new(2, 2, 8).mask(0, &u);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn masking_is_deterministic_per_session() {
+        let u = vec![1.0; 8];
+        let s = SecAggSession::new(5, 3, 8);
+        assert_eq!(s.mask(1, &u), s.mask(1, &u));
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout recovery")]
+    fn missing_update_panics() {
+        let session = SecAggSession::new(0, 3, 2);
+        let masked = vec![vec![0.0, 0.0]; 2];
+        let _ = session.aggregate(&masked);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unknown_client_panics() {
+        let session = SecAggSession::new(0, 2, 2);
+        let _ = session.mask(5, &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Local training of client models.
+
+use crate::FlConfig;
+use baffle_data::Dataset;
+use baffle_nn::{Mlp, Model, Sgd};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Trains local models from a shared global model — the client-side step
+/// of each FL round.
+///
+/// # Example
+///
+/// ```
+/// use baffle_fl::{FlConfig, LocalTrainer};
+/// let trainer = LocalTrainer::from_config(&FlConfig::new(10, 2));
+/// assert_eq!(trainer.epochs(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocalTrainer {
+    epochs: usize,
+    lr: f32,
+    batch_size: usize,
+    momentum: f32,
+}
+
+impl LocalTrainer {
+    /// Creates a trainer with explicit hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` or `batch_size` is zero, or `lr` is not
+    /// positive.
+    pub fn new(epochs: usize, lr: f32, batch_size: usize) -> Self {
+        assert!(epochs > 0, "LocalTrainer: epochs must be positive");
+        assert!(lr.is_finite() && lr > 0.0, "LocalTrainer: lr must be positive");
+        assert!(batch_size > 0, "LocalTrainer: batch_size must be positive");
+        Self { epochs, lr, batch_size, momentum: 0.9 }
+    }
+
+    /// Creates a trainer from the local-training fields of an
+    /// [`FlConfig`].
+    pub fn from_config(config: &FlConfig) -> Self {
+        Self::new(config.local_epochs(), config.local_lr(), config.batch_size())
+    }
+
+    /// Sets the SGD momentum (default 0.9).
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Local epochs per round.
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// Local learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Trains a copy of `global` on `data`, returning the local model.
+    /// An empty shard returns the global model unchanged (the client has
+    /// nothing to contribute).
+    pub fn train(&self, global: &Mlp, data: &Dataset, rng: &mut StdRng) -> Mlp {
+        let mut local = global.clone();
+        if data.is_empty() {
+            return local;
+        }
+        let mut opt = Sgd::new(self.lr).with_momentum(self.momentum);
+        for _ in 0..self.epochs {
+            local.train_epoch(data.features(), data.labels(), self.batch_size, &mut opt, rng);
+        }
+        local
+    }
+
+    /// Trains and returns the *update* `U = L − G` as a flat vector.
+    pub fn train_update(&self, global: &Mlp, data: &Dataset, rng: &mut StdRng) -> Vec<f32> {
+        let local = self.train(global, data, rng);
+        baffle_tensor::ops::sub(&local.params(), &global.params())
+    }
+}
+
+/// Trains several clients in parallel with crossbeam scoped threads,
+/// returning one update per shard (in shard order).
+///
+/// Each client gets a deterministic RNG derived from `seed` and its
+/// position, so results are reproducible regardless of scheduling.
+pub fn train_clients_parallel(
+    global: &Mlp,
+    shards: &[&Dataset],
+    trainer: &LocalTrainer,
+    seed: u64,
+) -> Vec<Vec<f32>> {
+    let results: Mutex<Vec<Option<Vec<f32>>>> = Mutex::new(vec![None; shards.len()]);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    crossbeam::thread::scope(|scope| {
+        for chunk_start in (0..shards.len()).step_by(shards.len().div_ceil(threads).max(1)) {
+            let chunk_end = (chunk_start + shards.len().div_ceil(threads).max(1)).min(shards.len());
+            let results = &results;
+            scope.spawn(move |_| {
+                #[allow(clippy::needless_range_loop)] // index drives both seed and slot
+                for i in chunk_start..chunk_end {
+                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+                    let update = trainer.train_update(global, shards[i], &mut rng);
+                    results.lock()[i] = Some(update);
+                }
+            });
+        }
+    })
+    .expect("local training worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every shard trained"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baffle_data::{SyntheticVision, VisionSpec};
+    use baffle_nn::MlpSpec;
+
+    fn setup() -> (Mlp, Dataset, StdRng) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let gen = SyntheticVision::new(&VisionSpec::new(3, 8, 2), &mut rng);
+        let data = gen.generate(&mut rng, 120);
+        let model = Mlp::new(&MlpSpec::new(8, &[16], 3), &mut rng);
+        (model, data, rng)
+    }
+
+    #[test]
+    fn training_improves_local_accuracy() {
+        let (global, data, mut rng) = setup();
+        let trainer = LocalTrainer::new(3, 0.1, 16);
+        let local = trainer.train(&global, &data, &mut rng);
+        let before = global.accuracy(data.features(), data.labels());
+        let after = local.accuracy(data.features(), data.labels());
+        assert!(after > before, "accuracy {before} -> {after}");
+    }
+
+    #[test]
+    fn empty_shard_returns_zero_update() {
+        let (global, _, mut rng) = setup();
+        let trainer = LocalTrainer::new(2, 0.1, 16);
+        let empty = Dataset::empty(8, 3);
+        let update = trainer.train_update(&global, &empty, &mut rng);
+        assert!(update.iter().all(|&u| u == 0.0));
+    }
+
+    #[test]
+    fn update_is_local_minus_global() {
+        let (global, data, _) = setup();
+        let trainer = LocalTrainer::new(1, 0.05, 16);
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let local = trainer.train(&global, &data, &mut rng1);
+        let update = trainer.train_update(&global, &data, &mut rng2);
+        let expected = baffle_tensor::ops::sub(&local.params(), &global.params());
+        assert_eq!(update, expected);
+    }
+
+    #[test]
+    fn parallel_training_matches_sequential() {
+        let (global, data, mut rng) = setup();
+        let shards: Vec<Dataset> = (0..4)
+            .map(|_| data.split_random(&mut rng, 30).0)
+            .collect();
+        let shard_refs: Vec<&Dataset> = shards.iter().collect();
+        let trainer = LocalTrainer::new(1, 0.1, 16);
+
+        let parallel = train_clients_parallel(&global, &shard_refs, &trainer, 77);
+        let sequential: Vec<Vec<f32>> = shard_refs
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let mut rng = StdRng::seed_from_u64(77 + i as u64);
+                trainer.train_update(&global, shard, &mut rng)
+            })
+            .collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn from_config_copies_fields() {
+        let config = FlConfig::new(10, 2).with_local_epochs(5).with_local_lr(0.3);
+        let t = LocalTrainer::from_config(&config);
+        assert_eq!(t.epochs(), 5);
+        assert_eq!(t.learning_rate(), 0.3);
+    }
+}

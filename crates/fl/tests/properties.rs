@@ -1,0 +1,84 @@
+//! Property-based tests for the FL substrate.
+
+use baffle_fl::secagg::SecAggSession;
+use baffle_fl::{fedavg, sampling};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn updates_strategy(n: usize, len: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(-5.0_f32..5.0, len..=len), n..=n)
+}
+
+proptest! {
+    /// FedAvg with λ = N/n and all n clients reporting equals the mean of
+    /// the local models.
+    #[test]
+    fn full_replacement_is_mean_of_locals(locals in updates_strategy(4, 6), global in prop::collection::vec(-5.0_f32..5.0, 6)) {
+        let n = locals.len();
+        let big_n = 3 * n;
+        let lambda = big_n as f32 / n as f32;
+        let updates: Vec<Vec<f32>> = locals.iter().map(|l| baffle_tensor::ops::sub(l, &global)).collect();
+        let out = fedavg(&global, &updates, lambda, big_n);
+        let mean = baffle_tensor::ops::mean(&locals);
+        for (a, b) in out.iter().zip(&mean) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    /// FedAvg is invariant to the order of updates.
+    #[test]
+    fn fedavg_is_permutation_invariant(mut updates in updates_strategy(5, 4), global in prop::collection::vec(-5.0_f32..5.0, 4)) {
+        let a = fedavg(&global, &updates, 2.0, 10);
+        updates.reverse();
+        let b = fedavg(&global, &updates, 2.0, 10);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Secure-aggregation masks always cancel, for any participant count
+    /// and update length.
+    #[test]
+    fn secagg_masks_cancel(n in 1usize..8, len in 1usize..40, seed in 0u64..1000) {
+        let updates: Vec<Vec<f32>> = (0..n)
+            .map(|i| (0..len).map(|j| ((i * 13 + j * 7) % 11) as f32 * 0.1 - 0.5).collect())
+            .collect();
+        let session = SecAggSession::new(seed, n, len);
+        let masked: Vec<Vec<f32>> = (0..n).map(|i| session.mask(i, &updates[i])).collect();
+        let sum = session.aggregate(&masked);
+        let mut expected = vec![0.0_f32; len];
+        for u in &updates {
+            baffle_tensor::ops::axpy(1.0, u, &mut expected);
+        }
+        for (a, b) in sum.iter().zip(&expected) {
+            prop_assert!((a - b).abs() < 1e-2 * n as f32, "{a} vs {b}");
+        }
+    }
+
+    /// Client selection returns exactly n distinct, in-range indices.
+    #[test]
+    fn selection_is_a_partial_permutation(total in 1usize..60, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = (total / 2).max(1);
+        let mut s = sampling::select_clients(&mut rng, total, n);
+        prop_assert_eq!(s.len(), n);
+        prop_assert!(s.iter().all(|&i| i < total));
+        s.sort_unstable();
+        s.dedup();
+        prop_assert_eq!(s.len(), n);
+    }
+
+    /// Disjoint round selection never overlaps.
+    #[test]
+    fn disjoint_selection_has_no_overlap(total in 4usize..40, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = total / 3 + 1;
+        let v = total / 3;
+        prop_assume!(c + v <= total);
+        let (contr, val) = sampling::select_round_clients(&mut rng, total, c, v, true);
+        for i in &contr {
+            prop_assert!(!val.contains(i));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Local Outlier Factor (LOF) — Breunig, Kriegel, Ng and Sander,
+//! *"LOF: identifying density-based local outliers"*, SIGMOD 2000.
+//!
+//! BaFFLe's validation function (Algorithm 2) flags a global model as
+//! suspicious when its error-variation vector is an **LOF outlier**
+//! relative to the variation vectors of recently accepted models:
+//! `LOF_k(x; N) > 1` indicates that `x` sits in a sparser region than its
+//! neighbours and is potentially an outlier.
+//!
+//! The implementation uses brute-force k-nearest-neighbour search, which
+//! is exact and more than fast enough for the reference-set sizes BaFFLe
+//! uses (a look-back window of 10–30 vectors in 2·|Y| dimensions).
+//!
+//! # Example
+//!
+//! ```
+//! use baffle_lof::lof_against;
+//!
+//! // A tight cluster of reference points …
+//! let refs: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32 * 0.01, 0.0]).collect();
+//! // … a query inside the cluster is not an outlier,
+//! let inlier = lof_against(&[0.05, 0.0], &refs, 3).unwrap();
+//! // … a query far away is.
+//! let outlier = lof_against(&[5.0, 5.0], &refs, 3).unwrap();
+//! assert!(inlier < 2.0);
+//! assert!(outlier > 10.0);
+//! ```
+
+mod model;
+
+pub use model::LofModel;
+
+/// Error returned when a LOF computation is impossible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LofError {
+    /// The reference set has fewer than two points, so no point has a
+    /// neighbourhood to compare against.
+    NotEnoughReferences {
+        /// Number of reference points provided.
+        got: usize,
+    },
+    /// `k` was zero.
+    ZeroK,
+    /// The query's dimensionality differs from the reference points'.
+    DimensionMismatch {
+        /// Query dimensionality.
+        query: usize,
+        /// Reference dimensionality.
+        reference: usize,
+    },
+}
+
+impl std::fmt::Display for LofError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LofError::NotEnoughReferences { got } => {
+                write!(f, "LOF needs at least 2 reference points, got {got}")
+            }
+            LofError::ZeroK => write!(f, "LOF neighbourhood size k must be at least 1"),
+            LofError::DimensionMismatch { query, reference } => {
+                write!(f, "query dimension {query} does not match reference dimension {reference}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LofError {}
+
+/// Computes `LOF_k(query; refs)` — the outlier factor of `query` with
+/// respect to the reference set, as used in Algorithm 2 of the paper.
+///
+/// `k` is clamped to `refs.len() - 1` so a small look-back window never
+/// makes the computation ill-posed (the paper requires `2 ≤ k ≤ ℓ` and
+/// sets `k = ⌈ℓ/2⌉`).
+///
+/// # Errors
+///
+/// Returns [`LofError`] if `refs` has fewer than two points, `k == 0`, or
+/// dimensions mismatch.
+pub fn lof_against(query: &[f32], refs: &[Vec<f32>], k: usize) -> Result<f64, LofError> {
+    LofModel::fit(refs.to_vec(), k)?.score(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(LofError::ZeroK.to_string().contains("at least 1"));
+        assert!(LofError::NotEnoughReferences { got: 1 }.to_string().contains("got 1"));
+        assert!(LofError::DimensionMismatch { query: 2, reference: 3 }
+            .to_string()
+            .contains("does not match"));
+    }
+
+    #[test]
+    fn lof_against_rejects_small_reference_sets() {
+        assert!(matches!(
+            lof_against(&[0.0], &[vec![0.0]], 1),
+            Err(LofError::NotEnoughReferences { got: 1 })
+        ));
+    }
+}

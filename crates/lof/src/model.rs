@@ -1,0 +1,260 @@
+//! Fitted LOF reference model.
+
+use crate::LofError;
+
+/// A reference set with precomputed k-distances and local reachability
+/// densities, ready to score queries.
+///
+/// Fit once, score many: Algorithm 2 scores each window position against
+/// the same sliding reference window, so precomputing the reference-side
+/// quantities avoids quadratic rework.
+///
+/// # Example
+///
+/// ```
+/// use baffle_lof::LofModel;
+///
+/// let refs: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32, 0.0]).collect();
+/// let model = LofModel::fit(refs, 2)?;
+/// let score = model.score(&[3.5, 0.0])?;
+/// assert!(score < 1.5); // on the line: an inlier
+/// # Ok::<(), baffle_lof::LofError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LofModel {
+    points: Vec<Vec<f32>>,
+    k: usize,
+    /// `kdist[i]`: distance from point `i` to its k-th nearest reference.
+    kdist: Vec<f64>,
+    /// `lrd[i]`: local reachability density of point `i` among the others.
+    lrd: Vec<f64>,
+}
+
+impl LofModel {
+    /// Fits the reference-side LOF quantities.
+    ///
+    /// `k` is clamped to `points.len() - 1` (each point's neighbourhood
+    /// excludes itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::NotEnoughReferences`] for fewer than two
+    /// points, [`LofError::ZeroK`] for `k == 0`, and
+    /// [`LofError::DimensionMismatch`] if the points have inconsistent
+    /// dimensions.
+    pub fn fit(points: Vec<Vec<f32>>, k: usize) -> Result<Self, LofError> {
+        if points.len() < 2 {
+            return Err(LofError::NotEnoughReferences { got: points.len() });
+        }
+        if k == 0 {
+            return Err(LofError::ZeroK);
+        }
+        let dim = points[0].len();
+        for p in &points[1..] {
+            if p.len() != dim {
+                return Err(LofError::DimensionMismatch { query: p.len(), reference: dim });
+            }
+        }
+        let k = k.min(points.len() - 1);
+        let n = points.len();
+
+        // Pairwise distances and per-point neighbour lists.
+        let mut neighbors: Vec<Vec<(f64, usize)>> = vec![Vec::with_capacity(n - 1); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = euclidean(&points[i], &points[j]);
+                neighbors[i].push((d, j));
+                neighbors[j].push((d, i));
+            }
+        }
+        for nb in &mut neighbors {
+            nb.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            nb.truncate(k);
+        }
+        let kdist: Vec<f64> = neighbors.iter().map(|nb| nb[k - 1].0).collect();
+
+        // Local reachability density of each reference point.
+        let lrd: Vec<f64> = (0..n)
+            .map(|i| {
+                let sum: f64 = neighbors[i].iter().map(|&(d, j)| d.max(kdist[j])).sum();
+                if sum <= 0.0 {
+                    f64::INFINITY // duplicates: infinitely dense
+                } else {
+                    k as f64 / sum
+                }
+            })
+            .collect();
+
+        Ok(Self { points, k, kdist, lrd })
+    }
+
+    /// The neighbourhood size actually used (after clamping).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of reference points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the model has no reference points (never true for a fitted
+    /// model, provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Scores a query point: `LOF_k(query; refs)`.
+    ///
+    /// Values near 1 mean the query is as densely clustered as its
+    /// neighbours; values substantially above 1 indicate an outlier. A
+    /// query duplicating reference points scores 1 (equally dense by
+    /// convention).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::DimensionMismatch`] if the query has the wrong
+    /// dimensionality.
+    pub fn score(&self, query: &[f32]) -> Result<f64, LofError> {
+        let dim = self.points[0].len();
+        if query.len() != dim {
+            return Err(LofError::DimensionMismatch { query: query.len(), reference: dim });
+        }
+        // k nearest references to the query.
+        let mut dists: Vec<(f64, usize)> = self
+            .points
+            .iter()
+            .enumerate()
+            .map(|(j, p)| (euclidean(query, p), j))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        dists.truncate(self.k);
+
+        // Local reachability density of the query.
+        let reach_sum: f64 = dists.iter().map(|&(d, j)| d.max(self.kdist[j])).sum();
+        let lrd_query = if reach_sum <= 0.0 { f64::INFINITY } else { self.k as f64 / reach_sum };
+
+        // LOF = mean(lrd(neighbour)) / lrd(query).
+        let mean_lrd: f64 = dists.iter().map(|&(_, j)| self.lrd[j]).sum::<f64>() / self.k as f64;
+        let score = if lrd_query.is_infinite() {
+            // Query coincides with duplicated references: equally dense.
+            1.0
+        } else if mean_lrd.is_infinite() {
+            // Neighbours are duplicates but the query is not among them:
+            // maximally outlying.
+            f64::INFINITY
+        } else {
+            mean_lrd / lrd_query
+        };
+        Ok(score)
+    }
+}
+
+fn euclidean(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_cluster() -> Vec<Vec<f32>> {
+        // 3x3 unit grid: uniformly dense.
+        let mut pts = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                pts.push(vec![i as f32, j as f32]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn inlier_scores_near_one() {
+        let model = LofModel::fit(grid_cluster(), 3).unwrap();
+        let s = model.score(&[1.0, 1.5]).unwrap();
+        assert!((0.5..1.5).contains(&s), "inlier LOF = {s}");
+    }
+
+    #[test]
+    fn far_outlier_scores_high() {
+        let model = LofModel::fit(grid_cluster(), 3).unwrap();
+        let s = model.score(&[50.0, 50.0]).unwrap();
+        assert!(s > 10.0, "outlier LOF = {s}");
+    }
+
+    #[test]
+    fn lof_grows_with_distance() {
+        let model = LofModel::fit(grid_cluster(), 3).unwrap();
+        let near = model.score(&[1.0, 4.0]).unwrap();
+        let far = model.score(&[1.0, 10.0]).unwrap();
+        assert!(far > near, "far {far} !> near {near}");
+    }
+
+    #[test]
+    fn reference_duplicate_query_scores_one() {
+        let refs = vec![vec![1.0, 1.0]; 5];
+        let model = LofModel::fit(refs, 2).unwrap();
+        assert_eq!(model.score(&[1.0, 1.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn query_off_duplicate_cluster_is_infinite() {
+        let refs = vec![vec![0.0, 0.0]; 5];
+        let model = LofModel::fit(refs, 2).unwrap();
+        assert!(model.score(&[1.0, 0.0]).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn k_is_clamped_to_len_minus_one() {
+        let refs = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let model = LofModel::fit(refs, 100).unwrap();
+        assert_eq!(model.k(), 2);
+        assert_eq!(model.len(), 3);
+    }
+
+    #[test]
+    fn fit_rejects_inconsistent_dimensions() {
+        let refs = vec![vec![0.0, 1.0], vec![1.0]];
+        assert!(matches!(LofModel::fit(refs, 1), Err(LofError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn score_rejects_wrong_dimension() {
+        let model = LofModel::fit(grid_cluster(), 2).unwrap();
+        assert!(matches!(model.score(&[0.0]), Err(LofError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn fit_rejects_zero_k() {
+        assert!(matches!(LofModel::fit(grid_cluster(), 0), Err(LofError::ZeroK)));
+    }
+
+    #[test]
+    fn two_point_reference_set_works() {
+        let model = LofModel::fit(vec![vec![0.0], vec![1.0]], 1).unwrap();
+        let s = model.score(&[0.5]).unwrap();
+        assert!(s.is_finite() && s > 0.0);
+    }
+
+    #[test]
+    fn scores_are_scale_invariant() {
+        // LOF is a ratio of densities, so uniformly scaling all points
+        // (including the query) must not change the score.
+        let refs = grid_cluster();
+        let scaled: Vec<Vec<f32>> =
+            refs.iter().map(|p| p.iter().map(|&x| x * 10.0).collect()).collect();
+        let m1 = LofModel::fit(refs, 3).unwrap();
+        let m2 = LofModel::fit(scaled, 3).unwrap();
+        let s1 = m1.score(&[5.0, 5.0]).unwrap();
+        let s2 = m2.score(&[50.0, 50.0]).unwrap();
+        assert!((s1 - s2).abs() < 1e-9, "{s1} vs {s2}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the LOF implementation.
+
+use baffle_lof::{lof_against, LofModel};
+use proptest::prelude::*;
+
+fn points_strategy(dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(
+        prop::collection::vec(-100.0_f32..100.0, dim..=dim),
+        3..20,
+    )
+}
+
+proptest! {
+    /// LOF scores are always non-negative (possibly +inf for degenerate
+    /// duplicate neighbourhoods).
+    #[test]
+    fn lof_is_non_negative(refs in points_strategy(3), q in prop::collection::vec(-100.0_f32..100.0, 3)) {
+        let s = lof_against(&q, &refs, 3).unwrap();
+        prop_assert!(s >= 0.0, "LOF = {s}");
+    }
+
+    /// A query that coincides with a reference point scores no worse than a
+    /// query far outside the data: duplicating an existing point cannot be
+    /// *more* outlying than leaving the data entirely.
+    #[test]
+    fn duplicate_scores_no_worse_than_far_point(refs in points_strategy(2)) {
+        let q = refs[0].clone();
+        let dup = lof_against(&q, &refs, 2).unwrap();
+        let spread = refs.iter().flat_map(|p| p.iter()).fold(0.0_f32, |m, &x| m.max(x.abs())).max(1.0);
+        let far = lof_against(&[spread * 100.0, spread * 100.0], &refs, 2).unwrap();
+        if dup.is_finite() && far.is_finite() {
+            prop_assert!(dup <= far * 1.0001 + 1e-9, "duplicate {dup} > far {far}");
+        }
+    }
+
+    /// Translating the whole space leaves the score unchanged (LOF is
+    /// translation invariant).
+    #[test]
+    fn translation_invariance(refs in points_strategy(2), q in prop::collection::vec(-50.0_f32..50.0, 2), t in -20.0_f32..20.0) {
+        let s1 = lof_against(&q, &refs, 2).unwrap();
+        let shifted: Vec<Vec<f32>> = refs.iter().map(|p| p.iter().map(|&x| x + t).collect()).collect();
+        let qs: Vec<f32> = q.iter().map(|&x| x + t).collect();
+        let s2 = lof_against(&qs, &shifted, 2).unwrap();
+        if s1.is_finite() && s2.is_finite() {
+            prop_assert!((s1 - s2).abs() < 1e-3 * (1.0 + s1.abs()), "{s1} vs {s2}");
+        }
+    }
+
+    /// Fitting never panics and clamps k.
+    #[test]
+    fn fit_clamps_k(refs in points_strategy(4), k in 1usize..100) {
+        let n = refs.len();
+        let model = LofModel::fit(refs, k).unwrap();
+        prop_assert!(model.k() < n);
+        prop_assert!(model.k() >= 1);
+    }
+
+    /// Moving a query point radially away from the reference centroid never
+    /// hugely decreases its LOF (monotone-ish growth; we assert a weak form:
+    /// the far point scores at least half the near point's score).
+    #[test]
+    fn weak_radial_monotonicity(refs in points_strategy(2)) {
+        let n = refs.len() as f32;
+        let centroid: Vec<f32> = (0..2).map(|d| refs.iter().map(|p| p[d]).sum::<f32>() / n).collect();
+        let spread = refs.iter().map(|p| ((p[0]-centroid[0]).powi(2) + (p[1]-centroid[1]).powi(2)).sqrt()).fold(0.0_f32, f32::max).max(1.0);
+        let near: Vec<f32> = vec![centroid[0] + 2.0 * spread, centroid[1]];
+        let far: Vec<f32> = vec![centroid[0] + 20.0 * spread, centroid[1]];
+        let s_near = lof_against(&near, &refs, 2).unwrap();
+        let s_far = lof_against(&far, &refs, 2).unwrap();
+        if s_near.is_finite() && s_far.is_finite() {
+            prop_assert!(s_far >= 0.5 * s_near, "near {s_near}, far {s_far}");
+        }
+    }
+}

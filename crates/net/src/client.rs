@@ -1,0 +1,160 @@
+//! Client actors: honest participants and the attacker.
+
+use crate::message::{Message, NodeId};
+use crate::transport::Endpoint;
+use baffle_attack::voting::{Vote, VoterBehavior};
+use baffle_attack::ModelReplacement;
+use baffle_core::Validator;
+use baffle_data::Dataset;
+use baffle_fl::history_sync::ModelId;
+use baffle_fl::LocalTrainer;
+use baffle_nn::{wire, Mlp, Model};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A client's role in the protocol.
+#[derive(Debug, Clone)]
+pub enum ClientRole {
+    /// Trains honestly and votes per the validation function.
+    Honest,
+    /// Submits model-replacement updates and votes per the configured
+    /// behaviour.
+    Malicious {
+        /// The attack used to craft poisoned updates.
+        attack: ModelReplacement,
+        /// The attacker's backdoor training set.
+        backdoor_data: Dataset,
+        /// How the client votes when selected as a validator.
+        voting: VoterBehavior,
+    },
+}
+
+/// One federated client actor: local data, a cached slice of the
+/// accepted-model history (filled incrementally by the server), the
+/// validation function, and a role.
+#[derive(Debug)]
+pub struct Client {
+    endpoint: Endpoint,
+    data: Dataset,
+    trainer: LocalTrainer,
+    validator: Validator,
+    role: ClientRole,
+    /// Cached history: `(id, model)` pairs, oldest first.
+    history_cache: Vec<(ModelId, Mlp)>,
+    history_window: usize,
+    template: Mlp,
+    rng: StdRng,
+    rounds_participated: u64,
+}
+
+impl Client {
+    /// Creates a client actor. `template` is any model with the right
+    /// architecture (used to decode incoming parameter vectors).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        endpoint: Endpoint,
+        data: Dataset,
+        trainer: LocalTrainer,
+        validator: Validator,
+        role: ClientRole,
+        history_window: usize,
+        template: Mlp,
+        seed: u64,
+    ) -> Self {
+        Self {
+            endpoint,
+            data,
+            trainer,
+            validator,
+            role,
+            history_cache: Vec::new(),
+            history_window,
+            template,
+            rng: StdRng::seed_from_u64(seed),
+            rounds_participated: 0,
+        }
+    }
+
+    /// Number of rounds this client was asked to train or validate in.
+    pub fn rounds_participated(&self) -> u64 {
+        self.rounds_participated
+    }
+
+    /// Runs the actor loop until a [`Message::Shutdown`] arrives (or the
+    /// network disconnects).
+    pub fn run(&mut self) {
+        while let Ok(env) = self.endpoint.recv() {
+            match env.message {
+                Message::TrainRequest { round, global } => {
+                    self.rounds_participated += 1;
+                    self.handle_train(round, &global);
+                }
+                Message::ValidateRequest { round, candidate, history_delta } => {
+                    self.rounds_participated += 1;
+                    for entry in history_delta {
+                        if let Ok(params) = wire::decode_f32(&entry.params) {
+                            let mut m = self.template.clone();
+                            m.set_params(&params);
+                            self.history_cache.push((entry.id, m));
+                        }
+                    }
+                    self.history_cache.sort_by_key(|(id, _)| *id);
+                    self.history_cache.dedup_by_key(|(id, _)| *id);
+                    while self.history_cache.len() > self.history_window {
+                        self.history_cache.remove(0);
+                    }
+                    self.handle_validate(round, &candidate);
+                }
+                Message::RoundResult { .. } => {
+                    // Nothing to do: history updates arrive with the next
+                    // ValidateRequest delta.
+                }
+                Message::UpdateSubmission { .. } | Message::VoteSubmission { .. } => {
+                    // Client-to-server messages; ignore if misrouted.
+                }
+                Message::Shutdown => break,
+            }
+        }
+    }
+
+    fn handle_train(&mut self, round: u64, global_bytes: &Bytes) {
+        let Ok(params) = wire::decode_f32(global_bytes) else { return };
+        let mut global = self.template.clone();
+        global.set_params(&params);
+        let update = match &self.role {
+            ClientRole::Honest => self.trainer.train_update(&global, &self.data, &mut self.rng),
+            ClientRole::Malicious { attack, backdoor_data, .. } => {
+                let mut atk_rng = StdRng::seed_from_u64(0xBAD ^ round);
+                attack.poisoned_update(&global, &self.data, backdoor_data, &mut atk_rng)
+            }
+        };
+        self.endpoint.send(
+            NodeId::SERVER,
+            Message::UpdateSubmission {
+                round,
+                from: self.endpoint.id(),
+                update: Bytes::from(wire::encode_f32(&update)),
+            },
+        );
+    }
+
+    fn handle_validate(&mut self, round: u64, candidate_bytes: &Bytes) {
+        let Ok(params) = wire::decode_f32(candidate_bytes) else { return };
+        let mut candidate = self.template.clone();
+        candidate.set_params(&params);
+        let history: Vec<Mlp> = self.history_cache.iter().map(|(_, m)| m.clone()).collect();
+        let honest_vote = match self.validator.validate(&candidate, &history, &self.data) {
+            Ok(verdict) => verdict.vote(),
+            Err(_) => Vote::Accept, // cannot judge: abstain (footnote 1)
+        };
+        let vote = match &self.role {
+            ClientRole::Honest => honest_vote,
+            ClientRole::Malicious { voting, .. } => voting.cast(honest_vote),
+        };
+        self.endpoint.send(
+            NodeId::SERVER,
+            Message::VoteSubmission { round, from: self.endpoint.id(), vote },
+        );
+    }
+}

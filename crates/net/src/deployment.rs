@@ -1,0 +1,206 @@
+//! End-to-end threaded deployment harness.
+
+use crate::client::{Client, ClientRole};
+use crate::message::NodeId;
+use crate::server::{Server, ServerConfig, ServerRound};
+use crate::transport::Network;
+use baffle_attack::voting::VoterBehavior;
+use baffle_attack::{BackdoorSpec, ModelReplacement};
+use baffle_core::{ValidationConfig, Validator};
+use baffle_data::{partition, SyntheticVision, VisionSpec};
+use baffle_fl::{FlConfig, LocalTrainer};
+use baffle_nn::{eval, Mlp, MlpSpec, Sgd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Configuration of a threaded protocol deployment (CIFAR-like semantic
+/// backdoor scenario).
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Total clients `N`.
+    pub num_clients: usize,
+    /// Contributors per round `n`.
+    pub clients_per_round: usize,
+    /// Validators per round.
+    pub validators_per_round: usize,
+    /// Quorum threshold `q`.
+    pub quorum: usize,
+    /// Look-back window ℓ.
+    pub lookback: usize,
+    /// Protocol rounds to run.
+    pub rounds: u64,
+    /// Number of attacker-controlled clients (ids `0..malicious`); they
+    /// poison whenever selected as contributors and stealth-accept as
+    /// validators.
+    pub malicious_clients: usize,
+    /// Honest-pool size.
+    pub total_train: usize,
+    /// Server's data share.
+    pub server_share: f64,
+    /// Hidden widths of the model substrate.
+    pub hidden: Vec<usize>,
+    /// Central warm-up epochs before the protocol starts.
+    pub warmup_central_epochs: usize,
+    /// Per-message drop probability of the simulated network.
+    pub drop_prob: f64,
+    /// Per-phase server timeout.
+    pub phase_timeout: Duration,
+    /// Trust-bootstrapping rounds: contributors are drawn from the
+    /// honest (operator-vetted) clients until the accepted-model history
+    /// is deep enough for validation (paper §IV-B).
+    pub bootstrap_rounds: u64,
+}
+
+impl DeploymentConfig {
+    /// A miniature deployment that runs in seconds (used by doctests and
+    /// integration tests): 8 clients, one attacker, 6 rounds.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            num_clients: 8,
+            clients_per_round: 4,
+            validators_per_round: 4,
+            quorum: 2,
+            lookback: 4,
+            rounds: 6,
+            malicious_clients: 1,
+            total_train: 800,
+            server_share: 0.1,
+            hidden: vec![16],
+            warmup_central_epochs: 10,
+            drop_prob: 0.0,
+            phase_timeout: Duration::from_secs(20),
+            bootstrap_rounds: 5,
+        }
+    }
+}
+
+/// Outcome of a deployment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentOutcome {
+    /// Per-round server observations.
+    pub rounds: Vec<ServerRound>,
+    /// Main-task accuracy of the final global model.
+    pub final_main_accuracy: f32,
+    /// Backdoor accuracy of the final global model.
+    pub final_backdoor_accuracy: f32,
+    /// Total messages handed to the transport.
+    pub messages_sent: u64,
+    /// Messages lost to the simulated network.
+    pub messages_dropped: u64,
+}
+
+/// Runs a full threaded deployment: one server thread (the caller's) and
+/// `num_clients` client threads exchanging wire-encoded messages.
+#[derive(Debug)]
+pub struct Deployment;
+
+impl Deployment {
+    /// Materialises data and models, spawns the actors, runs the
+    /// configured number of rounds, shuts down and reports.
+    pub fn run(config: DeploymentConfig) -> DeploymentOutcome {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let spec = VisionSpec::cifar_like();
+        let generator = SyntheticVision::new(&spec, &mut rng);
+        let backdoor = BackdoorSpec::semantic(1, 0, 2);
+        let pool = generator.generate_excluding(&mut rng, config.total_train, 1, 0);
+        let (shards, server_data) = partition::client_server_split(
+            &mut rng,
+            &pool,
+            config.num_clients,
+            0.9,
+            config.server_share,
+        );
+        let test = generator.generate_excluding(&mut rng, 400, 1, 0);
+        let backdoor_test = generator.generate_subgroup(&mut rng, 150, 1, 0);
+        let attacker_backdoor = generator.generate_subgroup(&mut rng, 120, 1, 0);
+
+        let mlp_spec = MlpSpec::new(spec.input_dim(), &config.hidden, spec.num_classes());
+        let mut initial = Mlp::new(&mlp_spec, &mut rng);
+        if config.warmup_central_epochs > 0 {
+            let mut pooled = server_data.clone();
+            for s in &shards {
+                if !s.is_empty() {
+                    pooled = pooled.concat(s);
+                }
+            }
+            let mut opt = Sgd::new(0.1).with_momentum(0.9);
+            for _ in 0..config.warmup_central_epochs {
+                initial.train_epoch(pooled.features(), pooled.labels(), 32, &mut opt, &mut rng);
+            }
+        }
+
+        let fl = FlConfig::new(config.num_clients, config.clients_per_round);
+        let boost = fl.replacement_boost();
+        let validator = Validator::new(ValidationConfig::new(config.lookback).with_margin(1.2));
+        let network = Network::with_loss(config.drop_prob, config.seed ^ 0x4E45_5400);
+
+        let server_endpoint = network.register(NodeId::SERVER);
+        let server_config = ServerConfig {
+            fl: fl.clone(),
+            validators_per_round: config.validators_per_round,
+            quorum: config.quorum,
+            phase_timeout: config.phase_timeout,
+            server_votes: true,
+            seed: config.seed,
+            bootstrap_rounds: config.bootstrap_rounds,
+            bootstrap_trusted: (config.malicious_clients..config.num_clients).collect(),
+        };
+        let mut server = Server::new(
+            server_endpoint,
+            server_config,
+            initial.clone(),
+            config.lookback + 1,
+            validator,
+            server_data,
+        );
+
+        let mut rounds = Vec::with_capacity(config.rounds as usize);
+        crossbeam::thread::scope(|scope| {
+            for (i, shard) in shards.iter().enumerate() {
+                let endpoint = network.register(NodeId(i as u32));
+                let role = if i < config.malicious_clients {
+                    ClientRole::Malicious {
+                        attack: ModelReplacement::new(backdoor, boost),
+                        backdoor_data: attacker_backdoor.clone(),
+                        voting: VoterBehavior::StealthAccept,
+                    }
+                } else {
+                    ClientRole::Honest
+                };
+                let mut client = Client::new(
+                    endpoint,
+                    shard.clone(),
+                    LocalTrainer::from_config(&fl),
+                    validator,
+                    role,
+                    config.lookback + 1,
+                    initial.clone(),
+                    config.seed.wrapping_add(1 + i as u64),
+                );
+                scope.spawn(move |_| client.run());
+            }
+
+            for _ in 0..config.rounds {
+                rounds.push(server.run_round());
+            }
+            server.shutdown();
+        })
+        .expect("client actor panicked");
+
+        DeploymentOutcome {
+            final_main_accuracy: server.global_model().accuracy(test.features(), test.labels()),
+            final_backdoor_accuracy: eval::backdoor_accuracy(
+                server.global_model(),
+                backdoor_test.features(),
+                backdoor.target_class(),
+            ),
+            rounds,
+            messages_sent: network.messages_sent(),
+            messages_dropped: network.messages_dropped(),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Message-passing deployment of the BaFFLe protocol.
+//!
+//! The [`baffle_core::Simulation`] driver executes the protocol as a
+//! single-process loop — ideal for experiments, but it hides the
+//! distributed-systems concerns a real deployment faces. This crate runs
+//! **Algorithm 1 as an actual protocol** between threaded actors:
+//!
+//! - a [`server::Server`] actor orchestrating rounds: broadcasting the
+//!   wire-encoded global model, collecting updates **with timeouts**,
+//!   aggregating, requesting validation, applying the quorum rule with
+//!   the paper's footnote-1 semantics (non-responding validators count
+//!   as implicit accepts), and shipping **incremental history** (§VI-D,
+//!   via [`baffle_fl::history_sync::HistorySync`]);
+//! - [`client::Client`] actors that train on their local shard, maintain
+//!   a local cache of the accepted-model history, run the VALIDATE
+//!   function (Algorithm 2) and vote — or, if malicious, inject
+//!   model-replacement updates and lie in votes;
+//! - an in-process [`transport`] layer with per-link drop simulation, so
+//!   dropout handling is exercised for real.
+//!
+//! Models and updates travel as [`bytes::Bytes`] in the
+//! [`baffle_nn::wire`] format — nothing crosses an actor boundary except
+//! serialized messages.
+//!
+//! # Example
+//!
+//! ```
+//! use baffle_net::deployment::{Deployment, DeploymentConfig};
+//!
+//! let config = DeploymentConfig::small(3);
+//! let outcome = Deployment::run(config);
+//! assert_eq!(outcome.rounds.len(), 6);
+//! // The scripted injection was rejected by the quorum.
+//! assert!(outcome.rounds.iter().any(|r| !r.accepted));
+//! ```
+
+pub mod client;
+pub mod deployment;
+pub mod message;
+pub mod server;
+pub mod transport;

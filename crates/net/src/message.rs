@@ -1,0 +1,139 @@
+//! Protocol messages.
+//!
+//! Every payload that represents a model crosses actor boundaries as
+//! [`bytes::Bytes`] in the [`baffle_nn::wire`] `f32` format, so the
+//! protocol layer never touches in-memory model structs — exactly how a
+//! networked deployment would behave.
+
+use baffle_attack::voting::Vote;
+use baffle_fl::history_sync::ModelId;
+use bytes::Bytes;
+
+/// Identifies a protocol participant. The server is [`NodeId::SERVER`];
+/// clients are numbered from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The coordinating server.
+    pub const SERVER: NodeId = NodeId(u32::MAX);
+
+    /// Whether this id denotes the server.
+    pub fn is_server(self) -> bool {
+        self == Self::SERVER
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_server() {
+            write!(f, "server")
+        } else {
+            write!(f, "client-{}", self.0)
+        }
+    }
+}
+
+/// One accepted global model shipped as part of a history sync.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    /// Monotone id assigned by the server at acceptance time.
+    pub id: ModelId,
+    /// Wire-encoded parameters.
+    pub params: Bytes,
+}
+
+/// All messages of the BaFFLe protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Server → contributor: train on this global model for round
+    /// `round` and reply with an [`Message::UpdateSubmission`].
+    TrainRequest {
+        /// Protocol round number.
+        round: u64,
+        /// Wire-encoded global model parameters.
+        global: Bytes,
+    },
+    /// Contributor → server: the local update `U = L − G`.
+    UpdateSubmission {
+        /// Round this update belongs to.
+        round: u64,
+        /// Submitting client.
+        from: NodeId,
+        /// Wire-encoded update vector.
+        update: Bytes,
+    },
+    /// Server → validator: validate this candidate model. Ships only the
+    /// history entries the client has not yet cached (§VI-D incremental
+    /// shipping).
+    ValidateRequest {
+        /// Round being validated.
+        round: u64,
+        /// Wire-encoded candidate model.
+        candidate: Bytes,
+        /// History entries missing from the client's cache, oldest
+        /// first.
+        history_delta: Vec<HistoryEntry>,
+    },
+    /// Validator → server: the verdict (`d_i` of Algorithm 1).
+    VoteSubmission {
+        /// Round being voted on.
+        round: u64,
+        /// Voting client.
+        from: NodeId,
+        /// The vote.
+        vote: Vote,
+    },
+    /// Server → everyone involved in the round: the decision.
+    RoundResult {
+        /// The round.
+        round: u64,
+        /// Whether the update was integrated.
+        accepted: bool,
+    },
+    /// Server → client: the protocol is over; the actor should exit.
+    Shutdown,
+}
+
+impl Message {
+    /// Short message-type label for logs and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::TrainRequest { .. } => "train-request",
+            Message::UpdateSubmission { .. } => "update-submission",
+            Message::ValidateRequest { .. } => "validate-request",
+            Message::VoteSubmission { .. } => "vote-submission",
+            Message::RoundResult { .. } => "round-result",
+            Message::Shutdown => "shutdown",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_server() {
+        assert_eq!(NodeId(3).to_string(), "client-3");
+        assert_eq!(NodeId::SERVER.to_string(), "server");
+        assert!(NodeId::SERVER.is_server());
+        assert!(!NodeId(0).is_server());
+    }
+
+    #[test]
+    fn message_kinds_are_distinct() {
+        let msgs = [
+            Message::TrainRequest { round: 0, global: Bytes::new() },
+            Message::UpdateSubmission { round: 0, from: NodeId(0), update: Bytes::new() },
+            Message::ValidateRequest { round: 0, candidate: Bytes::new(), history_delta: vec![] },
+            Message::VoteSubmission { round: 0, from: NodeId(0), vote: Vote::Accept },
+            Message::RoundResult { round: 0, accepted: true },
+            Message::Shutdown,
+        ];
+        let mut kinds: Vec<&str> = msgs.iter().map(|m| m.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), msgs.len());
+    }
+}

@@ -1,0 +1,296 @@
+//! The coordinating server actor (Algorithm 1, server side).
+
+use crate::message::{HistoryEntry, Message, NodeId};
+use crate::transport::Endpoint;
+use baffle_attack::voting::Vote;
+use baffle_core::{Decision, ModelHistory, QuorumRule, Validator};
+use baffle_data::Dataset;
+use baffle_fl::history_sync::HistorySync;
+use baffle_fl::{fedavg, sampling, FlConfig};
+use baffle_nn::{wire, Mlp, Model};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Server-side protocol parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// FL hyperparameters (N, n, λ).
+    pub fl: FlConfig,
+    /// Validating clients per round.
+    pub validators_per_round: usize,
+    /// Quorum threshold `q`.
+    pub quorum: usize,
+    /// How long to wait for updates/votes before proceeding without the
+    /// stragglers.
+    pub phase_timeout: Duration,
+    /// Whether the server casts its own vote (BAFFLE vs BAFFLE-C).
+    pub server_votes: bool,
+    /// Master seed for client selection.
+    pub seed: u64,
+    /// Trust-bootstrapping phase (paper §IV-B, "bootstrapping trust
+    /// across rounds"): for the first `bootstrap_rounds` rounds,
+    /// contributors are sampled only from `bootstrap_trusted` (an
+    /// operator-vetted set), so the initial model history is known
+    /// clean. Empty = no restriction.
+    pub bootstrap_rounds: u64,
+    /// The vetted participant set used during bootstrapping.
+    pub bootstrap_trusted: Vec<usize>,
+}
+
+/// What happened in one protocol round, as observed by the server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerRound {
+    /// Round number (1-based).
+    pub round: u64,
+    /// Whether the aggregated update was integrated.
+    pub accepted: bool,
+    /// Updates received before the timeout.
+    pub updates_received: usize,
+    /// Votes received before the timeout (missing votes are implicit
+    /// accepts per footnote 1).
+    pub votes_received: usize,
+    /// Reject votes among them.
+    pub reject_votes: usize,
+    /// Bytes of history shipped to validators this round (the §VI-D
+    /// overhead, measured).
+    pub history_bytes_shipped: usize,
+}
+
+/// The server actor: owns the global model, the trusted history and the
+/// per-client history-sync bookkeeping.
+#[derive(Debug)]
+pub struct Server {
+    endpoint: Endpoint,
+    config: ServerConfig,
+    global: Mlp,
+    history: ModelHistory,
+    history_entries: Vec<HistoryEntry>,
+    sync: HistorySync,
+    validator: Validator,
+    server_data: Dataset,
+    rng: StdRng,
+    round: u64,
+}
+
+impl Server {
+    /// Creates the server actor with an initial (warm-started) global
+    /// model. `history_window` is `ℓ + 1`.
+    pub fn new(
+        endpoint: Endpoint,
+        config: ServerConfig,
+        initial_model: Mlp,
+        history_window: usize,
+        validator: Validator,
+        server_data: Dataset,
+    ) -> Self {
+        let mut history = ModelHistory::new(history_window);
+        history.push(initial_model.clone());
+        let mut sync = HistorySync::new(history_window);
+        let first_id = sync.push_accepted();
+        let history_entries = vec![HistoryEntry {
+            id: first_id,
+            params: wire::encode_f32(&initial_model.params()),
+        }];
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            endpoint,
+            config,
+            global: initial_model,
+            history,
+            history_entries,
+            sync,
+            validator,
+            server_data,
+            rng,
+            round: 0,
+        }
+    }
+
+    /// The current global model.
+    pub fn global_model(&self) -> &Mlp {
+        &self.global
+    }
+
+    /// Runs one full protocol round and returns what happened.
+    pub fn run_round(&mut self) -> ServerRound {
+        self.round += 1;
+        let round = self.round;
+        let n = self.config.fl.clients_per_round();
+
+        // --- Training phase ------------------------------------------------
+        let contributors: Vec<usize> = if round <= self.config.bootstrap_rounds
+            && !self.config.bootstrap_trusted.is_empty()
+        {
+            let pool = &self.config.bootstrap_trusted;
+            let k = n.min(pool.len());
+            sampling::select_clients(&mut self.rng, pool.len(), k)
+                .into_iter()
+                .map(|i| pool[i])
+                .collect()
+        } else {
+            sampling::select_clients(&mut self.rng, self.config.fl.num_clients(), n)
+        };
+        let global_bytes = Bytes::from(wire::encode_f32(&self.global.params()));
+        for &c in &contributors {
+            self.endpoint.send(
+                NodeId(c as u32),
+                Message::TrainRequest { round, global: global_bytes.clone() },
+            );
+        }
+        let updates = self.collect_updates(round, contributors.len());
+        let updates_received = updates.len();
+
+        // A round with no surviving updates is skipped entirely.
+        if updates.is_empty() {
+            return ServerRound {
+                round,
+                accepted: false,
+                updates_received: 0,
+                votes_received: 0,
+                reject_votes: 0,
+                history_bytes_shipped: 0,
+            };
+        }
+
+        // --- Aggregation ---------------------------------------------------
+        // Sort by client id so float summation order is deterministic.
+        let mut sorted: Vec<(NodeId, Vec<f32>)> = updates.into_iter().collect();
+        sorted.sort_by_key(|(id, _)| *id);
+        let update_vecs: Vec<Vec<f32>> = sorted.into_iter().map(|(_, u)| u).collect();
+        let candidate_params = fedavg(
+            &self.global.params(),
+            &update_vecs,
+            self.config.fl.global_lr(),
+            self.config.fl.num_clients(),
+        );
+        let mut candidate = self.global.clone();
+        candidate.set_params(&candidate_params);
+
+        // --- Validation phase (Algorithm 1) --------------------------------
+        let validators = sampling::select_clients(
+            &mut self.rng,
+            self.config.fl.num_clients(),
+            self.config.validators_per_round,
+        );
+        let candidate_bytes = Bytes::from(wire::encode_f32(&candidate_params));
+        let mut history_bytes_shipped = 0usize;
+        for &v in &validators {
+            let delta: Vec<HistoryEntry> = self
+                .sync
+                .models_to_send(v)
+                .filter_map(|id| self.history_entries.iter().find(|e| e.id == id).cloned())
+                .collect();
+            history_bytes_shipped += delta.iter().map(|e| e.params.len()).sum::<usize>();
+            self.sync.mark_synced(v);
+            self.endpoint.send(
+                NodeId(v as u32),
+                Message::ValidateRequest {
+                    round,
+                    candidate: candidate_bytes.clone(),
+                    history_delta: delta,
+                },
+            );
+        }
+        let mut votes = self.collect_votes(round, validators.len());
+        if self.config.server_votes {
+            let own = match self.validator.validate(
+                &candidate,
+                self.history.models(),
+                &self.server_data,
+            ) {
+                Ok(verdict) => verdict.vote(),
+                Err(_) => Vote::Accept,
+            };
+            votes.push(own);
+        }
+        let reject_votes = votes.iter().filter(|v| matches!(v, Vote::Reject)).count();
+        let voters = validators.len() + usize::from(self.config.server_votes);
+        let rule = QuorumRule::new(voters.max(1), self.config.quorum.min(voters.max(1)))
+            .expect("valid quorum");
+        let decision = rule.decide(&votes);
+
+        // --- Integration ----------------------------------------------------
+        if decision == Decision::Accepted {
+            self.global = candidate;
+            self.history.push(self.global.clone());
+            let id = self.sync.push_accepted();
+            self.history_entries.push(HistoryEntry { id, params: candidate_bytes.clone() });
+            if self.history_entries.len() > self.history.capacity() {
+                self.history_entries.remove(0);
+            }
+        }
+        for &c in contributors.iter().chain(&validators) {
+            self.endpoint.send(
+                NodeId(c as u32),
+                Message::RoundResult { round, accepted: decision.is_accepted() },
+            );
+        }
+
+        ServerRound {
+            round,
+            accepted: decision.is_accepted(),
+            updates_received,
+            votes_received: votes.len() - usize::from(self.config.server_votes),
+            reject_votes,
+            history_bytes_shipped,
+        }
+    }
+
+    /// Tells every client to exit.
+    pub fn shutdown(&self) {
+        for c in 0..self.config.fl.num_clients() {
+            self.endpoint.send(NodeId(c as u32), Message::Shutdown);
+        }
+    }
+
+    fn collect_updates(&self, round: u64, expected: usize) -> HashMap<NodeId, Vec<f32>> {
+        let mut updates = HashMap::new();
+        let deadline = std::time::Instant::now() + self.config.phase_timeout;
+        while updates.len() < expected {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match self.endpoint.recv_timeout(remaining) {
+                Ok(env) => {
+                    if let Message::UpdateSubmission { round: r, from, update } = env.message {
+                        if r == round {
+                            if let Ok(u) = wire::decode_f32(&update) {
+                                updates.insert(from, u);
+                            }
+                        }
+                        // Stale-round submissions are discarded.
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        updates
+    }
+
+    fn collect_votes(&self, round: u64, expected: usize) -> Vec<Vote> {
+        let mut votes = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let deadline = std::time::Instant::now() + self.config.phase_timeout;
+        while votes.len() < expected {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match self.endpoint.recv_timeout(remaining) {
+                Ok(env) => {
+                    if let Message::VoteSubmission { round: r, from, vote } = env.message {
+                        if r == round && seen.insert(from) {
+                            votes.push(vote);
+                        }
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        votes
+    }
+}

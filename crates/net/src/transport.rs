@@ -1,0 +1,238 @@
+//! In-process transport with per-link loss simulation.
+//!
+//! Each node owns an unbounded receiving channel; a shared [`Network`]
+//! handle routes [`Envelope`]s to their destination. A configurable drop
+//! probability (driven by a seeded RNG, so runs are reproducible)
+//! simulates clients that lose connectivity — the condition the paper's
+//! footnote 1 addresses by counting silent validators as implicit
+//! accepts.
+
+use crate::message::{Message, NodeId};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A routed message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Sending node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Payload.
+    pub message: Message,
+}
+
+struct NetworkInner {
+    routes: Mutex<HashMap<NodeId, Sender<Envelope>>>,
+    drop_prob: f64,
+    rng: Mutex<StdRng>,
+    sent: Mutex<u64>,
+    dropped: Mutex<u64>,
+}
+
+/// Shared handle to the in-process network.
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<NetworkInner>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.inner.routes.lock().len())
+            .field("drop_prob", &self.inner.drop_prob)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates a lossless network.
+    pub fn new() -> Self {
+        Self::with_loss(0.0, 0)
+    }
+
+    /// Creates a network that drops each message with probability
+    /// `drop_prob`, using `seed` for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop_prob` is not in `[0, 1)`.
+    pub fn with_loss(drop_prob: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&drop_prob), "drop_prob must be in [0, 1), got {drop_prob}");
+        Self {
+            inner: Arc::new(NetworkInner {
+                routes: Mutex::new(HashMap::new()),
+                drop_prob,
+                rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                sent: Mutex::new(0),
+                dropped: Mutex::new(0),
+            }),
+        }
+    }
+
+    /// Registers a node and returns its endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is already registered.
+    pub fn register(&self, id: NodeId) -> Endpoint {
+        let (tx, rx) = unbounded();
+        let previous = self.inner.routes.lock().insert(id, tx);
+        assert!(previous.is_none(), "node {id} registered twice");
+        Endpoint { id, network: self.clone(), receiver: rx }
+    }
+
+    /// Sends a message; silently drops it with the configured loss
+    /// probability or when the destination is unknown/disconnected
+    /// (matching UDP-like fire-and-forget semantics).
+    pub fn send(&self, from: NodeId, to: NodeId, message: Message) {
+        *self.inner.sent.lock() += 1;
+        if self.inner.drop_prob > 0.0 {
+            let drop: bool = self.inner.rng.lock().gen_bool(self.inner.drop_prob);
+            // Shutdown is a control message delivered out of band (a real
+            // deployment would retry it); dropping it would leak threads.
+            if drop && !matches!(message, Message::Shutdown) {
+                *self.inner.dropped.lock() += 1;
+                return;
+            }
+        }
+        let routes = self.inner.routes.lock();
+        if let Some(tx) = routes.get(&to) {
+            let _ = tx.send(Envelope { from, to, message });
+        }
+    }
+
+    /// Total messages handed to the network.
+    pub fn messages_sent(&self) -> u64 {
+        *self.inner.sent.lock()
+    }
+
+    /// Messages lost to the simulated link.
+    pub fn messages_dropped(&self) -> u64 {
+        *self.inner.dropped.lock()
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A node's connection: its inbox plus a sending handle.
+#[derive(Debug)]
+pub struct Endpoint {
+    id: NodeId,
+    network: Network,
+    receiver: Receiver<Envelope>,
+}
+
+impl Endpoint {
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Sends `message` to `to`.
+    pub fn send(&self, to: NodeId, message: Message) {
+        self.network.send(self.id, to, message);
+    }
+
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the network shut down (all senders gone).
+    pub fn recv(&self) -> Result<Envelope, crossbeam::channel::RecvError> {
+        self.receiver.recv()
+    }
+
+    /// Waits up to `timeout` for a message.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on timeout or disconnection.
+    pub fn recv_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Envelope, crossbeam::channel::RecvTimeoutError> {
+        self.receiver.recv_timeout(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let net = Network::new();
+        let a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        a.send(NodeId(1), Message::Shutdown);
+        let env = b.recv().unwrap();
+        assert_eq!(env.from, NodeId(0));
+        assert_eq!(env.message, Message::Shutdown);
+    }
+
+    #[test]
+    fn unknown_destination_is_dropped_silently() {
+        let net = Network::new();
+        let a = net.register(NodeId(0));
+        a.send(NodeId(99), Message::Shutdown); // must not panic
+        assert_eq!(net.messages_sent(), 1);
+    }
+
+    #[test]
+    fn lossy_network_drops_roughly_the_configured_fraction() {
+        let net = Network::with_loss(0.3, 42);
+        let a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        let n = 2000;
+        for round in 0..n {
+            a.send(NodeId(1), Message::RoundResult { round, accepted: true });
+        }
+        let mut received = 0;
+        while b.recv_timeout(Duration::from_millis(1)).is_ok() {
+            received += 1;
+        }
+        let drop_rate = 1.0 - received as f64 / n as f64;
+        assert!((0.25..0.35).contains(&drop_rate), "drop rate {drop_rate}");
+        assert_eq!(net.messages_dropped() + received, n);
+    }
+
+    #[test]
+    fn shutdown_is_never_dropped() {
+        let net = Network::with_loss(0.99, 7);
+        let a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        for _ in 0..50 {
+            a.send(NodeId(1), Message::Shutdown);
+        }
+        let mut got = 0;
+        while b.recv_timeout(Duration::from_millis(1)).is_ok() {
+            got += 1;
+        }
+        assert_eq!(got, 50);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let net = Network::new();
+        let a = net.register(NodeId(0));
+        assert!(a.recv_timeout(Duration::from_millis(5)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_registration_panics() {
+        let net = Network::new();
+        let _a = net.register(NodeId(0));
+        let _b = net.register(NodeId(0));
+    }
+}

@@ -1,0 +1,371 @@
+//! A small residual convolutional classifier ("MiniResNet").
+//!
+//! The nearest in-repo analogue of the paper's ResNet18: a stack of
+//! same-padded 1-D convolutions with an optional residual connection,
+//! global average pooling and a dense classification head. Like
+//! [`crate::Mlp`], it implements [`Model`], so the whole FL and defense
+//! stack — FedAvg over flat parameters, Algorithm 2 validation — works
+//! with it unchanged (the defense is model-agnostic by design).
+
+use crate::conv::{Conv1d, GlobalAvgPool1d};
+use crate::{softmax_cross_entropy, Activation, Dense, Model, Sgd};
+use baffle_tensor::Matrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Architecture of a [`Cnn`]: signal length, conv channel widths, kernel
+/// size, residual toggle and class count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CnnSpec {
+    input_len: usize,
+    channels: Vec<usize>,
+    kernel: usize,
+    num_classes: usize,
+    residual: bool,
+}
+
+impl CnnSpec {
+    /// Creates a spec. Input signals have one channel and `input_len`
+    /// samples; `channels` gives the output width of each conv stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, `num_classes < 2`, or the kernel
+    /// is even.
+    pub fn new(input_len: usize, channels: &[usize], kernel: usize, num_classes: usize) -> Self {
+        assert!(input_len > 0, "CnnSpec: input_len must be positive");
+        assert!(!channels.is_empty(), "CnnSpec: need at least one conv stage");
+        assert!(channels.iter().all(|&c| c > 0), "CnnSpec: channel widths must be positive");
+        assert!(kernel % 2 == 1, "CnnSpec: kernel must be odd");
+        assert!(num_classes >= 2, "CnnSpec: need at least two classes");
+        Self { input_len, channels: channels.to_vec(), kernel, num_classes, residual: false }
+    }
+
+    /// Adds a residual (skip) connection around every conv stage whose
+    /// input and output widths match — the ResNet building block.
+    pub fn with_residual(mut self) -> Self {
+        self.residual = true;
+        self
+    }
+
+    /// Signal length.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Whether residual connections are enabled.
+    pub fn residual(&self) -> bool {
+        self.residual
+    }
+}
+
+/// The residual 1-D CNN classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cnn {
+    spec: CnnSpec,
+    convs: Vec<Conv1d>,
+    pool: GlobalAvgPool1d,
+    head: Dense,
+}
+
+impl Cnn {
+    /// Creates a CNN with He-initialised weights.
+    pub fn new<R: Rng + ?Sized>(spec: &CnnSpec, rng: &mut R) -> Self {
+        let mut convs = Vec::with_capacity(spec.channels.len());
+        let mut in_ch = 1;
+        for &out_ch in &spec.channels {
+            convs.push(Conv1d::new(
+                in_ch,
+                out_ch,
+                spec.kernel,
+                spec.input_len,
+                Activation::Relu,
+                rng,
+            ));
+            in_ch = out_ch;
+        }
+        let pool = GlobalAvgPool1d::new(in_ch, spec.input_len);
+        let head = Dense::new(in_ch, spec.num_classes, Activation::Identity, rng);
+        Self { spec: spec.clone(), convs, pool, head }
+    }
+
+    /// The architecture.
+    pub fn spec(&self) -> &CnnSpec {
+        &self.spec
+    }
+
+    fn skip_at(&self, stage: usize) -> bool {
+        self.spec.residual && self.convs[stage].in_dim() == self.convs[stage].out_dim()
+    }
+
+    /// Class logits for a batch of signals (`batch × input_len`).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for (s, conv) in self.convs.iter().enumerate() {
+            let mut out = conv.forward(&h);
+            if self.skip_at(s) {
+                out.add_assign(&h);
+            }
+            h = out;
+        }
+        self.head.forward(&self.pool.forward(&h))
+    }
+
+    /// One SGD step on a mini-batch; returns the batch loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn train_batch(&mut self, x: &Matrix, y: &[usize], opt: &mut Sgd) -> f32 {
+        assert_eq!(x.rows(), y.len(), "Cnn::train_batch: rows vs labels");
+        // Forward with caches, remembering stage inputs for skips.
+        let mut h = x.clone();
+        let mut skips: Vec<Option<Matrix>> = Vec::with_capacity(self.convs.len());
+        for s in 0..self.convs.len() {
+            let skip = self.skip_at(s).then(|| h.clone());
+            let mut out = self.convs[s].forward_train(&h);
+            if let Some(skip_in) = &skip {
+                out.add_assign(skip_in);
+            }
+            skips.push(skip);
+            h = out;
+        }
+        let pooled = self.pool.forward(&h);
+        let logits = self.head.forward_train(&pooled);
+        let (loss, grad_logits) = softmax_cross_entropy(&logits, y);
+
+        // Backward.
+        let grad_pooled = self.head.backward(&grad_logits);
+        let mut grad = self.pool.backward(&grad_pooled);
+        for s in (0..self.convs.len()).rev() {
+            let mut gin = self.convs[s].backward(&grad);
+            if skips[s].is_some() {
+                // Residual: gradient flows through the skip unchanged.
+                gin.add_assign(&grad);
+            }
+            grad = gin;
+        }
+
+        // Update.
+        opt.begin_step(self.num_params());
+        for conv in &mut self.convs {
+            conv.apply_grads(|p, g| opt.update(p, g));
+        }
+        self.head.apply_grads(|p, g| opt.update(p, g));
+        loss
+    }
+
+    /// One epoch of shuffled mini-batch SGD; returns the mean batch loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0` or shapes mismatch.
+    pub fn train_epoch<R: Rng + ?Sized>(
+        &mut self,
+        x: &Matrix,
+        y: &[usize],
+        batch_size: usize,
+        opt: &mut Sgd,
+        rng: &mut R,
+    ) -> f32 {
+        assert!(batch_size > 0, "Cnn::train_epoch: batch_size must be positive");
+        if y.is_empty() {
+            return 0.0;
+        }
+        let mut order: Vec<usize> = (0..y.len()).collect();
+        order.shuffle(rng);
+        let mut total = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(batch_size) {
+            let xb = x.select_rows(chunk);
+            let yb: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
+            total += self.train_batch(&xb, &yb, opt);
+            batches += 1;
+        }
+        total / batches as f32
+    }
+
+    /// Fraction of correctly classified rows.
+    pub fn accuracy(&self, x: &Matrix, y: &[usize]) -> f32 {
+        if y.is_empty() {
+            return 0.0;
+        }
+        let preds = self.predict_batch(x);
+        preds.iter().zip(y).filter(|(p, t)| p == t).count() as f32 / y.len() as f32
+    }
+}
+
+impl Model for Cnn {
+    fn num_params(&self) -> usize {
+        self.convs.iter().map(Conv1d::num_params).sum::<usize>() + self.head.num_params()
+    }
+
+    fn params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for conv in &self.convs {
+            conv.write_params(&mut out);
+        }
+        self.head.write_params(&mut out);
+        out
+    }
+
+    fn set_params(&mut self, p: &[f32]) {
+        assert_eq!(p.len(), self.num_params(), "Cnn::set_params: wrong parameter count");
+        let mut rest = p;
+        for conv in &mut self.convs {
+            rest = conv.read_params(rest);
+        }
+        self.head.read_params(rest);
+    }
+
+    fn num_classes(&self) -> usize {
+        self.spec.num_classes
+    }
+
+    fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
+        self.forward(x).argmax_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_signals(rng: &mut StdRng, n_per_class: usize, len: usize) -> (Matrix, Vec<usize>) {
+        // Classes differ by bump *shape* at a random location: narrow
+        // spike, wide plateau, or flat noise. Random placement makes the
+        // task translation invariant — the regime convolutions excel in
+        // (and pooled dense models cannot cheat on).
+        use rand::Rng as _;
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..3 {
+            for _ in 0..n_per_class {
+                let center = rng.gen_range(2..len - 2) as f32;
+                let width = match c {
+                    0 => 0.6,  // narrow spike
+                    1 => 6.0,  // wide plateau
+                    _ => 0.0,  // flat
+                };
+                let mut v = vec![0.0_f32; len];
+                for (p, vp) in v.iter_mut().enumerate() {
+                    let bump = if width > 0.0 {
+                        (-(p as f32 - center).powi(2) / width).exp()
+                    } else {
+                        0.0
+                    };
+                    *vp = bump + 0.1 * baffle_tensor::rng::standard_normal(rng);
+                }
+                rows.push(v);
+                labels.push(c);
+            }
+        }
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs), labels)
+    }
+
+    #[test]
+    fn spec_and_param_roundtrip() {
+        let spec = CnnSpec::new(12, &[4, 4], 3, 5).with_residual();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Cnn::new(&spec, &mut rng);
+        let mut b = Cnn::new(&spec, &mut rng);
+        b.set_params(&a.params());
+        assert_eq!(a.params(), b.params());
+        assert_eq!(a.params().len(), a.num_params());
+        let x = Matrix::from_fn(3, 12, |r, j| (r + j) as f32 * 0.1);
+        assert_eq!(a.predict_batch(&x), b.predict_batch(&x));
+    }
+
+    #[test]
+    fn learns_translation_structured_signals() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (x, y) = toy_signals(&mut rng, 60, 16);
+        let spec = CnnSpec::new(16, &[6, 6], 3, 3).with_residual();
+        let mut model = Cnn::new(&spec, &mut rng);
+        let mut opt = Sgd::new(0.05).with_momentum(0.9);
+        for _ in 0..25 {
+            model.train_epoch(&x, &y, 16, &mut opt, &mut rng);
+        }
+        let acc = model.accuracy(&x, &y);
+        assert!(acc > 0.9, "CNN failed to learn: accuracy {acc}");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (x, y) = toy_signals(&mut rng, 30, 12);
+        let spec = CnnSpec::new(12, &[4], 3, 3);
+        let mut model = Cnn::new(&spec, &mut rng);
+        let mut opt = Sgd::new(0.03);
+        let logits = model.forward(&x);
+        let before = softmax_cross_entropy(&logits, &y).0;
+        for _ in 0..8 {
+            model.train_epoch(&x, &y, 8, &mut opt, &mut rng);
+        }
+        let logits = model.forward(&x);
+        let after = softmax_cross_entropy(&logits, &y).0;
+        assert!(after < before, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn residual_skips_only_matching_widths() {
+        // First stage 1→4 (no skip possible), second 4→4 (skip active).
+        let spec = CnnSpec::new(8, &[4, 4], 3, 2).with_residual();
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = Cnn::new(&spec, &mut rng);
+        assert!(!model.skip_at(0));
+        assert!(model.skip_at(1));
+    }
+
+    #[test]
+    fn residual_gradient_check_end_to_end() {
+        // Numerical gradient of the total loss w.r.t. a few parameters,
+        // through conv + skip + pool + head.
+        let spec = CnnSpec::new(6, &[3, 3], 3, 2).with_residual();
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = Cnn::new(&spec, &mut rng);
+        let x = Matrix::from_fn(4, 6, |r, j| ((r * 6 + j) as f32 * 0.37).sin() * 0.5);
+        let y = vec![0, 1, 0, 1];
+
+        // Analytic gradient via a zero-lr "training" step is awkward;
+        // instead compare two finite-difference estimates around a real
+        // SGD step: the loss must decrease along the update direction.
+        let loss_of = |m: &Cnn| softmax_cross_entropy(&m.forward(&x), &y).0;
+        let before = loss_of(&model);
+        let mut stepped = model.clone();
+        let mut opt = Sgd::new(0.01);
+        stepped.train_batch(&x, &y, &mut opt);
+        let after = loss_of(&stepped);
+        assert!(
+            after < before + 1e-6,
+            "SGD step along the gradient increased the loss: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn empty_epoch_is_noop() {
+        let spec = CnnSpec::new(6, &[2], 3, 2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut model = Cnn::new(&spec, &mut rng);
+        let before = model.params();
+        let loss =
+            model.train_epoch(&Matrix::zeros(0, 6), &[], 4, &mut Sgd::new(0.1), &mut rng);
+        assert_eq!(loss, 0.0);
+        assert_eq!(model.params(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel must be odd")]
+    fn even_kernel_spec_panics() {
+        let _ = CnnSpec::new(8, &[4], 4, 2);
+    }
+}

@@ -1,0 +1,407 @@
+//! 1-D convolution with manual backpropagation.
+//!
+//! The synthetic substrate represents samples as feature vectors; the
+//! convolutional model family treats them as 1-D signals (one input
+//! channel), the closest analogue of the paper's ResNet18 this crate
+//! supports. Shapes follow a channels-major layout: a batch row of a
+//! `c`-channel, length-`L` signal is the concatenation
+//! `[ch 0 | ch 1 | … | ch c−1]`, each of length `L`.
+
+use crate::Activation;
+use baffle_tensor::{rng as trng, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A same-padded, stride-1 1-D convolution layer with a pointwise
+/// activation: `y[o][p] = act(Σᵢ Σₖ w[o][i][k] · x[i][p+k−⌊K/2⌋] + b[o])`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv1d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    length: usize,
+    /// Weights, `out_channels × (in_channels · kernel)` row-major.
+    w: Matrix,
+    b: Vec<f32>,
+    activation: Activation,
+    #[serde(skip)]
+    cached_input: Option<Matrix>,
+    #[serde(skip)]
+    cached_pre: Option<Matrix>,
+    #[serde(skip)]
+    grad_w: Option<Matrix>,
+    #[serde(skip)]
+    grad_b: Option<Vec<f32>>,
+}
+
+impl Conv1d {
+    /// Creates a conv layer for signals of length `length`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the kernel is even (same
+    /// padding needs an odd kernel).
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        length: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0, "Conv1d: channels must be positive");
+        assert!(length > 0, "Conv1d: length must be positive");
+        assert!(kernel % 2 == 1, "Conv1d: kernel must be odd for same padding, got {kernel}");
+        let fan_in = in_channels * kernel;
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            length,
+            w: trng::he_init(rng, fan_in, out_channels).transpose(),
+            b: vec![0.0; out_channels],
+            activation,
+            cached_input: None,
+            cached_pre: None,
+            grad_w: None,
+            grad_b: None,
+        }
+    }
+
+    /// Input width this layer expects (`in_channels · length`).
+    pub fn in_dim(&self) -> usize {
+        self.in_channels * self.length
+    }
+
+    /// Output width (`out_channels · length`).
+    pub fn out_dim(&self) -> usize {
+        self.out_channels * self.length
+    }
+
+    /// Number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Signal length.
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    #[inline]
+    fn weight(&self, o: usize, i: usize, k: usize) -> f32 {
+        self.w[(o, i * self.kernel + k)]
+    }
+
+    fn convolve(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.cols(),
+            self.in_dim(),
+            "Conv1d: input width {} != expected {}",
+            x.cols(),
+            self.in_dim()
+        );
+        let pad = self.kernel / 2;
+        let len = self.length;
+        let mut out = Matrix::zeros(x.rows(), self.out_dim());
+        for bi in 0..x.rows() {
+            let row = x.row(bi);
+            let out_row = out.row_mut(bi);
+            for o in 0..self.out_channels {
+                for p in 0..len {
+                    let mut acc = self.b[o];
+                    for i in 0..self.in_channels {
+                        let base = i * len;
+                        for k in 0..self.kernel {
+                            let q = p + k;
+                            if q < pad || q - pad >= len {
+                                continue;
+                            }
+                            acc += self.weight(o, i, k) * row[base + q - pad];
+                        }
+                    }
+                    out_row[o * len + p] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    /// Inference-only forward pass.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let act = self.activation;
+        self.convolve(x).map(|v| act.apply(v))
+    }
+
+    /// Training forward pass (caches state for [`Conv1d::backward`]).
+    pub fn forward_train(&mut self, x: &Matrix) -> Matrix {
+        let pre = self.convolve(x);
+        self.cached_input = Some(x.clone());
+        let act = self.activation;
+        let out = pre.map(|v| act.apply(v));
+        self.cached_pre = Some(pre);
+        out
+    }
+
+    /// Backward pass: returns ∂L/∂x and stores parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward_train` or with a wrong-shaped
+    /// gradient.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let input = self.cached_input.as_ref().expect("Conv1d::backward before forward_train");
+        let pre = self.cached_pre.as_ref().expect("pre-activation cache missing");
+        assert_eq!(grad_out.shape(), pre.shape(), "Conv1d::backward: gradient shape mismatch");
+
+        let act = self.activation;
+        let mut delta = pre.map(|v| act.derivative(v));
+        delta.hadamard_assign(grad_out);
+
+        let pad = self.kernel / 2;
+        let len = self.length;
+        let mut grad_w = Matrix::zeros(self.out_channels, self.in_channels * self.kernel);
+        let mut grad_b = vec![0.0_f32; self.out_channels];
+        let mut dx = Matrix::zeros(input.rows(), self.in_dim());
+
+        for bi in 0..input.rows() {
+            let x_row = input.row(bi);
+            let d_row = delta.row(bi);
+            let dx_row = dx.row_mut(bi);
+            for o in 0..self.out_channels {
+                for p in 0..len {
+                    let d = d_row[o * len + p];
+                    if d == 0.0 {
+                        continue;
+                    }
+                    grad_b[o] += d;
+                    for i in 0..self.in_channels {
+                        let base = i * len;
+                        for k in 0..self.kernel {
+                            let q = p + k;
+                            if q < pad || q - pad >= len {
+                                continue;
+                            }
+                            grad_w[(o, i * self.kernel + k)] += d * x_row[base + q - pad];
+                            dx_row[base + q - pad] += d * self.weight(o, i, k);
+                        }
+                    }
+                }
+            }
+        }
+        self.grad_w = Some(grad_w);
+        self.grad_b = Some(grad_b);
+        dx
+    }
+
+    /// Applies the stored gradients through the caller's update rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Conv1d::backward`].
+    pub fn apply_grads(&mut self, mut f: impl FnMut(&mut f32, f32)) {
+        let gw = self.grad_w.take().expect("Conv1d::apply_grads before backward");
+        let gb = self.grad_b.take().expect("bias gradient missing");
+        for (p, &g) in self.w.as_mut_slice().iter_mut().zip(gw.as_slice()) {
+            f(p, g);
+        }
+        for (p, &g) in self.b.iter_mut().zip(&gb) {
+            f(p, g);
+        }
+    }
+
+    /// Appends parameters (weights row-major, then bias).
+    pub fn write_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.w.as_slice());
+        out.extend_from_slice(&self.b);
+    }
+
+    /// Reads parameters from the front of `p`, returning the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is too short.
+    pub fn read_params<'a>(&mut self, p: &'a [f32]) -> &'a [f32] {
+        let nw = self.w.len();
+        let nb = self.b.len();
+        assert!(p.len() >= nw + nb, "Conv1d::read_params: need {} values", nw + nb);
+        self.w.as_mut_slice().copy_from_slice(&p[..nw]);
+        self.b.copy_from_slice(&p[nw..nw + nb]);
+        &p[nw + nb..]
+    }
+}
+
+/// Global average pooling over the signal axis: collapses
+/// `channels × length` to `channels` by averaging each channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalAvgPool1d {
+    channels: usize,
+    length: usize,
+}
+
+impl GlobalAvgPool1d {
+    /// Creates the pool for `channels` channels of `length` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(channels: usize, length: usize) -> Self {
+        assert!(channels > 0 && length > 0, "GlobalAvgPool1d: dimensions must be positive");
+        Self { channels, length }
+    }
+
+    /// Forward pass: `batch × (channels·length)` → `batch × channels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a width mismatch.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.channels * self.length, "GlobalAvgPool1d: width mismatch");
+        let mut out = Matrix::zeros(x.rows(), self.channels);
+        for bi in 0..x.rows() {
+            let row = x.row(bi);
+            let out_row = out.row_mut(bi);
+            for (c, o) in out_row.iter_mut().enumerate() {
+                let seg = &row[c * self.length..(c + 1) * self.length];
+                *o = seg.iter().sum::<f32>() / self.length as f32;
+            }
+        }
+        out
+    }
+
+    /// Backward pass: spreads each channel gradient uniformly over the
+    /// signal positions.
+    pub fn backward(&self, grad_out: &Matrix) -> Matrix {
+        assert_eq!(grad_out.cols(), self.channels, "GlobalAvgPool1d: gradient width mismatch");
+        let mut dx = Matrix::zeros(grad_out.rows(), self.channels * self.length);
+        let inv = 1.0 / self.length as f32;
+        for bi in 0..grad_out.rows() {
+            let g = grad_out.row(bi);
+            let dx_row = dx.row_mut(bi);
+            for c in 0..self.channels {
+                for p in 0..self.length {
+                    dx_row[c * self.length + p] = g[c] * inv;
+                }
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn conv(ci: usize, co: usize, k: usize, len: usize, act: Activation) -> Conv1d {
+        let mut rng = StdRng::seed_from_u64(5);
+        Conv1d::new(ci, co, k, len, act, &mut rng)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let c = conv(2, 3, 3, 7, Activation::Identity);
+        let x = Matrix::zeros(4, 14);
+        assert_eq!(c.forward(&x).shape(), (4, 21));
+        assert_eq!(c.num_params(), 3 * 2 * 3 + 3);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1→1 conv, kernel 3, weights [0,1,0], bias 0 = identity.
+        let mut c = conv(1, 1, 3, 5, Activation::Identity);
+        c.read_params(&[0.0, 1.0, 0.0, 0.0]);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0, 5.0]]);
+        assert_eq!(c.forward(&x), x);
+    }
+
+    #[test]
+    fn shift_kernel_pads_with_zero() {
+        // Kernel [1,0,0] shifts the signal right by one (same padding).
+        let mut c = conv(1, 1, 3, 4, Activation::Identity);
+        c.read_params(&[1.0, 0.0, 0.0, 0.0]);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]);
+        let y = c.forward(&x);
+        assert_eq!(y, Matrix::from_rows(&[&[0.0, 1.0, 2.0, 3.0]]));
+    }
+
+    #[test]
+    fn gradient_check_weights_and_input() {
+        let mut c = conv(2, 2, 3, 5, Activation::Tanh);
+        let x = Matrix::from_fn(3, 10, |r, j| ((r * 10 + j) as f32 * 0.23).sin() * 0.5);
+        let loss = |c: &Conv1d, x: &Matrix| c.forward(x).as_slice().iter().sum::<f32>();
+
+        c.forward_train(&x);
+        let ones = Matrix::filled(3, 10, 1.0);
+        let dx = c.backward(&ones);
+        let mut analytic = Vec::new();
+        analytic.extend_from_slice(c.grad_w.clone().unwrap().as_slice());
+        analytic.extend_from_slice(c.grad_b.as_ref().unwrap());
+
+        let mut params = Vec::new();
+        c.write_params(&mut params);
+        let eps = 1e-3;
+        for i in 0..params.len() {
+            let mut plus = params.clone();
+            plus[i] += eps;
+            let mut minus = params.clone();
+            minus[i] -= eps;
+            let mut cp = c.clone();
+            cp.read_params(&plus);
+            let mut cm = c.clone();
+            cm.read_params(&minus);
+            let fd = (loss(&cp, &x) - loss(&cm, &x)) / (2.0 * eps);
+            assert!(
+                (fd - analytic[i]).abs() < 3e-2,
+                "param {i}: fd {fd} vs analytic {}",
+                analytic[i]
+            );
+        }
+        // Input gradient, one entry.
+        let mut xp = x.clone();
+        xp[(1, 3)] += eps;
+        let mut xm = x.clone();
+        xm[(1, 3)] -= eps;
+        let fd = (loss(&c, &xp) - loss(&c, &xm)) / (2.0 * eps);
+        assert!((fd - dx[(1, 3)]).abs() < 3e-2, "dx fd {fd} vs {}", dx[(1, 3)]);
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let c1 = conv(2, 3, 3, 4, Activation::Relu);
+        let mut c2 = conv(2, 3, 3, 4, Activation::Relu);
+        let mut p = Vec::new();
+        c1.write_params(&mut p);
+        assert_eq!(p.len(), c1.num_params());
+        let rest = c2.read_params(&p);
+        assert!(rest.is_empty());
+        let x = Matrix::from_fn(2, 8, |r, j| (r + j) as f32 * 0.1);
+        assert_eq!(c1.forward(&x), c2.forward(&x));
+    }
+
+    #[test]
+    fn pool_averages_channels() {
+        let pool = GlobalAvgPool1d::new(2, 3);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 10.0, 20.0, 30.0]]);
+        let y = pool.forward(&x);
+        assert_eq!(y, Matrix::from_rows(&[&[2.0, 20.0]]));
+    }
+
+    #[test]
+    fn pool_gradient_matches_finite_difference() {
+        let pool = GlobalAvgPool1d::new(2, 4);
+        let x = Matrix::from_fn(2, 8, |r, j| (r * 8 + j) as f32 * 0.3);
+        // Loss = sum of pooled outputs; gradient w.r.t. each input is 1/len.
+        let dx = pool.backward(&Matrix::filled(2, 2, 1.0));
+        assert!(dx.as_slice().iter().all(|&g| (g - 0.25).abs() < 1e-6));
+        let _ = x;
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel must be odd")]
+    fn even_kernel_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Conv1d::new(1, 1, 2, 4, Activation::Relu, &mut rng);
+    }
+}

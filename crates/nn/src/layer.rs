@@ -1,0 +1,295 @@
+//! Fully-connected (dense) layer with manual backpropagation.
+
+use crate::Activation;
+use baffle_tensor::{rng, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense layer `y = act(x · W + b)` with cached forward state for
+/// backpropagation.
+///
+/// Weights are stored as an `in_dim × out_dim` matrix so a batch
+/// (`batch × in_dim`) multiplies on the left.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    w: Matrix,
+    b: Vec<f32>,
+    activation: Activation,
+    /// Input of the latest `forward_train` call (needed for dW).
+    #[serde(skip)]
+    cached_input: Option<Matrix>,
+    /// Pre-activation of the latest `forward_train` call (needed for dact).
+    #[serde(skip)]
+    cached_pre: Option<Matrix>,
+    /// Weight gradient from the latest `backward` call.
+    #[serde(skip)]
+    grad_w: Option<Matrix>,
+    /// Bias gradient from the latest `backward` call.
+    #[serde(skip)]
+    grad_b: Option<Vec<f32>>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-initialised weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        Self {
+            w: rng::he_init(rng, in_dim, out_dim),
+            b: vec![0.0; out_dim],
+            activation,
+            cached_input: None,
+            cached_pre: None,
+            grad_w: None,
+            grad_b: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Number of scalar parameters (`in_dim * out_dim + out_dim`).
+    pub fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Inference-only forward pass (no state is cached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.in_dim()`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut pre = x.matmul(&self.w);
+        pre.add_row_broadcast(&self.b);
+        let act = self.activation;
+        pre.map_assign(|v| act.apply(v));
+        pre
+    }
+
+    /// Training forward pass; caches the input and pre-activation for a
+    /// subsequent [`Dense::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.in_dim()`.
+    pub fn forward_train(&mut self, x: &Matrix) -> Matrix {
+        let mut pre = x.matmul(&self.w);
+        pre.add_row_broadcast(&self.b);
+        self.cached_input = Some(x.clone());
+        let act = self.activation;
+        let out = pre.map(|v| act.apply(v));
+        self.cached_pre = Some(pre);
+        out
+    }
+
+    /// Backward pass. `grad_out` is ∂L/∂y for the latest
+    /// [`Dense::forward_train`] batch; returns ∂L/∂x and stores the weight
+    /// and bias gradients for [`Dense::apply_grads`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward_train`, or if `grad_out` has the
+    /// wrong shape.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Dense::backward called before forward_train");
+        let pre = self.cached_pre.as_ref().expect("pre-activation cache missing");
+        assert_eq!(
+            grad_out.shape(),
+            pre.shape(),
+            "Dense::backward: grad shape {:?} != output shape {:?}",
+            grad_out.shape(),
+            pre.shape()
+        );
+
+        // δ = grad_out ⊙ act'(pre)
+        let act = self.activation;
+        let mut delta = pre.map(|v| act.derivative(v));
+        delta.hadamard_assign(grad_out);
+
+        // dW = xᵀ δ, db = column sums of δ, dx = δ Wᵀ.
+        self.grad_w = Some(input.matmul_tn(&delta));
+        self.grad_b = Some(delta.sum_rows());
+        delta.matmul_nt(&self.w)
+    }
+
+    /// Applies the stored gradients with the given update rule
+    /// (`param -= step(param, grad)` is handled by the caller through the
+    /// closure; this method only exposes parameter/gradient pairs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Dense::backward`].
+    pub fn apply_grads(&mut self, mut f: impl FnMut(&mut f32, f32)) {
+        let gw = self.grad_w.take().expect("Dense::apply_grads called before backward");
+        let gb = self.grad_b.take().expect("bias gradient missing");
+        for (p, &g) in self.w.as_mut_slice().iter_mut().zip(gw.as_slice()) {
+            f(p, g);
+        }
+        for (p, &g) in self.b.iter_mut().zip(&gb) {
+            f(p, g);
+        }
+    }
+
+    /// Appends this layer's parameters to `out` (weights row-major, then
+    /// bias).
+    pub fn write_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.w.as_slice());
+        out.extend_from_slice(&self.b);
+    }
+
+    /// Reads this layer's parameters from the front of `p`, returning the
+    /// remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is shorter than [`Dense::num_params`].
+    pub fn read_params<'a>(&mut self, p: &'a [f32]) -> &'a [f32] {
+        let nw = self.w.len();
+        let nb = self.b.len();
+        assert!(
+            p.len() >= nw + nb,
+            "Dense::read_params: need {} values, got {}",
+            nw + nb,
+            p.len()
+        );
+        self.w.as_mut_slice().copy_from_slice(&p[..nw]);
+        self.b.copy_from_slice(&p[nw..nw + nb]);
+        &p[nw + nb..]
+    }
+
+    /// Drops cached activations and gradients (e.g. before serialising).
+    pub fn clear_cache(&mut self) {
+        self.cached_input = None;
+        self.cached_pre = None;
+        self.grad_w = None;
+        self.grad_b = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer(in_dim: usize, out_dim: usize, act: Activation) -> Dense {
+        let mut rng = StdRng::seed_from_u64(11);
+        Dense::new(in_dim, out_dim, act, &mut rng)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let l = layer(4, 3, Activation::Relu);
+        let x = Matrix::zeros(5, 4);
+        assert_eq!(l.forward(&x).shape(), (5, 3));
+    }
+
+    #[test]
+    fn forward_and_forward_train_agree() {
+        let mut l = layer(4, 3, Activation::Tanh);
+        let x = Matrix::from_fn(2, 4, |r, c| (r + c) as f32 * 0.1);
+        let a = l.forward(&x);
+        let b = l.forward_train(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let l = layer(3, 2, Activation::Identity);
+        let mut p = Vec::new();
+        l.write_params(&mut p);
+        assert_eq!(p.len(), l.num_params());
+        let mut l2 = layer(3, 2, Activation::Identity);
+        let rest = l2.read_params(&p);
+        assert!(rest.is_empty());
+        let mut p2 = Vec::new();
+        l2.write_params(&mut p2);
+        assert_eq!(p, p2);
+    }
+
+    /// Numerical gradient check: perturb each weight and compare the loss
+    /// change against the analytic gradient.
+    #[test]
+    fn gradient_check_identity_activation() {
+        gradient_check(Activation::Identity);
+    }
+
+    #[test]
+    fn gradient_check_tanh_activation() {
+        gradient_check(Activation::Tanh);
+    }
+
+    fn gradient_check(act: Activation) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Dense::new(3, 2, act, &mut rng);
+        let x = Matrix::from_fn(4, 3, |r, c| ((r * 3 + c) as f32 * 0.17).sin());
+        // Loss = sum of outputs, so grad_out = ones.
+        let loss = |l: &Dense| l.forward(&x).as_slice().iter().sum::<f32>();
+
+        l.forward_train(&x);
+        let ones = Matrix::filled(4, 2, 1.0);
+        let dx = l.backward(&ones);
+
+        // Check weight gradients against finite differences.
+        let mut analytic = Vec::new();
+        {
+            let gw = l.grad_w.clone().unwrap();
+            analytic.extend_from_slice(gw.as_slice());
+            analytic.extend_from_slice(l.grad_b.as_ref().unwrap());
+        }
+        let mut p = Vec::new();
+        l.write_params(&mut p);
+        let eps = 1e-3;
+        for i in 0..p.len() {
+            let mut plus = p.clone();
+            plus[i] += eps;
+            let mut minus = p.clone();
+            minus[i] -= eps;
+            let mut lp = l.clone();
+            lp.read_params(&plus);
+            let mut lm = l.clone();
+            lm.read_params(&minus);
+            let fd = (loss(&lp) - loss(&lm)) / (2.0 * eps);
+            assert!(
+                (fd - analytic[i]).abs() < 2e-2,
+                "param {i}: finite diff {fd} vs analytic {}",
+                analytic[i]
+            );
+        }
+
+        // Check input gradient for one entry.
+        let mut xp = x.clone();
+        xp[(0, 0)] += eps;
+        let mut xm = x.clone();
+        xm[(0, 0)] -= eps;
+        let fd = (l.forward(&xp).as_slice().iter().sum::<f32>()
+            - l.forward(&xm).as_slice().iter().sum::<f32>())
+            / (2.0 * eps);
+        assert!((fd - dx[(0, 0)]).abs() < 2e-2, "dx finite diff {fd} vs {}", dx[(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before forward_train")]
+    fn backward_without_forward_panics() {
+        let mut l = layer(2, 2, Activation::Relu);
+        let _ = l.backward(&Matrix::zeros(1, 2));
+    }
+}

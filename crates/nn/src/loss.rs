@@ -1,0 +1,150 @@
+//! Softmax and cross-entropy loss.
+
+use baffle_tensor::Matrix;
+
+/// Row-wise numerically-stable softmax.
+///
+/// # Example
+///
+/// ```
+/// use baffle_tensor::Matrix;
+/// let logits = Matrix::from_rows(&[&[0.0, 0.0]]);
+/// let p = baffle_nn::softmax(&logits);
+/// assert!((p[(0, 0)] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Mean softmax cross-entropy loss and its gradient with respect to the
+/// logits.
+///
+/// Returns `(loss, dlogits)` where `dlogits = (softmax(logits) − one_hot(y)) / batch`.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or any label is out of range.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(
+        labels.len(),
+        logits.rows(),
+        "softmax_cross_entropy: {} labels for {} rows",
+        labels.len(),
+        logits.rows()
+    );
+    let batch = logits.rows().max(1) as f32;
+    let mut probs = softmax(logits);
+    let mut loss = 0.0;
+    for (r, &y) in labels.iter().enumerate() {
+        assert!(
+            y < logits.cols(),
+            "softmax_cross_entropy: label {y} out of range for {} classes",
+            logits.cols()
+        );
+        let p = probs[(r, y)].max(1e-12);
+        loss -= p.ln();
+        probs[(r, y)] -= 1.0;
+    }
+    probs.scale_assign(1.0 / batch);
+    (loss / batch, probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        let p = softmax(&logits);
+        for r in 0..p.rows() {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[101.0, 102.0, 103.0]]);
+        let pa = softmax(&a);
+        let pb = softmax(&b);
+        for (x, y) in pa.as_slice().iter().zip(pb.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits_without_overflow() {
+        let logits = Matrix::from_rows(&[&[1000.0, 0.0]]);
+        let p = softmax(&logits);
+        assert!(p.is_finite());
+        assert!((p[(0, 0)] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Matrix::from_rows(&[&[20.0, 0.0], &[0.0, 20.0]]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-6, "loss = {loss}");
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_prediction_is_log_k() {
+        let logits = Matrix::zeros(1, 4);
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]);
+        assert!((loss - (4.0_f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[&[0.3, -0.7, 1.1], &[0.0, 0.5, -0.2]]);
+        let labels = [2, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for r in 0..logits.rows() {
+            for c in 0..logits.cols() {
+                let mut plus = logits.clone();
+                plus[(r, c)] += eps;
+                let mut minus = logits.clone();
+                minus[(r, c)] -= eps;
+                let (lp, _) = softmax_cross_entropy(&plus, &labels);
+                let (lm, _) = softmax_cross_entropy(&minus, &labels);
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - grad[(r, c)]).abs() < 1e-3,
+                    "({r},{c}): fd {fd} vs analytic {}",
+                    grad[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Matrix::from_rows(&[&[0.1, 0.2, 0.3]]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        let s: f32 = grad.row(0).iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 5 out of range")]
+    fn out_of_range_label_panics() {
+        let logits = Matrix::zeros(1, 3);
+        let _ = softmax_cross_entropy(&logits, &[5]);
+    }
+}

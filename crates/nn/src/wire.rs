@@ -1,0 +1,269 @@
+//! Wire format for model parameters.
+//!
+//! The feedback loop requires the server to ship the history of the last
+//! `ℓ+1` accepted global models to each validating client (paper §VI-D).
+//! This module provides the codecs used to measure that communication
+//! overhead: a lossless little-endian `f32` codec and lossy linear
+//! quantisation codecs (8-bit and 4-bit) standing in for the
+//! model-compression techniques the paper cites for its "reduce by ×10"
+//! estimate.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Error returned when decoding malformed wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    what: &'static str,
+}
+
+impl DecodeError {
+    fn new(what: &'static str) -> Self {
+        Self { what }
+    }
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed model wire data: {}", self.what)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MAGIC_F32: u32 = 0xBAFF_1E32;
+const MAGIC_Q8: u32 = 0xBAFF_1E08;
+const MAGIC_Q4: u32 = 0xBAFF_1E04;
+
+/// Encodes a parameter vector losslessly (little-endian `f32`).
+///
+/// # Example
+///
+/// ```
+/// let p = vec![1.0, -2.5, 0.0];
+/// let bytes = baffle_nn::wire::encode_f32(&p);
+/// let back = baffle_nn::wire::decode_f32(&bytes)?;
+/// assert_eq!(p, back);
+/// # Ok::<(), baffle_nn::wire::DecodeError>(())
+/// ```
+pub fn encode_f32(params: &[f32]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + params.len() * 4);
+    buf.put_u32_le(MAGIC_F32);
+    buf.put_u32_le(params.len() as u32);
+    for &p in params {
+        buf.put_f32_le(p);
+    }
+    buf.freeze()
+}
+
+/// Decodes a vector produced by [`encode_f32`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the buffer is truncated or has the wrong
+/// magic number.
+pub fn decode_f32(mut bytes: &[u8]) -> Result<Vec<f32>, DecodeError> {
+    if bytes.remaining() < 8 {
+        return Err(DecodeError::new("header truncated"));
+    }
+    if bytes.get_u32_le() != MAGIC_F32 {
+        return Err(DecodeError::new("bad magic for f32 codec"));
+    }
+    let n = bytes.get_u32_le() as usize;
+    if bytes.remaining() < n * 4 {
+        return Err(DecodeError::new("payload truncated"));
+    }
+    Ok((0..n).map(|_| bytes.get_f32_le()).collect())
+}
+
+/// Encodes with linear 8-bit quantisation (≈4× smaller than `f32`).
+///
+/// Values are mapped to `[-127, 127]` around the min/max range; the scale
+/// is stored in the header so decoding is self-contained.
+pub fn encode_q8(params: &[f32]) -> Bytes {
+    let (lo, hi) = min_max(params);
+    let scale = ((hi - lo) / 254.0).max(f32::MIN_POSITIVE);
+    let mut buf = BytesMut::with_capacity(16 + params.len());
+    buf.put_u32_le(MAGIC_Q8);
+    buf.put_u32_le(params.len() as u32);
+    buf.put_f32_le(lo);
+    buf.put_f32_le(scale);
+    for &p in params {
+        let q = ((p - lo) / scale).round().clamp(0.0, 254.0) as u8;
+        buf.put_u8(q);
+    }
+    buf.freeze()
+}
+
+/// Decodes a vector produced by [`encode_q8`]. Lossy: values are
+/// reconstructed to within one quantisation step.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated or mislabeled input.
+pub fn decode_q8(mut bytes: &[u8]) -> Result<Vec<f32>, DecodeError> {
+    if bytes.remaining() < 16 {
+        return Err(DecodeError::new("header truncated"));
+    }
+    if bytes.get_u32_le() != MAGIC_Q8 {
+        return Err(DecodeError::new("bad magic for q8 codec"));
+    }
+    let n = bytes.get_u32_le() as usize;
+    let lo = bytes.get_f32_le();
+    let scale = bytes.get_f32_le();
+    if bytes.remaining() < n {
+        return Err(DecodeError::new("payload truncated"));
+    }
+    Ok((0..n).map(|_| lo + bytes.get_u8() as f32 * scale).collect())
+}
+
+/// Encodes with linear 4-bit quantisation (≈8× smaller than `f32`);
+/// two values per byte.
+pub fn encode_q4(params: &[f32]) -> Bytes {
+    let (lo, hi) = min_max(params);
+    let scale = ((hi - lo) / 15.0).max(f32::MIN_POSITIVE);
+    let mut buf = BytesMut::with_capacity(16 + params.len().div_ceil(2));
+    buf.put_u32_le(MAGIC_Q4);
+    buf.put_u32_le(params.len() as u32);
+    buf.put_f32_le(lo);
+    buf.put_f32_le(scale);
+    let quant = |p: f32| ((p - lo) / scale).round().clamp(0.0, 15.0) as u8;
+    for pair in params.chunks(2) {
+        let hi4 = quant(pair[0]);
+        let lo4 = if pair.len() == 2 { quant(pair[1]) } else { 0 };
+        buf.put_u8((hi4 << 4) | lo4);
+    }
+    buf.freeze()
+}
+
+/// Decodes a vector produced by [`encode_q4`]. Lossy.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated or mislabeled input.
+pub fn decode_q4(mut bytes: &[u8]) -> Result<Vec<f32>, DecodeError> {
+    if bytes.remaining() < 16 {
+        return Err(DecodeError::new("header truncated"));
+    }
+    if bytes.get_u32_le() != MAGIC_Q4 {
+        return Err(DecodeError::new("bad magic for q4 codec"));
+    }
+    let n = bytes.get_u32_le() as usize;
+    let lo = bytes.get_f32_le();
+    let scale = bytes.get_f32_le();
+    if bytes.remaining() < n.div_ceil(2) {
+        return Err(DecodeError::new("payload truncated"));
+    }
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let b = bytes.get_u8();
+        out.push(lo + (b >> 4) as f32 * scale);
+        if out.len() < n {
+            out.push(lo + (b & 0x0F) as f32 * scale);
+        }
+    }
+    Ok(out)
+}
+
+fn min_max(params: &[f32]) -> (f32, f32) {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &p in params {
+        lo = lo.min(p);
+        hi = hi.max(p);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        (0.0, 0.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_params(n: usize) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(99);
+        baffle_tensor::rng::normal_vec(&mut rng, n, 0.0, 0.3)
+    }
+
+    #[test]
+    fn f32_roundtrip_is_exact() {
+        let p = sample_params(1000);
+        assert_eq!(decode_f32(&encode_f32(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn f32_empty_roundtrip() {
+        let p: Vec<f32> = Vec::new();
+        assert_eq!(decode_f32(&encode_f32(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn q8_roundtrip_within_one_step() {
+        let p = sample_params(1000);
+        let back = decode_q8(&encode_q8(&p)).unwrap();
+        let (lo, hi) = super::min_max(&p);
+        let step = (hi - lo) / 254.0;
+        for (&a, &b) in p.iter().zip(&back) {
+            assert!((a - b).abs() <= step, "{a} vs {b}, step {step}");
+        }
+    }
+
+    #[test]
+    fn q4_roundtrip_within_one_step() {
+        let p = sample_params(1001); // odd length exercises the padding path
+        let back = decode_q4(&encode_q4(&p)).unwrap();
+        assert_eq!(back.len(), p.len());
+        let (lo, hi) = super::min_max(&p);
+        let step = (hi - lo) / 15.0;
+        for (&a, &b) in p.iter().zip(&back) {
+            assert!((a - b).abs() <= step, "{a} vs {b}, step {step}");
+        }
+    }
+
+    #[test]
+    fn compression_ratios() {
+        let p = sample_params(10_000);
+        let f = encode_f32(&p).len();
+        let q8 = encode_q8(&p).len();
+        let q4 = encode_q4(&p).len();
+        assert!(f as f32 / q8 as f32 > 3.9, "q8 ratio {}", f as f32 / q8 as f32);
+        assert!(f as f32 / q4 as f32 > 7.8, "q4 ratio {}", f as f32 / q4 as f32);
+    }
+
+    #[test]
+    fn constant_vector_quantises_exactly() {
+        let p = vec![0.5; 100];
+        let back = decode_q8(&encode_q8(&p)).unwrap();
+        for &b in &back {
+            assert!((b - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let p = sample_params(10);
+        let enc = encode_f32(&p);
+        assert!(decode_f32(&enc[..enc.len() - 1]).is_err());
+        assert!(decode_f32(&enc[..4]).is_err());
+    }
+
+    #[test]
+    fn wrong_magic_errors() {
+        let p = sample_params(10);
+        let enc = encode_q8(&p);
+        assert!(decode_f32(&enc).is_err());
+        let enc = encode_f32(&p);
+        assert!(decode_q8(&enc).is_err());
+        assert!(decode_q4(&enc).is_err());
+    }
+
+    #[test]
+    fn decode_error_displays() {
+        let err = decode_f32(&[]).unwrap_err();
+        assert!(err.to_string().contains("malformed"));
+    }
+}

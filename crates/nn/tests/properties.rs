@@ -1,0 +1,101 @@
+//! Property-based tests for the NN substrate.
+
+use baffle_nn::{softmax, softmax_cross_entropy, ConfusionMatrix, Mlp, MlpSpec, Model};
+use baffle_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn logits_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-20.0_f32..20.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    /// Softmax outputs are a probability distribution per row.
+    #[test]
+    fn softmax_rows_are_distributions(logits in logits_strategy(4, 5)) {
+        let p = softmax(&logits);
+        for r in 0..p.rows() {
+            let row = p.row(r);
+            prop_assert!(row.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// Cross-entropy loss is non-negative and its gradient rows sum to 0.
+    #[test]
+    fn cross_entropy_invariants(logits in logits_strategy(3, 4), labels in prop::collection::vec(0usize..4, 3)) {
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+        prop_assert!(loss >= -1e-6);
+        for r in 0..grad.rows() {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-4);
+        }
+    }
+
+    /// params/set_params round-trips exactly for arbitrary architectures.
+    #[test]
+    fn param_roundtrip(hidden in prop::collection::vec(1usize..8, 0..3), seed in 0u64..1000) {
+        let spec = MlpSpec::new(3, &hidden, 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Mlp::new(&spec, &mut rng);
+        let mut b = Mlp::new(&spec, &mut rng);
+        b.set_params(&a.params());
+        prop_assert_eq!(a.params(), b.params());
+    }
+
+    /// Spec::num_params always matches the materialised model.
+    #[test]
+    fn spec_param_count(hidden in prop::collection::vec(1usize..10, 0..4), classes in 2usize..6, input in 1usize..9) {
+        let spec = MlpSpec::new(input, &hidden, classes);
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mlp::new(&spec, &mut rng);
+        prop_assert_eq!(m.params().len(), spec.num_params());
+    }
+
+    /// Confusion-matrix identities: total preserved, accuracy + error = 1,
+    /// source and target errors each sum to the total error.
+    #[test]
+    fn confusion_identities(pairs in prop::collection::vec((0usize..4, 0usize..4), 1..60)) {
+        let mut cm = ConfusionMatrix::new(4);
+        for &(t, p) in &pairs {
+            cm.record(t, p);
+        }
+        prop_assert_eq!(cm.total(), pairs.len() as u64);
+        prop_assert!((cm.accuracy() + cm.error() - 1.0).abs() < 1e-5);
+        let s: f32 = cm.source_errors().iter().sum();
+        let t: f32 = cm.target_errors().iter().sum();
+        prop_assert!((s - cm.error()).abs() < 1e-5);
+        prop_assert!((t - cm.error()).abs() < 1e-5);
+    }
+
+    /// Predictions are always valid class indices.
+    #[test]
+    fn predictions_in_range(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Mlp::new(&MlpSpec::new(5, &[7], 3), &mut rng);
+        let x = baffle_tensor::rng::normal_matrix(&mut rng, 10, 5, 1.0);
+        let preds = m.predict_batch(&x);
+        prop_assert_eq!(preds.len(), 10);
+        prop_assert!(preds.iter().all(|&p| p < 3));
+    }
+
+    /// Wire codecs: f32 is lossless; q8 error bounded by its step size.
+    #[test]
+    fn wire_roundtrip(p in prop::collection::vec(-5.0_f32..5.0, 0..200)) {
+        let exact = baffle_nn::wire::decode_f32(&baffle_nn::wire::encode_f32(&p)).unwrap();
+        prop_assert_eq!(&exact, &p);
+        let q = baffle_nn::wire::decode_q8(&baffle_nn::wire::encode_q8(&p)).unwrap();
+        prop_assert_eq!(q.len(), p.len());
+        if !p.is_empty() {
+            let lo = p.iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = p.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let step = ((hi - lo) / 254.0).max(1e-12);
+            for (a, b) in p.iter().zip(&q) {
+                prop_assert!((a - b).abs() <= step + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Dense matrix and flat-vector math kernels for the BaFFLe reproduction.
+//!
+//! This crate provides the minimal linear-algebra substrate needed to train
+//! small neural networks entirely in Rust: a row-major [`Matrix`] of `f32`
+//! with the multiply/transpose/broadcast kernels used by backpropagation,
+//! plus flat `[f32]` vector helpers ([`ops`]) used by the federated-learning
+//! layer to average, scale and mask model parameters.
+//!
+//! No external BLAS is used; the kernels are simple cache-friendly loops
+//! that are plenty fast for the model sizes exercised by the BaFFLe
+//! experiments (10²–10⁵ parameters).
+//!
+//! # Example
+//!
+//! ```
+//! use baffle_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+mod matrix;
+pub mod ops;
+pub mod rng;
+
+pub use matrix::Matrix;

@@ -1,0 +1,196 @@
+//! Flat-vector (`&[f32]`) helpers.
+//!
+//! The federated-learning layer treats a model as one flat parameter vector;
+//! these helpers implement the arithmetic used by FedAvg, model replacement
+//! and the secure-aggregation masks.
+//!
+//! All binary operations panic on length mismatch — mixing parameter vectors
+//! of two different architectures is a programming error.
+
+/// `y += alpha * x` (the BLAS "axpy" kernel).
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Entrywise sum `a + b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x + y).collect()
+}
+
+/// Entrywise difference `a - b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn sub(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x - y).collect()
+}
+
+/// Entrywise scaling `alpha * a` as a new vector.
+pub fn scale(alpha: f32, a: &[f32]) -> Vec<f32> {
+    a.iter().map(|&x| alpha * x).collect()
+}
+
+/// Dot product of two vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Euclidean distance between two vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "distance: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+}
+
+/// Linear interpolation `(1 - t) * a + t * b` as a new vector.
+///
+/// `t = 0` returns `a`, `t = 1` returns `b`; `t` outside `[0, 1]`
+/// extrapolates.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn lerp(a: &[f32], b: &[f32], t: f32) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "lerp: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| (1.0 - t) * x + t * y).collect()
+}
+
+/// Arithmetic mean of several equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty or the lengths differ.
+pub fn mean(vectors: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!vectors.is_empty(), "mean: need at least one vector");
+    let n = vectors.len() as f32;
+    let mut acc = vec![0.0; vectors[0].len()];
+    for v in vectors {
+        axpy(1.0, v, &mut acc);
+    }
+    for a in &mut acc {
+        *a /= n;
+    }
+    acc
+}
+
+/// Whether every entry is finite (no NaN or infinity).
+pub fn is_finite(a: &[f32]) -> bool {
+    a.iter().all(|x| x.is_finite())
+}
+
+/// Clamps the L2 norm of `a` to at most `max_norm`, in place.
+///
+/// A zero vector is left unchanged. Used by norm-clipping baselines.
+pub fn clip_norm(a: &mut [f32], max_norm: f32) {
+    let n = norm(a);
+    if n > max_norm && n > 0.0 {
+        let s = max_norm / n;
+        for x in a.iter_mut() {
+            *x *= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 2.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, 0.0]);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![0.5, -0.5, 4.0];
+        assert_eq!(sub(&add(&a, &b), &b), a);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn distance_symmetric() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(distance(&a, &b), 5.0);
+        assert_eq!(distance(&b, &a), 5.0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = vec![0.0, 10.0];
+        let b = vec![10.0, 0.0];
+        assert_eq!(lerp(&a, &b, 0.0), a);
+        assert_eq!(lerp(&a, &b, 1.0), b);
+        assert_eq!(lerp(&a, &b, 0.5), vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let vs = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(mean(&vs), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn clip_norm_shrinks_long_vectors_only() {
+        let mut v = vec![3.0, 4.0];
+        clip_norm(&mut v, 10.0);
+        assert_eq!(v, vec![3.0, 4.0]);
+        clip_norm(&mut v, 1.0);
+        let n = norm(&v);
+        assert!((n - 1.0).abs() < 1e-6, "norm after clip = {n}");
+    }
+
+    #[test]
+    fn clip_norm_zero_vector_untouched() {
+        let mut v = vec![0.0, 0.0];
+        clip_norm(&mut v, 1.0);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn is_finite_detects_inf() {
+        assert!(is_finite(&[1.0, 2.0]));
+        assert!(!is_finite(&[1.0, f32::INFINITY]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn add_length_mismatch_panics() {
+        let _ = add(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Random initialisation helpers.
+//!
+//! All randomness in the workspace flows through explicitly seeded
+//! [`rand::rngs::StdRng`] instances so that every experiment is
+//! reproducible from a single `--seed` flag. Standard-normal samples are
+//! produced with a Box–Muller transform (avoiding a `rand_distr`
+//! dependency).
+
+use crate::Matrix;
+use rand::Rng;
+
+/// Draws one standard-normal sample using the Box–Muller transform.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let z = baffle_tensor::rng::standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // u1 in (0, 1] so the log is finite.
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Fills a vector with `n` i.i.d. `N(mean, std²)` samples.
+pub fn normal_vec<R: Rng + ?Sized>(rng: &mut R, n: usize, mean: f32, std: f32) -> Vec<f32> {
+    (0..n).map(|_| mean + std * standard_normal(rng)).collect()
+}
+
+/// A matrix with i.i.d. `N(0, std²)` entries.
+pub fn normal_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, std: f32) -> Matrix {
+    Matrix::from_vec(rows, cols, normal_vec(rng, rows * cols, 0.0, std))
+}
+
+/// He/Kaiming-style initialisation for a dense layer with `fan_in` inputs:
+/// `N(0, 2 / fan_in)`.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn he_init<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize) -> Matrix {
+    assert!(fan_in > 0, "he_init: fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    normal_matrix(rng, fan_in, fan_out, std)
+}
+
+/// A matrix with i.i.d. `U(lo, hi)` entries.
+pub fn uniform_matrix<R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    cols: usize,
+    lo: f32,
+    hi: f32,
+) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn normal_vec_respects_mean_and_std() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = normal_vec(&mut rng, 20_000, 3.0, 0.5);
+        let mean = v.iter().sum::<f32>() / v.len() as f32;
+        assert!((mean - 3.0).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn he_init_scale_shrinks_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let wide = he_init(&mut rng, 1000, 50);
+        let narrow = he_init(&mut rng, 10, 50);
+        let wide_std = wide.frobenius_norm() / (wide.len() as f32).sqrt();
+        let narrow_std = narrow.frobenius_norm() / (narrow.len() as f32).sqrt();
+        assert!(wide_std < narrow_std, "{wide_std} !< {narrow_std}");
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = normal_matrix(&mut StdRng::seed_from_u64(9), 3, 3, 1.0);
+        let b = normal_matrix(&mut StdRng::seed_from_u64(9), 3, 3, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_matrix_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = uniform_matrix(&mut rng, 10, 10, -0.5, 0.5);
+        assert!(m.as_slice().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+}

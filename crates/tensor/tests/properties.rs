@@ -1,0 +1,109 @@
+//! Property-based tests for the math kernels.
+
+use baffle_tensor::{ops, Matrix};
+use proptest::prelude::*;
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0_f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0_f32..10.0, len)
+}
+
+proptest! {
+    /// (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn matmul_transpose_identity(a in matrix_strategy(3, 4), b in matrix_strategy(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + x.abs()));
+        }
+    }
+
+    /// matmul_nt and matmul_tn agree with their explicit-transpose forms.
+    #[test]
+    fn fused_transpose_kernels_agree(a in matrix_strategy(3, 5), b in matrix_strategy(4, 5), c in matrix_strategy(3, 4)) {
+        let nt = a.matmul_nt(&b);
+        let explicit = a.matmul(&b.transpose());
+        for (x, y) in nt.as_slice().iter().zip(explicit.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + x.abs()));
+        }
+        let tn = c.matmul_tn(&a);
+        let explicit = c.transpose().matmul(&a);
+        for (x, y) in tn.as_slice().iter().zip(explicit.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + x.abs()));
+        }
+    }
+
+    /// Matrix multiplication distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes(a in matrix_strategy(2, 3), b in matrix_strategy(3, 2), c in matrix_strategy(3, 2)) {
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let left = a.matmul(&bc);
+        let mut right = a.matmul(&b);
+        right.add_assign(&a.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + x.abs()));
+        }
+    }
+
+    /// lerp(a, b, t) is between a and b coordinate-wise for t ∈ [0, 1].
+    #[test]
+    fn lerp_stays_in_segment(a in vec_strategy(6), b in vec_strategy(6), t in 0.0_f32..1.0) {
+        let l = ops::lerp(&a, &b, t);
+        for ((&x, &y), &z) in a.iter().zip(&b).zip(&l) {
+            let (lo, hi) = (x.min(y), x.max(y));
+            prop_assert!((lo - 1e-4..=hi + 1e-4).contains(&z));
+        }
+    }
+
+    /// ‖a − b‖ satisfies the triangle inequality through any midpoint.
+    #[test]
+    fn distance_triangle(a in vec_strategy(5), b in vec_strategy(5), c in vec_strategy(5)) {
+        let ab = ops::distance(&a, &b);
+        let ac = ops::distance(&a, &c);
+        let cb = ops::distance(&c, &b);
+        prop_assert!(ab <= ac + cb + 1e-3);
+    }
+
+    /// clip_norm never increases the norm, and respects the bound.
+    #[test]
+    fn clip_norm_contract(mut v in vec_strategy(8), max_norm in 0.01_f32..20.0) {
+        let before = ops::norm(&v);
+        ops::clip_norm(&mut v, max_norm);
+        let after = ops::norm(&v);
+        prop_assert!(after <= before + 1e-4);
+        prop_assert!(after <= max_norm * (1.0 + 1e-4) + 1e-6);
+    }
+
+    /// mean of k copies of v is v.
+    #[test]
+    fn mean_of_copies_is_identity(v in vec_strategy(4), k in 1usize..6) {
+        let copies = vec![v.clone(); k];
+        let m = ops::mean(&copies);
+        for (x, y) in m.iter().zip(&v) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// argmax_rows returns indices of maximal entries.
+    #[test]
+    fn argmax_is_maximal(m in matrix_strategy(4, 6)) {
+        for (r, &idx) in m.argmax_rows().iter().enumerate() {
+            let row = m.row(r);
+            for &v in row {
+                prop_assert!(row[idx] >= v);
+            }
+        }
+    }
+
+    /// transpose preserves the multiset of entries and the Frobenius norm.
+    #[test]
+    fn transpose_preserves_norm(m in matrix_strategy(3, 7)) {
+        prop_assert!((m.frobenius_norm() - m.transpose().frobenius_norm()).abs() < 1e-3);
+    }
+}

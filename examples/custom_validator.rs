@@ -1,0 +1,74 @@
+//! Uses the BaFFLe building blocks directly — without the bundled
+//! `Simulation` driver — to validate your own sequence of models.
+//!
+//! This is the integration path for a real FL deployment: you hold a
+//! history of accepted global models and a local validation set, and you
+//! want a vote on the next candidate model.
+//!
+//! ```sh
+//! cargo run --release --example custom_validator
+//! ```
+
+use baffle::core::{ModelHistory, ValidationConfig, Validator};
+use baffle::data::{SyntheticVision, VisionSpec};
+use baffle::nn::{Mlp, MlpSpec, Sgd};
+use baffle::attack::{BackdoorSpec, ModelReplacement};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(3);
+
+    // Your data pipeline: any labelled dataset works; here we draw a
+    // synthetic 8-class problem.
+    let spec = VisionSpec::new(8, 24, 2);
+    let gen = SyntheticVision::new(&spec, &mut rng);
+    let train = gen.generate(&mut rng, 4_000);
+    let my_validation_set = gen.generate(&mut rng, 500);
+
+    // Your model pipeline: a sequence of gradually improving models —
+    // here, snapshots of an SGD run, standing in for the accepted global
+    // models of an FL deployment.
+    let mut model = Mlp::new(&MlpSpec::new(24, &[32], 8), &mut rng);
+    let mut opt = Sgd::new(0.05).with_momentum(0.9);
+    let mut history = ModelHistory::new(11); // keep ℓ+1 = 11 models
+    for _ in 0..14 {
+        model.train_epoch(train.features(), train.labels(), 32, &mut opt, &mut rng);
+        history.push(model.clone());
+    }
+
+    // The validator: Algorithm 2 with a look-back window of ℓ = 10.
+    let validator = Validator::new(ValidationConfig::new(10));
+
+    // Candidate A: one more epoch of honest training.
+    let mut honest = model.clone();
+    honest.train_epoch(train.features(), train.labels(), 32, &mut opt, &mut rng);
+    let verdict = validator
+        .validate(&honest, history.models(), &my_validation_set)
+        .expect("enough history and data");
+    println!(
+        "honest candidate:   vote={:?}  LOF={:.3}  threshold={:.3}",
+        verdict.vote(),
+        verdict.outlier_factor(),
+        verdict.threshold()
+    );
+    assert!(!verdict.is_reject());
+
+    // Candidate B: a backdoored model (label-flip class 2 → 5).
+    let backdoor = BackdoorSpec::label_flip(2, 5);
+    let attack = ModelReplacement::new(backdoor, 1.0);
+    let backdoor_data = gen.generate_class(&mut rng, 150, 2);
+    let poisoned = attack.train_backdoored(&model, &train, &backdoor_data, &mut rng);
+    let verdict = validator
+        .validate(&poisoned, history.models(), &my_validation_set)
+        .expect("enough history and data");
+    println!(
+        "poisoned candidate: vote={:?}  LOF={:.3}  threshold={:.3}",
+        verdict.vote(),
+        verdict.outlier_factor(),
+        verdict.threshold()
+    );
+    assert!(verdict.is_reject());
+
+    println!("\nthe LOF of the poisoned update dwarfs the trusted threshold — rejected.");
+}

@@ -1,0 +1,44 @@
+//! Quickstart: run a miniature BaFFLe-defended federated-learning
+//! experiment and inspect the outcome.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use baffle::core::{Simulation, SimulationConfig};
+
+fn main() {
+    // A laptop-sized CIFAR-like scenario: 20 clients, one scripted
+    // model-replacement injection, BaFFLe (clients + server) defending.
+    let mut config = SimulationConfig::cifar_like_small(42);
+    config.track_accuracy = true;
+    let mut sim = Simulation::new(config);
+
+    println!("backdoor task: {:?}", sim.backdoor());
+    println!("stable model accuracy before the run: {:.3}", sim.main_accuracy());
+    println!();
+
+    let report = sim.run();
+    println!("round  poisoned  decision    rejects  main-acc  backdoor-acc");
+    for r in &report.records {
+        println!(
+            "{:>5}  {:>8}  {:<10}  {:>2}/{:<4}  {:>8.3}  {:>12.3}",
+            r.round,
+            if r.poisoned { "YES" } else { "-" },
+            format!("{:?}", r.decision),
+            r.reject_votes,
+            r.votes_cast,
+            r.main_accuracy.unwrap_or(f32::NAN),
+            r.backdoor_accuracy.unwrap_or(f32::NAN),
+        );
+    }
+    println!();
+    println!(
+        "false positives: {}   false negatives: {}   (FP rate {:.3}, FN rate {:.3})",
+        report.false_positives(),
+        report.false_negatives(),
+        report.fp_rate(),
+        report.fn_rate()
+    );
+    println!("final backdoor accuracy: {:.3}", sim.backdoor_accuracy());
+}

@@ -1,0 +1,58 @@
+//! Tunes the quorum threshold for a deployment, the way §IV-B and §VI-C
+//! of the paper prescribe:
+//!
+//! 1. run the system against adaptive injections and *measure* ρ — the
+//!    fraction of honest validators that flag a poisoned model;
+//! 2. plug ρ into the paper's formulas for the recommended quorum
+//!    `q = ρ·(n − n_M)` and the tolerable number of malicious clients
+//!    `n_M < (1 − ρ̄)·n/(2 − ρ̄)`.
+//!
+//! ```sh
+//! cargo run --release --example tune_quorum
+//! ```
+
+use baffle::core::feedback::{max_tolerable_malicious, quorum_bounds, recommended_quorum};
+use baffle::core::{AttackKind, Simulation, SimulationConfig};
+
+fn main() {
+    // Measure ρ on the miniature CIFAR-like scenario with adaptive
+    // injections (the hardest to flag).
+    let validators = 6;
+    let mut rhos = Vec::new();
+    for seed in [5, 15, 25] {
+        let mut config = SimulationConfig::cifar_like_small(seed);
+        config.attack = AttackKind::Adaptive;
+        config.poison_rounds = vec![5, 7, 9];
+        config.validators_per_round = validators;
+        let mut sim = Simulation::new(config);
+        let report = sim.run();
+        if let Some(rho) = report.estimate_rho(validators) {
+            rhos.push(rho);
+        }
+    }
+    let rho = rhos.iter().sum::<f64>() / rhos.len().max(1) as f64;
+    println!("measured ρ over {} runs: {rho:.2}", rhos.len());
+
+    // The §IV-B calculus.
+    let n = validators;
+    for n_m in 0..=2 {
+        match quorum_bounds(n, n_m) {
+            Some((lo, hi)) => {
+                let q = recommended_quorum(n, n_m, rho).clamp(lo, hi);
+                println!(
+                    "n = {n} validators, n_M = {n_m} malicious: feasible q ∈ [{lo}, {hi}], \
+                     recommended q = {q}"
+                );
+            }
+            None => println!("n = {n}, n_M = {n_m}: no feasible quorum (no honest majority)"),
+        }
+    }
+
+    // §VI-C: how many malicious clients the measured ρ tolerates. The
+    // paper's formula uses the *erring* fraction ρ̄ = 1 − ρ.
+    let tolerable = max_tolerable_malicious(n, 1.0 - rho);
+    println!(
+        "with ρ = {rho:.2}, the deployment tolerates n_M < {tolerable:.2} malicious validators \
+         per round"
+    );
+}

@@ -1,0 +1,42 @@
+//! Umbrella crate for the BaFFLe reproduction.
+//!
+//! Re-exports the whole workspace API so downstream users (and the
+//! `examples/` and `tests/` in this repository) can depend on a single
+//! crate:
+//!
+//! - [`tensor`] — dense matrix / flat-vector math kernels;
+//! - [`nn`] — the neural-network training substrate;
+//! - [`data`] — synthetic federated datasets and non-IID partitioning;
+//! - [`lof`] — Local Outlier Factor;
+//! - [`fl`] — the federated-learning loop and secure aggregation;
+//! - [`attack`] — model-replacement, label-flip and adaptive backdoors;
+//! - [`core`] — the BaFFLe defense: error-variation validation
+//!   (Algorithm 2), the feedback loop with quorum voting (Algorithm 1),
+//!   and the full experiment driver;
+//! - [`baselines`] — the robust-aggregation and update-inspection
+//!   defenses the paper argues against (Krum, median, trimmed mean, RFA,
+//!   clipping, FoolsGold, FLGuard) plus detector ablations;
+//! - [`net`] — a threaded message-passing deployment of the protocol
+//!   (server/client actors, timeouts, dropouts, incremental history
+//!   shipping).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use baffle::core::{Simulation, SimulationConfig};
+//!
+//! let config = SimulationConfig::cifar_like_small(7);
+//! let mut sim = Simulation::new(config);
+//! let report = sim.run();
+//! assert!(report.rounds_run > 0);
+//! ```
+
+pub use baffle_attack as attack;
+pub use baffle_baselines as baselines;
+pub use baffle_core as core;
+pub use baffle_net as net;
+pub use baffle_data as data;
+pub use baffle_fl as fl;
+pub use baffle_lof as lof;
+pub use baffle_nn as nn;
+pub use baffle_tensor as tensor;

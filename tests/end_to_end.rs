@@ -1,0 +1,143 @@
+//! Cross-crate integration tests: the full pipeline from synthetic data
+//! through federated training, attack injection and the BaFFLe defense.
+
+use baffle::core::{
+    AttackKind, Decision, DefenseMode, Simulation, SimulationConfig, ValidationConfig, Validator,
+};
+use baffle::data::{SyntheticVision, VisionSpec};
+use baffle::nn::{Mlp, MlpSpec, Model, Sgd};
+use baffle::attack::{BackdoorSpec, ModelReplacement};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn defended_run_catches_injections_and_accepts_clean_rounds() {
+    let mut config = SimulationConfig::cifar_like_small(101);
+    config.poison_rounds = vec![5, 8];
+    let report = Simulation::new(config).run();
+
+    for r in &report.records {
+        if r.poisoned {
+            assert_eq!(r.decision, Decision::Rejected, "injection at round {} missed", r.round);
+        }
+    }
+    assert_eq!(report.false_negatives(), 0);
+    // The miniature scenario tolerates at most one clean-round FP.
+    assert!(report.false_positives() <= 1, "too many FPs: {}", report.false_positives());
+}
+
+#[test]
+fn rejected_rounds_do_not_advance_the_global_model() {
+    let mut config = SimulationConfig::cifar_like_small(102);
+    config.track_accuracy = true;
+    config.poison_rounds = vec![5];
+    let mut sim = Simulation::new(config);
+    let before = sim.global_model().params();
+    // Advance to just before the poison round.
+    for _ in 0..4 {
+        sim.step();
+    }
+    let pre_poison = sim.global_model().params();
+    assert_ne!(before, pre_poison, "clean rounds should change the model");
+    let record = sim.step();
+    assert!(record.poisoned);
+    if record.decision == Decision::Rejected {
+        assert_eq!(
+            sim.global_model().params(),
+            pre_poison,
+            "rejected update must leave the global model unchanged"
+        );
+    }
+}
+
+#[test]
+fn dos_voters_cannot_stall_training_below_quorum() {
+    use baffle::attack::voting::VoterBehavior;
+    let mut config = SimulationConfig::cifar_like_small(103);
+    config.poison_rounds = vec![];
+    // 2 of 20 clients are DoS voters — on average 0.6 of the 6 selected
+    // validators per round, far below the quorum of 3 (the §IV-B bound
+    // n_M < q is respected in expectation).
+    config.malicious_clients = 2;
+    config.malicious_voter_behavior = VoterBehavior::DenialOfService;
+    let report = Simulation::new(config).run();
+    let rejected = report.records.iter().filter(|r| !r.decision.is_accepted()).count();
+    assert!(rejected <= 2, "DoS minority stalled {rejected} of {} rounds", report.rounds_run);
+}
+
+#[test]
+fn quorum_protects_against_a_malicious_server_share_of_voters() {
+    use baffle::attack::voting::VoterBehavior;
+    // All validators malicious-accept ⇒ poisoned model sails through
+    // client votes; only the server's own vote can reject, but q = 3
+    // cannot be met ⇒ false negative. This documents the honest-majority
+    // assumption rather than a defect.
+    let mut config = SimulationConfig::cifar_like_small(104);
+    config.malicious_clients = config.num_clients; // everyone colludes
+    config.malicious_voter_behavior = VoterBehavior::StealthAccept;
+    config.poison_rounds = vec![6];
+    let report = Simulation::new(config).run();
+    assert_eq!(report.false_negatives(), 1, "collusion above the quorum must win");
+}
+
+#[test]
+fn validator_flags_label_flip_against_an_sgd_trajectory() {
+    let mut rng = StdRng::seed_from_u64(105);
+    let spec = VisionSpec::new(6, 16, 2);
+    let gen = SyntheticVision::new(&spec, &mut rng);
+    let train = gen.generate(&mut rng, 3_000);
+    let validation = gen.generate(&mut rng, 400);
+
+    let mut model = Mlp::new(&MlpSpec::new(16, &[24], 6), &mut rng);
+    let mut opt = Sgd::new(0.05).with_momentum(0.9);
+    let mut history = Vec::new();
+    for _ in 0..12 {
+        model.train_epoch(train.features(), train.labels(), 32, &mut opt, &mut rng);
+        history.push(model.clone());
+    }
+
+    let validator = Validator::new(ValidationConfig::new(10));
+    let backdoor = BackdoorSpec::label_flip(1, 4);
+    let attack = ModelReplacement::new(backdoor, 1.0);
+    let backdoor_data = gen.generate_class(&mut rng, 120, 1);
+    let poisoned = attack.train_backdoored(&model, &train, &backdoor_data, &mut rng);
+
+    let verdict = validator.validate(&poisoned, &history, &validation).unwrap();
+    assert!(verdict.is_reject(), "label-flip backdoor not flagged");
+}
+
+#[test]
+fn adaptive_attack_beats_server_less_often_than_it_beats_itself() {
+    // The adaptive attacker always convinces itself (self_accepted) —
+    // the question is whether honest validators still catch it.
+    let mut config = SimulationConfig::cifar_like_small(106);
+    config.attack = AttackKind::Adaptive;
+    config.defense = DefenseMode::Both;
+    config.poison_rounds = vec![5, 8, 10];
+    let report = Simulation::new(config).run();
+    let self_accepted = report
+        .records
+        .iter()
+        .filter(|r| r.adaptive_self_accepted == Some(true))
+        .count();
+    let caught = report
+        .records
+        .iter()
+        .filter(|r| r.poisoned && !r.decision.is_accepted())
+        .count();
+    assert!(self_accepted >= 1, "adaptive attacker never found a self-accepted update");
+    assert!(caught >= 2, "feedback loop caught only {caught}/3 adaptive injections");
+}
+
+#[test]
+fn umbrella_reexports_compose() {
+    // Type-level smoke test: umbrella paths compose across crates.
+    let mut rng = StdRng::seed_from_u64(107);
+    let m = baffle::nn::Mlp::new(&baffle::nn::MlpSpec::new(4, &[8], 3), &mut rng);
+    let p = m.params();
+    let bytes = baffle::nn::wire::encode_f32(&p);
+    let back = baffle::nn::wire::decode_f32(&bytes).unwrap();
+    assert_eq!(p, back);
+    let lof = baffle::lof::lof_against(&[0.0, 0.0], &[vec![0.0, 0.1], vec![0.1, 0.0], vec![0.0, -0.1]], 2);
+    assert!(lof.unwrap() > 0.0);
+}
