@@ -125,8 +125,8 @@ impl ModelReplacement {
 mod tests {
     use super::*;
     use baffle_data::{SyntheticVision, VisionSpec};
-    use baffle_nn::{eval, MlpSpec};
     use baffle_fl::fedavg;
+    use baffle_nn::{eval, MlpSpec};
     use rand::SeedableRng;
 
     struct Fixture {

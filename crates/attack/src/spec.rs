@@ -89,11 +89,7 @@ impl BackdoorSpec {
 
     /// Number of backdoor instances present in `data`.
     pub fn count_in(&self, data: &Dataset) -> usize {
-        data.labels()
-            .iter()
-            .zip(data.subgroups())
-            .filter(|(&y, &sg)| self.matches(y, sg))
-            .count()
+        data.labels().iter().zip(data.subgroups()).filter(|(&y, &sg)| self.matches(y, sg)).count()
     }
 }
 

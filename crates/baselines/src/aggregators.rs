@@ -98,11 +98,7 @@ pub fn median(updates: &[Vec<f32>]) -> Result<Vec<f32>, BaselineError> {
             *c = u[d];
         }
         column.sort_by(f32::total_cmp);
-        let m = if n % 2 == 1 {
-            column[n / 2]
-        } else {
-            0.5 * (column[n / 2 - 1] + column[n / 2])
-        };
+        let m = if n % 2 == 1 { column[n / 2] } else { 0.5 * (column[n / 2 - 1] + column[n / 2]) };
         out.push(m);
     }
     Ok(out)

@@ -53,7 +53,8 @@ fn main() {
 
         // Stable model + history via central training snapshots plus
         // FL-style rounds.
-        let mut model = Mlp::new(&MlpSpec::new(spec.input_dim(), &[48], spec.num_classes()), &mut rng);
+        let mut model =
+            Mlp::new(&MlpSpec::new(spec.input_dim(), &[48], spec.num_classes()), &mut rng);
         let mut opt = Sgd::new(0.1).with_momentum(0.9);
         for _ in 0..10 {
             model.train_epoch(train.features(), train.labels(), 32, &mut opt, &mut rng);

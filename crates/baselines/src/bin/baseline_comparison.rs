@@ -40,7 +40,8 @@ fn main() {
         let mut finals = Vec::new();
         let mut boost = 0.0;
         for rep in 0..args.reps() {
-            let mut config = ComparisonConfig { seed: args.seed + 100 * rep as u64, ..Default::default() };
+            let mut config =
+                ComparisonConfig { seed: args.seed + 100 * rep as u64, ..Default::default() };
             if args.fast {
                 config.rounds = 10;
                 config.poison_rounds = vec![5];

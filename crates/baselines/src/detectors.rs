@@ -130,11 +130,10 @@ impl Detector for VariationZScore {
             .map(|m| ConfusionMatrix::from_model(m, data.features(), data.labels()))
             .collect();
         let current_cm = ConfusionMatrix::from_model(current, data.features(), data.labels());
-        let norms: Vec<f64> = cms
-            .windows(2)
-            .map(|w| norm64(&variation_from_confusions(&w[0], &w[1])))
-            .collect();
-        let new_norm = norm64(&variation_from_confusions(cms.last().expect("non-empty"), &current_cm));
+        let norms: Vec<f64> =
+            cms.windows(2).map(|w| norm64(&variation_from_confusions(&w[0], &w[1]))).collect();
+        let new_norm =
+            norm64(&variation_from_confusions(cms.last().expect("non-empty"), &current_cm));
         let mean = norms.iter().sum::<f64>() / norms.len() as f64;
         let var = norms.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / norms.len() as f64;
         let std = var.sqrt().max(1e-9);
@@ -170,12 +169,7 @@ impl HalfVariationLof {
     /// Creates the ablated detector with BaFFLe's defaults for window
     /// `ℓ` (`k = ⌈ℓ/2⌉`, trusted window `⌊ℓ/4⌋`, margin as configured).
     pub fn new(half: VariationHalf, lookback: usize, margin: f64) -> Self {
-        Self {
-            half,
-            k: lookback.div_ceil(2),
-            margin,
-            trust_window: (lookback / 4).max(1),
-        }
+        Self { half, k: lookback.div_ceil(2), margin, trust_window: (lookback / 4).max(1) }
     }
 }
 
@@ -206,10 +200,8 @@ impl Detector for HalfVariationLof {
             .map(|m| ConfusionMatrix::from_model(m, data.features(), data.labels()))
             .collect();
         let current_cm = ConfusionMatrix::from_model(current, data.features(), data.labels());
-        let refs: Vec<Vec<f32>> = cms
-            .windows(2)
-            .map(|w| slice(variation_from_confusions(&w[0], &w[1])))
-            .collect();
+        let refs: Vec<Vec<f32>> =
+            cms.windows(2).map(|w| slice(variation_from_confusions(&w[0], &w[1]))).collect();
         let v_new = slice(variation_from_confusions(cms.last().expect("non-empty"), &current_cm));
 
         let phi = baffle_lof_score(&v_new, &refs, self.k)?;

@@ -199,9 +199,9 @@ mod tests {
         // peer, so its weight stays high.
         let mut fg = FoolsGold::new();
         let updates = vec![
-            vec![5.0, 5.0],    // lone attacker
-            vec![0.1, -0.2],   // honest
-            vec![-0.15, 0.1],  // honest
+            vec![5.0, 5.0],   // lone attacker
+            vec![0.1, -0.2],  // honest
+            vec![-0.15, 0.1], // honest
         ];
         let agg = fg.aggregate(&[0, 1, 2], &updates).unwrap();
         assert!(agg[0] > 0.5, "single attacker was (wrongly for FG) suppressed: {agg:?}");

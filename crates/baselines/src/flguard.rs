@@ -70,11 +70,8 @@ impl FlGuard {
         let dim = check_updates(updates)?;
         let n = updates.len();
 
-        let admitted = if n <= 2 {
-            (0..n).collect::<Vec<_>>()
-        } else {
-            largest_cosine_cluster(updates)
-        };
+        let admitted =
+            if n <= 2 { (0..n).collect::<Vec<_>>() } else { largest_cosine_cluster(updates) };
 
         // Clip admitted updates to the median admitted norm.
         let mut norms: Vec<f32> = admitted.iter().map(|&i| ops::norm(&updates[i])).collect();
@@ -177,9 +174,7 @@ mod tests {
 
     fn honest_cluster(n: usize) -> Vec<Vec<f32>> {
         // Similar directions, moderate norms.
-        (0..n)
-            .map(|i| vec![1.0 + 0.05 * i as f32, 0.5 - 0.02 * i as f32, 0.1])
-            .collect()
+        (0..n).map(|i| vec![1.0 + 0.05 * i as f32, 0.5 - 0.02 * i as f32, 0.1]).collect()
     }
 
     #[test]

@@ -251,10 +251,12 @@ pub fn run_with_boost(
             DefenseUnderTest::FoolsGoldDefense => {
                 foolsgold.aggregate(&ids, &updates).expect("non-empty")
             }
-            DefenseUnderTest::FlGuardDefense { noise_factor } => FlGuard::new(*noise_factor)
-                .aggregate(&updates, &mut rng)
-                .expect("non-empty")
-                .aggregate,
+            DefenseUnderTest::FlGuardDefense { noise_factor } => {
+                FlGuard::new(*noise_factor)
+                    .aggregate(&updates, &mut rng)
+                    .expect("non-empty")
+                    .aggregate
+            }
         };
 
         let mut candidate = global.clone();
@@ -276,8 +278,8 @@ pub fn run_with_boost(
                     Ok(verdict) => verdict.vote(),
                     Err(_) => Vote::Accept,
                 });
-                let rule = QuorumRule::new(votes.len(), (*quorum).min(votes.len()))
-                    .expect("valid quorum");
+                let rule =
+                    QuorumRule::new(votes.len(), (*quorum).min(votes.len())).expect("valid quorum");
                 rule.decide(&votes).is_accepted()
             }
             _ => true,
@@ -351,11 +353,8 @@ mod tests {
     fn baffle_blocks_what_mean_accepts() {
         let config = quick_config(2);
         let mean = run_with_boost(&DefenseUnderTest::Mean, &config, 6.0);
-        let baffle = run_with_boost(
-            &DefenseUnderTest::Baffle { lookback: 8, quorum: 4 },
-            &config,
-            6.0,
-        );
+        let baffle =
+            run_with_boost(&DefenseUnderTest::Baffle { lookback: 8, quorum: 4 }, &config, 6.0);
         assert!(baffle.rounds_rejected >= 1, "baffle rejected nothing");
         assert!(
             baffle.peak_backdoor_accuracy < mean.peak_backdoor_accuracy,

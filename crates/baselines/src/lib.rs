@@ -41,10 +41,10 @@
 //! ```
 
 pub mod aggregators;
-pub mod harness;
 pub mod detectors;
 pub mod filters;
 pub mod flguard;
+pub mod harness;
 
 /// Error for baseline aggregation over malformed inputs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,6 +111,8 @@ mod tests {
     #[test]
     fn errors_display() {
         assert!(BaselineError::NoUpdates.to_string().contains("no updates"));
-        assert!(BaselineError::Infeasible { what: "n too small" }.to_string().contains("n too small"));
+        assert!(BaselineError::Infeasible { what: "n too small" }
+            .to_string()
+            .contains("n too small"));
     }
 }

@@ -1,6 +1,8 @@
 //! Property-based tests for the baseline aggregators.
 
-use baffle_baselines::aggregators::{geometric_median, krum, mean, median, multi_krum, trimmed_mean};
+use baffle_baselines::aggregators::{
+    geometric_median, krum, mean, median, multi_krum, trimmed_mean,
+};
 use proptest::prelude::*;
 
 fn updates_strategy(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {

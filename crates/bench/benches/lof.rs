@@ -7,18 +7,20 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn refs(n: usize, dim: usize) -> Vec<Vec<f32>> {
-    (0..n)
-        .map(|i| (0..dim).map(|d| ((i * 31 + d * 7) % 97) as f32 * 0.01).collect())
-        .collect()
+    (0..n).map(|i| (0..dim).map(|d| ((i * 31 + d * 7) % 97) as f32 * 0.01).collect()).collect()
 }
 
 fn bench_fit(c: &mut Criterion) {
     let mut group = c.benchmark_group("lof_fit");
     for &(n, dim) in &[(10usize, 20usize), (20, 20), (30, 20), (30, 124)] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_d{dim}")), &(n, dim), |b, &(n, dim)| {
-            let points = refs(n, dim);
-            b.iter(|| LofModel::fit(black_box(points.clone()), n / 2).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_d{dim}")),
+            &(n, dim),
+            |b, &(n, dim)| {
+                let points = refs(n, dim);
+                b.iter(|| LofModel::fit(black_box(points.clone()), n / 2).unwrap());
+            },
+        );
     }
     group.finish();
 }
@@ -26,11 +28,15 @@ fn bench_fit(c: &mut Criterion) {
 fn bench_score(c: &mut Criterion) {
     let mut group = c.benchmark_group("lof_score");
     for &(n, dim) in &[(10usize, 20usize), (20, 20), (30, 20), (30, 124)] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_d{dim}")), &(n, dim), |b, &(n, dim)| {
-            let model = LofModel::fit(refs(n, dim), n / 2).unwrap();
-            let query = vec![0.5_f32; dim];
-            b.iter(|| model.score(black_box(&query)).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_d{dim}")),
+            &(n, dim),
+            |b, &(n, dim)| {
+                let model = LofModel::fit(refs(n, dim), n / 2).unwrap();
+                let query = vec![0.5_f32; dim];
+                b.iter(|| model.score(black_box(&query)).unwrap());
+            },
+        );
     }
     group.finish();
 }

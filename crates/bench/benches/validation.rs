@@ -3,7 +3,8 @@
 //! cost a deployment pays for the feedback loop.
 
 use baffle_bench::cifar_fixture;
-use baffle_core::{ValidationConfig, Validator};
+use baffle_core::{ValidationConfig, ValidationEngine, Validator};
+use baffle_fl::history_sync::ModelId;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -43,5 +44,88 @@ fn bench_validate_dataset_size(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_validate_lookback, bench_validate_dataset_size);
+/// The pre-engine per-round cost: a plain sequential `Validator` call
+/// recomputes every history confusion matrix from scratch. This is what
+/// every validator paid per round before the cache existed.
+fn bench_validation_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validation_cold");
+    group.sample_size(20);
+    let ell = 20usize;
+    let fixture = cifar_fixture(200, ell + 2, 7);
+    let validator = Validator::new(ValidationConfig::new(ell));
+    let (current, history) = fixture.history.split_last().unwrap();
+    group.bench_with_input(BenchmarkId::from_parameter(ell), &ell, |b, _| {
+        b.iter(|| {
+            validator
+                .validate(black_box(current), black_box(history), black_box(&fixture.data))
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+/// Same workload through a cold [`ValidationEngine`]: every history
+/// matrix is missing, but the fan-out runs on scoped threads.
+fn bench_validation_cold_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validation_cold_parallel");
+    group.sample_size(20);
+    let ell = 20usize;
+    let fixture = cifar_fixture(200, ell + 2, 7);
+    let validator = Validator::new(ValidationConfig::new(ell));
+    let (current, history) = fixture.history.split_last().unwrap();
+    let ids: Vec<ModelId> = (0..history.len() as ModelId).collect();
+    group.bench_with_input(BenchmarkId::from_parameter(ell), &ell, |b, _| {
+        b.iter(|| {
+            let mut engine = ValidationEngine::new(validator);
+            engine
+                .validate(
+                    black_box(current),
+                    black_box(&ids),
+                    black_box(history),
+                    black_box(&fixture.data),
+                )
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+/// The steady-state per-round cost with the engine: the history window
+/// is fully cached, so only the candidate's confusion matrix is
+/// computed. Compare against `validation_cold` for the speedup the
+/// cache buys at ℓ = 20.
+fn bench_validation_cached(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validation_cached");
+    group.sample_size(20);
+    let ell = 20usize;
+    let fixture = cifar_fixture(200, ell + 2, 7);
+    let validator = Validator::new(ValidationConfig::new(ell));
+    let (current, history) = fixture.history.split_last().unwrap();
+    let ids: Vec<ModelId> = (0..history.len() as ModelId).collect();
+    let mut engine = ValidationEngine::new(validator);
+    // Warm the cache once; every measured iteration then hits it.
+    engine.validate(current, &ids, history, &fixture.data).unwrap();
+    group.bench_with_input(BenchmarkId::from_parameter(ell), &ell, |b, _| {
+        b.iter(|| {
+            engine
+                .validate(
+                    black_box(current),
+                    black_box(&ids),
+                    black_box(history),
+                    black_box(&fixture.data),
+                )
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_validate_lookback,
+    bench_validate_dataset_size,
+    bench_validation_cold,
+    bench_validation_cold_parallel,
+    bench_validation_cached
+);
 criterion_main!(benches);

@@ -10,9 +10,7 @@
 //!
 //! Prints a TSV of per-round records followed by the summary.
 
-use baffle_core::{
-    AttackKind, DatasetKind, DefenseMode, Simulation, SimulationConfig,
-};
+use baffle_core::{AttackKind, DatasetKind, DefenseMode, Simulation, SimulationConfig};
 
 struct CliConfig {
     config: SimulationConfig,
@@ -79,12 +77,16 @@ fn parse(args: impl Iterator<Item = String>) -> CliConfig {
                     _ => usage(),
                 }
             }
-            "--rounds" => config.rounds = value.and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--rounds" => {
+                config.rounds = value.and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
             "--lookback" => {
                 config.lookback = value.and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
                 config.warmup_rounds = config.lookback + 1;
             }
-            "--quorum" => config.quorum = value.and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--quorum" => {
+                config.quorum = value.and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
             "--validators" => {
                 config.validators_per_round =
                     value.and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())

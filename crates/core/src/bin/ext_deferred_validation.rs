@@ -36,11 +36,8 @@ fn main() {
             let report = sim.run();
             fps.push(report.fp_rate());
             fns.push(report.fn_rate());
-            let peak = report
-                .records
-                .iter()
-                .filter_map(|r| r.backdoor_accuracy)
-                .fold(0.0_f32, f32::max);
+            let peak =
+                report.records.iter().filter_map(|r| r.backdoor_accuracy).fold(0.0_f32, f32::max);
             peaks.push(peak as f64);
             finals.push(sim.backdoor_accuracy() as f64);
         }

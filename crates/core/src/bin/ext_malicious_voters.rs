@@ -18,7 +18,8 @@ use baffle_core::{Simulation, SimulationConfig};
 
 fn main() {
     let args = ExpArgs::from_env();
-    let fractions: &[f64] = if args.fast { &[0.0, 0.3, 0.6] } else { &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6] };
+    let fractions: &[f64] =
+        if args.fast { &[0.0, 0.3, 0.6] } else { &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6] };
 
     // Stealth-accept collusion vs FN rate.
     let mut stealth = Table::new(
@@ -63,11 +64,7 @@ fn main() {
                 report.records.iter().filter(|r| !r.decision.is_accepted()).count() as f64;
             rejected_rates.push(rejected / report.rounds_run as f64);
         }
-        dos.row(vec![
-            format!("{frac:.1}"),
-            format!("{:.1}", frac * 10.0),
-            cell(&rejected_rates),
-        ]);
+        dos.row(vec![format!("{frac:.1}"), format!("{:.1}", frac * 10.0), cell(&rejected_rates)]);
     }
     dos.emit(&args);
     println!(

@@ -14,10 +14,10 @@
 //!
 //! Run with `cargo run --release -p baffle-core --bin fig2_per_class_error`.
 
+use baffle_attack::ModelReplacement;
 use baffle_core::exp::{ExpArgs, Table};
 use baffle_core::metrics::mean_std;
 use baffle_core::{DatasetKind, DefenseMode, Simulation, SimulationConfig};
-use baffle_attack::ModelReplacement;
 
 use baffle_nn::ConfusionMatrix;
 use rand::rngs::StdRng;

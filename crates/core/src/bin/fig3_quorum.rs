@@ -5,7 +5,9 @@
 //!
 //! Run with `cargo run --release -p baffle-core --bin fig3_quorum`.
 
-use baffle_core::exp::{base_config, cell, repeat_rates, server_shares, split_label, ExpArgs, Table};
+use baffle_core::exp::{
+    base_config, cell, repeat_rates, server_shares, split_label, ExpArgs, Table,
+};
 use baffle_core::{DatasetKind, DefenseMode};
 
 fn main() {

@@ -70,11 +70,8 @@ fn main() {
             // Compact visual of the two curves (the paper's line plots).
             let mains: Vec<f64> =
                 report.records.iter().map(|r| r.main_accuracy.unwrap_or(0.0) as f64).collect();
-            let bds: Vec<f64> = report
-                .records
-                .iter()
-                .map(|r| r.backdoor_accuracy.unwrap_or(0.0) as f64)
-                .collect();
+            let bds: Vec<f64> =
+                report.records.iter().map(|r| r.backdoor_accuracy.unwrap_or(0.0) as f64).collect();
             let marks: Vec<usize> =
                 report.records.iter().filter(|r| r.poisoned).map(|r| r.round).collect();
             println!("{}", baffle_core::exp::ascii_series("main accuracy", &mains, &marks));

@@ -21,7 +21,8 @@ fn main() {
     for share in server_shares(DatasetKind::CifarLike) {
         let mut votes: Vec<usize> = Vec::new();
         for rep in 0..args.reps() {
-            let mut config = base_config(DatasetKind::CifarLike, args.seed.wrapping_add(1000 * rep as u64));
+            let mut config =
+                base_config(DatasetKind::CifarLike, args.seed.wrapping_add(1000 * rep as u64));
             config.server_share = share;
             config.defense = DefenseMode::Both;
             config.attack = AttackKind::Adaptive;
@@ -36,8 +37,7 @@ fn main() {
                 if r.poisoned && r.defense_active {
                     // Count client votes only (subtract the server's
                     // reject, if any) to match the paper's figure.
-                    let server_reject =
-                        matches!(r.server_vote, Some(Vote::Reject)) as usize;
+                    let server_reject = matches!(r.server_vote, Some(Vote::Reject)) as usize;
                     votes.push(r.reject_votes - server_reject);
                 }
             }

@@ -5,7 +5,9 @@
 //! Run with `cargo run --release -p baffle-core --bin table1_lookback`
 //! (`--fast` for a smoke run, `--reps N` to change the repetition count).
 
-use baffle_core::exp::{base_config, cell, repeat_rates, server_shares, split_label, ExpArgs, Table};
+use baffle_core::exp::{
+    base_config, cell, repeat_rates, server_shares, split_label, ExpArgs, Table,
+};
 use baffle_core::{DatasetKind, DefenseMode};
 
 fn main() {

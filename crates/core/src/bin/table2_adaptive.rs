@@ -9,7 +9,9 @@
 //!
 //! Run with `cargo run --release -p baffle-core --bin table2_adaptive`.
 
-use baffle_core::exp::{base_config, cell, repeat_rates, server_shares, split_label, ExpArgs, Table};
+use baffle_core::exp::{
+    base_config, cell, repeat_rates, server_shares, split_label, ExpArgs, Table,
+};
 use baffle_core::{AttackKind, DatasetKind, DefenseMode};
 
 fn main() {

@@ -194,8 +194,9 @@ impl Table {
         let rendered = self.render();
         println!("{rendered}");
         if let Some(path) = &args.out {
-            static TRUNCATED: std::sync::OnceLock<parking_lot::Mutex<std::collections::HashSet<String>>> =
-                std::sync::OnceLock::new();
+            static TRUNCATED: std::sync::OnceLock<
+                parking_lot::Mutex<std::collections::HashSet<String>>,
+            > = std::sync::OnceLock::new();
             let truncated = TRUNCATED.get_or_init(Default::default);
             let fresh = truncated.lock().insert(path.clone());
             let result = std::fs::OpenOptions::new()
@@ -286,7 +287,8 @@ mod tests {
 
     #[test]
     fn emit_truncates_once_then_appends() {
-        let path = std::env::temp_dir().join(format!("baffle_emit_test_{}.txt", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("baffle_emit_test_{}.txt", std::process::id()));
         let path_str = path.to_string_lossy().to_string();
         std::fs::write(&path, "stale content from a previous run\n").unwrap();
         let args = ExpArgs { out: Some(path_str), ..ExpArgs::default() };

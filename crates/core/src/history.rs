@@ -1,6 +1,8 @@
 //! Sliding history of accepted global models.
 
+use baffle_fl::history_sync::ModelId;
 use baffle_nn::Mlp;
+use std::collections::VecDeque;
 
 /// The last `ℓ + 1` **accepted** global models, oldest first — the
 /// `history` input of Algorithms 1 and 2.
@@ -8,6 +10,14 @@ use baffle_nn::Mlp;
 /// Rejected updates are never pushed: the feedback loop discards them and
 /// the history keeps describing the trusted lineage (the paper's
 /// "bootstrapping trust across rounds").
+///
+/// Every accepted model is assigned a monotonically increasing
+/// [`ModelId`] on push. Ids are **never reused** — not even after a
+/// deferred-validation rollback ([`ModelHistory::pop`]) — which is what
+/// makes them safe cache keys for
+/// [`crate::engine::ValidationEngine`]. The id sequence matches
+/// [`baffle_fl::history_sync::HistorySync`] when both see the same
+/// acceptances in the same order.
 ///
 /// # Example
 ///
@@ -24,10 +34,13 @@ use baffle_nn::Mlp;
 /// }
 /// assert_eq!(history.len(), 3);
 /// assert!(history.is_full());
+/// assert_eq!(history.ids(), &[2, 3, 4]); // oldest two evicted
 /// ```
 #[derive(Debug, Clone)]
 pub struct ModelHistory {
-    models: Vec<Mlp>,
+    models: VecDeque<Mlp>,
+    ids: VecDeque<ModelId>,
+    next_id: ModelId,
     capacity: usize,
 }
 
@@ -41,25 +54,47 @@ impl ModelHistory {
     /// models to form one variation vector).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 2, "ModelHistory: capacity must be at least 2, got {capacity}");
-        Self { models: Vec::with_capacity(capacity), capacity }
+        Self {
+            models: VecDeque::with_capacity(capacity),
+            ids: VecDeque::with_capacity(capacity),
+            next_id: 0,
+            capacity,
+        }
     }
 
-    /// Appends an accepted model, evicting the oldest when full.
-    pub fn push(&mut self, model: Mlp) {
+    /// Appends an accepted model, evicting the oldest when full, and
+    /// returns the model's freshly assigned id.
+    pub fn push(&mut self, model: Mlp) -> ModelId {
         if self.models.len() == self.capacity {
-            self.models.remove(0);
+            self.models.pop_front();
+            self.ids.pop_front();
         }
-        self.models.push(model);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.models.push_back(model);
+        self.ids.push_back(id);
+        // Keep both deques contiguous so `models()`/`ids()` can hand out
+        // plain slices. Amortised O(1): a wrap-around only happens after
+        // an eviction, which moves at most one element's worth of slack.
+        self.models.make_contiguous();
+        self.ids.make_contiguous();
+        id
     }
 
     /// The stored models, oldest first.
     pub fn models(&self) -> &[Mlp] {
-        &self.models
+        self.models.as_slices().0
+    }
+
+    /// The stored models' ids, oldest first — parallel to
+    /// [`ModelHistory::models`].
+    pub fn ids(&self) -> &[ModelId] {
+        self.ids.as_slices().0
     }
 
     /// The most recently accepted model, if any.
     pub fn latest(&self) -> Option<&Mlp> {
-        self.models.last()
+        self.models.back()
     }
 
     /// Number of stored models.
@@ -82,19 +117,25 @@ impl ModelHistory {
         self.capacity
     }
 
-    /// Removes and returns the most recently accepted model — the
-    /// rollback primitive of the deferred-validation mode (§VI-D), where
-    /// round `r`'s contributors vote on `G^{r−1}` and a rejection undoes
-    /// the previous acceptance.
-    pub fn pop(&mut self) -> Option<Mlp> {
-        self.models.pop()
+    /// Removes and returns the most recently accepted model and its id —
+    /// the rollback primitive of the deferred-validation mode (§VI-D),
+    /// where round `r`'s contributors vote on `G^{r−1}` and a rejection
+    /// undoes the previous acceptance.
+    ///
+    /// The popped id is retired, not recycled: the next
+    /// [`ModelHistory::push`] still gets a fresh id, so stale cache
+    /// entries keyed by the popped id can never alias a future model.
+    pub fn pop(&mut self) -> Option<(ModelId, Mlp)> {
+        let model = self.models.pop_back()?;
+        let id = self.ids.pop_back().expect("ids parallel to models");
+        Some((id, model))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use baffle_nn::{Model, MlpSpec};
+    use baffle_nn::{MlpSpec, Model};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -115,6 +156,7 @@ mod tests {
         assert_eq!(h.len(), 2);
         // `a` was evicted.
         assert!(h.models().iter().all(|m| m.params() != a_params));
+        assert_eq!(h.ids(), &[1, 2]);
     }
 
     #[test]
@@ -138,12 +180,33 @@ mod tests {
         for (m, p) in h.models().iter().zip(&params) {
             assert_eq!(&m.params(), p);
         }
+        assert_eq!(h.ids(), &[0, 1, 2]);
     }
 
     #[test]
     #[should_panic(expected = "at least 2")]
     fn tiny_capacity_panics() {
         let _ = ModelHistory::new(1);
+    }
+
+    #[test]
+    fn push_returns_monotone_ids() {
+        let mut h = ModelHistory::new(2);
+        assert_eq!(h.push(model(1)), 0);
+        assert_eq!(h.push(model(2)), 1);
+        assert_eq!(h.push(model(3)), 2); // eviction does not disturb ids
+        assert_eq!(h.ids(), &[1, 2]);
+    }
+
+    #[test]
+    fn models_and_ids_stay_contiguous_across_wraparound() {
+        let mut h = ModelHistory::new(3);
+        for i in 0..10 {
+            h.push(model(i));
+            assert_eq!(h.models().len(), h.len());
+            assert_eq!(h.ids().len(), h.len());
+        }
+        assert_eq!(h.ids(), &[7, 8, 9]);
     }
 
     #[test]
@@ -154,9 +217,22 @@ mod tests {
         let a_params = a.params();
         h.push(a);
         h.push(model(2));
-        let popped = h.pop().unwrap();
+        let (id, popped) = h.pop().unwrap();
+        assert_eq!(id, 1);
         assert_eq!(popped.params(), model(2).params());
         assert_eq!(h.len(), 1);
         assert_eq!(h.latest().unwrap().params(), a_params);
+    }
+
+    #[test]
+    fn popped_ids_are_never_reused() {
+        let mut h = ModelHistory::new(3);
+        h.push(model(1));
+        h.push(model(2));
+        let (id, _) = h.pop().unwrap();
+        assert_eq!(id, 1);
+        // The next acceptance gets a *fresh* id, not the retired one.
+        assert_eq!(h.push(model(3)), 2);
+        assert_eq!(h.ids(), &[0, 2]);
     }
 }

@@ -27,6 +27,7 @@
 //! assert_eq!(report.false_negatives(), 0);
 //! ```
 
+pub mod engine;
 pub mod exp;
 pub mod feedback;
 mod history;
@@ -35,6 +36,7 @@ pub mod simulation;
 pub mod validate;
 pub mod variation;
 
+pub use engine::{ConfusionCache, ValidationEngine};
 pub use feedback::{Decision, FeedbackLoop, QuorumRule};
 pub use history::ModelHistory;
 pub use simulation::{

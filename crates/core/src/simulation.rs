@@ -8,6 +8,7 @@
 //! defense, and records per-round ground truth vs decisions into a
 //! [`SimulationReport`].
 
+use crate::engine::ValidationEngine;
 use crate::feedback::{Decision, QuorumRule};
 use crate::history::ModelHistory;
 use crate::metrics::DetectionCounts;
@@ -437,6 +438,13 @@ pub struct Simulation {
     history: ModelHistory,
     trainer: LocalTrainer,
     validator: Validator,
+    /// One incremental validation engine per client shard: confusion
+    /// matrices are a function of (model, dataset), so caches cannot be
+    /// shared across shards. Mutex-wrapped because the validation phase
+    /// fans out over scoped threads.
+    client_engines: Vec<Mutex<ValidationEngine>>,
+    /// The server's own engine over its holdout share.
+    server_engine: ValidationEngine,
     fl: FlConfig,
     round_index: usize,
     /// Deferred mode: ground truth of the latest accepted (not yet
@@ -544,7 +552,9 @@ impl Simulation {
                 backdoor.source_class(),
                 sg,
             ),
-            None => generator.generate_class(&mut rng, config.backdoor_samples, backdoor.source_class()),
+            None => {
+                generator.generate_class(&mut rng, config.backdoor_samples, backdoor.source_class())
+            }
         };
         let backdoor_test = match backdoor.subgroup() {
             Some(sg) => generator.generate_subgroup(
@@ -587,6 +597,9 @@ impl Simulation {
         let fl = config.fl_config();
         let trainer = LocalTrainer::from_config(&fl);
         let validator = Validator::new(config.validation_config());
+        let client_engines =
+            client_shards.iter().map(|_| Mutex::new(ValidationEngine::new(validator))).collect();
+        let server_engine = ValidationEngine::new(validator);
         let mut history = ModelHistory::new(config.lookback + 1);
         history.push(global.clone());
 
@@ -604,6 +617,8 @@ impl Simulation {
             history,
             trainer,
             validator,
+            client_engines,
+            server_engine,
             fl,
             round_index: 0,
             pending_poisoned: false,
@@ -707,8 +722,11 @@ impl Simulation {
         let poisoned = self.config.poison_rounds.contains(&round);
 
         // --- Contributor phase -----------------------------------------
-        let mut contributors =
-            sampling::select_clients(&mut self.rng, self.config.num_clients, self.fl.clients_per_round());
+        let mut contributors = sampling::select_clients(
+            &mut self.rng,
+            self.config.num_clients,
+            self.fl.clients_per_round(),
+        );
         if poisoned && !contributors.contains(&0) {
             // The attacker makes sure its client is selected this round
             // (single-shot attacks assume participation).
@@ -724,8 +742,11 @@ impl Simulation {
 
         // --- Aggregation (optionally through secure aggregation) -------
         let summed: Vec<f32> = if self.config.use_secagg {
-            let session =
-                SecAggSession::new(self.config.seed ^ round as u64, updates.len(), updates[0].len());
+            let session = SecAggSession::new(
+                self.config.seed ^ round as u64,
+                updates.len(),
+                updates[0].len(),
+            );
             let masked: Vec<Vec<f32>> =
                 updates.iter().enumerate().map(|(i, u)| session.mask(i, u)).collect();
             session.aggregate(&masked)
@@ -825,11 +846,17 @@ impl Simulation {
         let (decision, reject_votes, votes_cast, server_vote) = if defense_active {
             let models = self.history.models();
             let (pending, prefix) = models.split_last().expect("non-empty history");
+            let (_, prefix_ids) = self.history.ids().split_last().expect("ids parallel to models");
             let mut votes: Vec<Vote> = Vec::new();
             if matches!(self.config.defense, DefenseMode::ClientsOnly | DefenseMode::Both) {
                 for &c in &contributors {
-                    let honest = match self.validator.validate(pending, prefix, &self.client_shards[c])
-                    {
+                    let outcome = self.client_engines[c].lock().validate(
+                        pending,
+                        prefix_ids,
+                        prefix,
+                        &self.client_shards[c],
+                    );
+                    let honest = match outcome {
                         Ok(verdict) => verdict.vote(),
                         Err(_) => Vote::Accept,
                     };
@@ -843,7 +870,9 @@ impl Simulation {
             }
             let server_vote =
                 if matches!(self.config.defense, DefenseMode::ServerOnly | DefenseMode::Both) {
-                    let vote = match self.validator.validate(pending, prefix, &self.server_data) {
+                    let outcome =
+                        self.server_engine.validate(pending, prefix_ids, prefix, &self.server_data);
+                    let vote = match outcome {
                         Ok(verdict) => verdict.vote(),
                         Err(_) => Vote::Accept,
                     };
@@ -865,7 +894,13 @@ impl Simulation {
 
         // --- Rollback on rejection -----------------------------------------
         if !decision.is_accepted() {
-            self.history.pop();
+            let (retired, _) = self.history.pop().expect("defense ran on non-empty history");
+            // The popped id is retired for good; drop its cache entries
+            // everywhere so the engines never serve a rolled-back model.
+            for engine in &self.client_engines {
+                engine.lock().invalidate(retired);
+            }
+            self.server_engine.invalidate(retired);
             self.global = self.history.latest().expect("history keeps its root").clone();
         }
 
@@ -925,8 +960,11 @@ impl Simulation {
     /// Produces the candidate global model of a clean round (used for
     /// warm-up).
     fn clean_round_candidate(&mut self) -> Mlp {
-        let contributors =
-            sampling::select_clients(&mut self.rng, self.config.num_clients, self.fl.clients_per_round());
+        let contributors = sampling::select_clients(
+            &mut self.rng,
+            self.config.num_clients,
+            self.fl.clients_per_round(),
+        );
         let updates = self.honest_updates(&contributors, false);
         let mut sum = vec![0.0; updates[0].len()];
         for u in &updates {
@@ -942,11 +980,8 @@ impl Simulation {
     /// Honest contributors' updates (parallel). On poison rounds the
     /// attacker's slot is excluded here and appended separately.
     fn honest_updates(&mut self, contributors: &[usize], poisoned: bool) -> Vec<Vec<f32>> {
-        let honest: Vec<usize> = contributors
-            .iter()
-            .copied()
-            .filter(|&c| !(poisoned && c == 0))
-            .collect();
+        let honest: Vec<usize> =
+            contributors.iter().copied().filter(|&c| !(poisoned && c == 0)).collect();
         let shards: Vec<&Dataset> = honest.iter().map(|&c| &self.client_shards[c]).collect();
         let seed = self.rng.gen::<u64>();
         baffle_fl::train_clients_parallel(&self.global, &shards, &self.trainer, seed)
@@ -960,21 +995,23 @@ impl Simulation {
         let attack = ModelReplacement::new(self.backdoor, boost);
         let attacker_clean = self.client_shards[0].clone();
         let mut atk_rng = StdRng::seed_from_u64(self.rng.gen());
-        let poison =
-            attack.poisoned_update(&self.global, &attacker_clean, &self.backdoor_train, &mut atk_rng);
+        let poison = attack.poisoned_update(
+            &self.global,
+            &attacker_clean,
+            &self.backdoor_train,
+            &mut atk_rng,
+        );
 
         match self.config.attack {
             AttackKind::Replacement => (poison, None),
             AttackKind::Adaptive => {
                 // The attacker runs VALIDATE on its own data, assuming its
                 // update dominates the round: candidate = G + (λ/N)·u.
-                let benign =
-                    self.trainer.train_update(&self.global, &attacker_clean, &mut atk_rng);
+                let benign = self.trainer.train_update(&self.global, &attacker_clean, &mut atk_rng);
                 let validator = self.validator;
                 let history = self.history.models().to_vec();
                 let global = self.global.clone();
-                let lambda_over_n =
-                    self.fl.global_lr() / self.fl.num_clients() as f32;
+                let lambda_over_n = self.fl.global_lr() / self.fl.num_clients() as f32;
                 let attacker_view = if attacker_clean.is_empty() {
                     self.backdoor_train.clone()
                 } else {
@@ -1011,7 +1048,8 @@ impl Simulation {
                 self.config.validators_per_round,
             );
             let history = self.history.models();
-            let validator = &self.validator;
+            let ids = self.history.ids();
+            let engines = &self.client_engines;
             let shards = &self.client_shards;
             let malicious = self.config.malicious_clients;
             let behavior = self.config.malicious_voter_behavior;
@@ -1024,7 +1062,9 @@ impl Simulation {
                         let vote = if v < malicious && !behavior.needs_validation() {
                             behavior.cast(Vote::Accept)
                         } else {
-                            let honest = match validator.validate(candidate, history, &shards[v]) {
+                            let outcome =
+                                engines[v].lock().validate(candidate, ids, history, &shards[v]);
+                            let honest = match outcome {
                                 Ok(verdict) => verdict.vote(),
                                 // A client that cannot judge abstains
                                 // (counts as accept, footnote 1).
@@ -1044,18 +1084,23 @@ impl Simulation {
             votes.extend(collected.into_inner());
         }
 
-        let server_vote = if matches!(self.config.defense, DefenseMode::ServerOnly | DefenseMode::Both)
-        {
-            let vote = match self.validator.validate(candidate, self.history.models(), &self.server_data)
-            {
-                Ok(verdict) => verdict.vote(),
-                Err(_) => Vote::Accept,
+        let server_vote =
+            if matches!(self.config.defense, DefenseMode::ServerOnly | DefenseMode::Both) {
+                let outcome = self.server_engine.validate(
+                    candidate,
+                    self.history.ids(),
+                    self.history.models(),
+                    &self.server_data,
+                );
+                let vote = match outcome {
+                    Ok(verdict) => verdict.vote(),
+                    Err(_) => Vote::Accept,
+                };
+                votes.push(vote);
+                Some(vote)
+            } else {
+                None
             };
-            votes.push(vote);
-            Some(vote)
-        } else {
-            None
-        };
 
         let reject_votes = votes.iter().filter(|v| matches!(v, Vote::Reject)).count();
         let quorum = match self.config.defense {

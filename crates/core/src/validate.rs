@@ -25,6 +25,35 @@ use baffle_lof::{LofError, LofModel};
 use baffle_nn::{ConfusionMatrix, Model};
 use serde::{Deserialize, Serialize};
 
+/// Spawn threads for the leave-one-out threshold loop only when the
+/// trusted window is at least this wide: each iteration is a small LOF
+/// fit, and below this point thread start-up dominates the work.
+const LOO_PARALLEL_THRESHOLD: usize = 8;
+
+/// Scores each of the last `tw` references leave-one-out against the
+/// remaining ones, returning the per-probe results **in index order**
+/// (`refs.len() - tw` first). Runs on scoped threads when the window is
+/// wide enough; the output is identical either way, so parallelism can
+/// never change a verdict.
+fn leave_one_out_scores(refs: &[Vec<f32>], k: usize, tw: usize) -> Vec<Result<f64, LofError>> {
+    let lo = refs.len() - tw;
+    let score_one = &|i: usize| -> Result<f64, LofError> {
+        let mut others = refs.to_vec();
+        let probe = others.remove(i);
+        LofModel::fit(others, k)?.score(&probe)
+    };
+    if tw >= LOO_PARALLEL_THRESHOLD {
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> =
+                (lo..refs.len()).map(|i| s.spawn(move |_| score_one(i))).collect();
+            handles.into_iter().map(|h| h.join().expect("LOO worker panicked")).collect()
+        })
+        .expect("LOO thread scope panicked")
+    } else {
+        (lo..refs.len()).map(score_one).collect()
+    }
+}
+
 /// Parameters of the validation function.
 ///
 /// # Example
@@ -258,14 +287,44 @@ impl Validator {
             .map(|m| ConfusionMatrix::from_model(m, data.features(), data.labels()))
             .collect();
         let current_cm = ConfusionMatrix::from_model(current, data.features(), data.labels());
+        self.validate_confusions(&confusions, &current_cm, data.len())
+    }
+
+    /// The decision half of Algorithm 2, starting from precomputed
+    /// confusion matrices — `history` holds one matrix per accepted model
+    /// (oldest first) over the caller's validation set, `current` the
+    /// candidate's matrix over the same set, and `num_samples` the size
+    /// of that set (used by the quantisation guard).
+    ///
+    /// This is the entry point for callers that cache confusion matrices
+    /// across rounds (see [`crate::engine::ValidationEngine`]); the
+    /// model-slice API [`Validator::validate_detailed`] delegates here,
+    /// so cached and uncached validation share one code path and produce
+    /// bit-identical results.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Validator::validate`].
+    pub fn validate_confusions(
+        &self,
+        history: &[ConfusionMatrix],
+        current: &ConfusionMatrix,
+        num_samples: usize,
+    ) -> Result<Diagnostics, ValidateError> {
+        if history.len() < MIN_HISTORY {
+            return Err(ValidateError::NotEnoughHistory { got: history.len(), need: MIN_HISTORY });
+        }
+        if num_samples == 0 {
+            return Err(ValidateError::EmptyDataset);
+        }
+        let start = history.len().saturating_sub(self.config.history_size());
+        let confusions = &history[start..];
 
         // Historical variations v_1..v_m and the candidate's v_{m+1}.
-        let refs: Vec<Vec<f32>> = confusions
-            .windows(2)
-            .map(|w| variation_from_confusions(&w[0], &w[1]))
-            .collect();
+        let refs: Vec<Vec<f32>> =
+            confusions.windows(2).map(|w| variation_from_confusions(&w[0], &w[1])).collect();
         let v_new =
-            variation_from_confusions(confusions.last().expect("window non-empty"), &current_cm);
+            variation_from_confusions(confusions.last().expect("window non-empty"), current);
 
         let k = self.config.k();
         let mut phi_new = LofModel::fit(refs.clone(), k)?.score(&v_new)?;
@@ -281,7 +340,7 @@ impl Validator {
         if phi_new.is_infinite() {
             // One flipped prediction changes one source-focused and one
             // target-focused entry by 1/|D| each.
-            let flips = v_new.iter().map(|x| x.abs()).sum::<f32>() * data.len() as f32 / 2.0;
+            let flips = v_new.iter().map(|x| x.abs()).sum::<f32>() * num_samples as f32 / 2.0;
             if flips <= DUPLICATE_GUARD_FLIPS {
                 phi_new = 1.0;
             }
@@ -291,10 +350,8 @@ impl Validator {
         // scored leave-one-out against the remaining references.
         let tw = self.config.trust_window().min(refs.len().saturating_sub(2)).max(1);
         let mut trusted = Vec::with_capacity(tw);
-        for i in refs.len() - tw..refs.len() {
-            let mut others = refs.clone();
-            let probe = others.remove(i);
-            let phi = LofModel::fit(others, k)?.score(&probe)?;
+        for phi in leave_one_out_scores(&refs, k, tw) {
+            let phi = phi?;
             if phi.is_finite() {
                 trusted.push(phi);
             }
@@ -307,11 +364,8 @@ impl Validator {
             trusted.iter().sum::<f64>() / trusted.len() as f64
         };
 
-        let vote = if phi_new > self.config.margin * threshold {
-            Vote::Reject
-        } else {
-            Vote::Accept
-        };
+        let vote =
+            if phi_new > self.config.margin * threshold { Vote::Reject } else { Vote::Accept };
         Ok(Diagnostics {
             verdict: Verdict { vote, outlier_factor: phi_new, threshold },
             variation: v_new,
@@ -386,9 +440,7 @@ mod tests {
     /// History with a stable, small per-round error fluctuation: model t
     /// misclassifies rows {t % n, (t+1) % n}.
     fn stable_history(data: &Dataset, len: usize) -> Vec<Scripted> {
-        (0..len)
-            .map(|t| model_with_errors(data, &[t % data.len(), (t + 1) % data.len()]))
-            .collect()
+        (0..len).map(|t| model_with_errors(data, &[t % data.len(), (t + 1) % data.len()])).collect()
     }
 
     #[test]
@@ -505,7 +557,10 @@ mod tests {
         let poisoned = model_with_errors(&data, &wrong);
         let validator = Validator::new(ValidationConfig::new(10));
         let diag = validator.validate_detailed(&poisoned, &history, &data).unwrap();
-        assert_eq!(diag.verdict.vote(), validator.validate(&poisoned, &history, &data).unwrap().vote());
+        assert_eq!(
+            diag.verdict.vote(),
+            validator.validate(&poisoned, &history, &data).unwrap().vote()
+        );
         assert_eq!(diag.variation.len(), 2 * data.num_classes());
         assert!(!diag.trusted_outlier_factors.is_empty());
         // The threshold is exactly the mean of the trusted factors.

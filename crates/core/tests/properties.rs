@@ -1,6 +1,8 @@
 //! Property-based tests for the defense's algebraic components.
 
-use baffle_core::feedback::{max_tolerable_malicious, quorum_bounds, recommended_quorum, QuorumRule};
+use baffle_core::feedback::{
+    max_tolerable_malicious, quorum_bounds, recommended_quorum, QuorumRule,
+};
 use baffle_core::metrics::{mean_std, DetectionCounts};
 use baffle_core::variation::variation_from_confusions;
 use baffle_core::Vote;

@@ -49,10 +49,21 @@ impl Dataset {
     /// # Panics
     ///
     /// Panics if lengths are inconsistent or a label is out of range.
-    pub fn with_subgroups(x: Matrix, y: Vec<usize>, subgroup: Vec<u16>, num_classes: usize) -> Self {
+    pub fn with_subgroups(
+        x: Matrix,
+        y: Vec<usize>,
+        subgroup: Vec<u16>,
+        num_classes: usize,
+    ) -> Self {
         assert!(num_classes > 0, "Dataset: need at least one class");
         assert_eq!(x.rows(), y.len(), "Dataset: {} rows vs {} labels", x.rows(), y.len());
-        assert_eq!(y.len(), subgroup.len(), "Dataset: {} labels vs {} subgroup tags", y.len(), subgroup.len());
+        assert_eq!(
+            y.len(),
+            subgroup.len(),
+            "Dataset: {} labels vs {} subgroup tags",
+            y.len(),
+            subgroup.len()
+        );
         assert!(
             y.iter().all(|&l| l < num_classes),
             "Dataset: a label is out of range for {num_classes} classes"
@@ -178,9 +189,7 @@ impl Dataset {
     /// Indices of all samples with the given `(class, subgroup)` pair —
     /// i.e. the backdoor subpopulation.
     pub fn indices_of_subgroup(&self, class: usize, subgroup: u16) -> Vec<usize> {
-        (0..self.len())
-            .filter(|&i| self.y[i] == class && self.subgroup[i] == subgroup)
-            .collect()
+        (0..self.len()).filter(|&i| self.y[i] == class && self.subgroup[i] == subgroup).collect()
     }
 
     /// Returns a copy where every sample selected by `select` is relabelled
@@ -189,7 +198,11 @@ impl Dataset {
     /// # Panics
     ///
     /// Panics if `target >= self.num_classes()`.
-    pub fn relabel(&self, target: usize, mut select: impl FnMut(usize, usize, u16) -> bool) -> Dataset {
+    pub fn relabel(
+        &self,
+        target: usize,
+        mut select: impl FnMut(usize, usize, u16) -> bool,
+    ) -> Dataset {
         assert!(target < self.num_classes, "relabel: target {target} out of range");
         let mut out = self.clone();
         for i in 0..out.y.len() {
@@ -237,13 +250,8 @@ mod tests {
         assert_eq!(a.len(), 2);
         assert_eq!(b.len(), 3);
         // Together they hold every original feature value exactly once.
-        let mut vals: Vec<f32> = a
-            .features()
-            .as_slice()
-            .iter()
-            .chain(b.features().as_slice())
-            .cloned()
-            .collect();
+        let mut vals: Vec<f32> =
+            a.features().as_slice().iter().chain(b.features().as_slice()).cloned().collect();
         vals.sort_by(f32::total_cmp);
         assert_eq!(vals, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
     }

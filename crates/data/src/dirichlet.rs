@@ -93,11 +93,7 @@ mod tests {
         let mean_max = |alpha: f64, seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
             (0..n)
-                .map(|_| {
-                    sample_symmetric(&mut rng, alpha, dim)
-                        .into_iter()
-                        .fold(0.0_f64, f64::max)
-                })
+                .map(|_| sample_symmetric(&mut rng, alpha, dim).into_iter().fold(0.0_f64, f64::max))
                 .sum::<f64>()
                 / n as f64
         };

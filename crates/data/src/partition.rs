@@ -47,8 +47,7 @@ pub fn dirichlet_indices<R: Rng + ?Sized>(
     );
     let mut shards = vec![Vec::new(); num_clients];
     for class in 0..num_classes {
-        let class_indices: Vec<usize> =
-            (0..labels.len()).filter(|&i| labels[i] == class).collect();
+        let class_indices: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == class).collect();
         if class_indices.is_empty() {
             continue;
         }
@@ -67,13 +66,11 @@ pub fn dirichlet_indices<R: Rng + ?Sized>(
 /// Largest-remainder apportionment: distributes `total` units over
 /// categories proportionally to `props`, exactly.
 fn apportion(props: &[f64], total: usize) -> Vec<usize> {
-    let mut counts: Vec<usize> = props.iter().map(|&p| (p * total as f64).floor() as usize).collect();
+    let mut counts: Vec<usize> =
+        props.iter().map(|&p| (p * total as f64).floor() as usize).collect();
     let assigned: usize = counts.iter().sum();
-    let mut remainders: Vec<(usize, f64)> = props
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| (i, p * total as f64 - counts[i] as f64))
-        .collect();
+    let mut remainders: Vec<(usize, f64)> =
+        props.iter().enumerate().map(|(i, &p)| (i, p * total as f64 - counts[i] as f64)).collect();
     remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     for &(i, _) in remainders.iter().take(total - assigned) {
         counts[i] += 1;
@@ -106,13 +103,8 @@ pub fn client_server_split<R: Rng + ?Sized>(
     );
     let server_n = (server_share * dataset.len() as f64).round() as usize;
     let (server, client_pool) = dataset.split_random(rng, server_n);
-    let shards = dirichlet_indices(
-        rng,
-        client_pool.labels(),
-        client_pool.num_classes(),
-        num_clients,
-        alpha,
-    );
+    let shards =
+        dirichlet_indices(rng, client_pool.labels(), client_pool.num_classes(), num_clients, alpha);
     let clients = shards.iter().map(|idx| client_pool.subset(idx)).collect();
     (clients, server)
 }

@@ -365,13 +365,10 @@ impl SyntheticVision {
     ) -> Vec<f32> {
         let d = self.spec.input_dim;
         let proto = self.prototypes.row(class);
-        let offset = self
-            .offsets
-            .row(class * self.spec.subgroups_per_class as usize + subgroup as usize);
+        let offset =
+            self.offsets.row(class * self.spec.subgroups_per_class as usize + subgroup as usize);
         let noise_std = self.spec.noise_std / (d as f32).sqrt().sqrt();
-        (0..d)
-            .map(|i| proto[i] + offset[i] + noise_std * trng::standard_normal(rng))
-            .collect()
+        (0..d).map(|i| proto[i] + offset[i] + noise_std * trng::standard_normal(rng)).collect()
     }
 }
 

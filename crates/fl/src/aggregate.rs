@@ -73,11 +73,7 @@ mod tests {
         let n_total = 100;
         let lambda = 10.0;
         let gamma = n_total as f32 / lambda;
-        let poisoned: Vec<f32> = g
-            .iter()
-            .zip(&x)
-            .map(|(&gi, &xi)| gamma * (xi - gi))
-            .collect();
+        let poisoned: Vec<f32> = g.iter().zip(&x).map(|(&gi, &xi)| gamma * (xi - gi)).collect();
         let out = fedavg(&g, &[poisoned], lambda, n_total);
         for (o, e) in out.iter().zip(&x) {
             assert!((o - e).abs() < 1e-4, "{o} vs {e}");

@@ -148,10 +148,7 @@ mod tests {
 
     #[test]
     fn builders_override_fields() {
-        let c = FlConfig::new(50, 5)
-            .with_local_epochs(3)
-            .with_local_lr(0.05)
-            .with_batch_size(16);
+        let c = FlConfig::new(50, 5).with_local_epochs(3).with_local_lr(0.05).with_batch_size(16);
         assert_eq!(c.local_epochs(), 3);
         assert_eq!(c.local_lr(), 0.05);
         assert_eq!(c.batch_size(), 16);

@@ -33,8 +33,8 @@
 
 mod aggregate;
 mod config;
-pub mod sampling;
 pub mod history_sync;
+pub mod sampling;
 pub mod secagg;
 mod trainer;
 

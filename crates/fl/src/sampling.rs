@@ -20,7 +20,10 @@ use rand::Rng;
 /// ```
 pub fn select_clients<R: Rng + ?Sized>(rng: &mut R, total: usize, n: usize) -> Vec<usize> {
     assert!(n <= total, "select_clients: cannot select {n} of {total}");
-    // Partial Fisher–Yates via `choose_multiple` keeps this O(total).
+    // Full Fisher–Yates shuffle of `0..total`, then truncate: O(total)
+    // time and memory. Kept as a *full* shuffle deliberately — a partial
+    // draw (`choose_multiple`) consumes the RNG differently and would
+    // silently change every seeded experiment.
     let mut all: Vec<usize> = (0..total).collect();
     all.shuffle(rng);
     all.truncate(n);

@@ -134,9 +134,7 @@ mod tests {
     use super::*;
 
     fn updates(n: usize, len: usize) -> Vec<Vec<f32>> {
-        (0..n)
-            .map(|i| (0..len).map(|j| (i * len + j) as f32 * 0.1 - 1.0).collect())
-            .collect()
+        (0..n).map(|i| (0..len).map(|j| (i * len + j) as f32 * 0.1 - 1.0).collect()).collect()
     }
 
     #[test]

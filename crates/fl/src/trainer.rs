@@ -112,11 +112,7 @@ pub fn train_clients_parallel(
         }
     })
     .expect("local training worker panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every shard trained"))
-        .collect()
+    results.into_inner().into_iter().map(|r| r.expect("every shard trained")).collect()
 }
 
 #[cfg(test)]
@@ -167,9 +163,7 @@ mod tests {
     #[test]
     fn parallel_training_matches_sequential() {
         let (global, data, mut rng) = setup();
-        let shards: Vec<Dataset> = (0..4)
-            .map(|_| data.split_random(&mut rng, 30).0)
-            .collect();
+        let shards: Vec<Dataset> = (0..4).map(|_| data.split_random(&mut rng, 30).0).collect();
         let shard_refs: Vec<&Dataset> = shards.iter().collect();
         let trainer = LocalTrainer::new(1, 0.1, 16);
 

@@ -121,12 +121,8 @@ impl LofModel {
             return Err(LofError::DimensionMismatch { query: query.len(), reference: dim });
         }
         // k nearest references to the query.
-        let mut dists: Vec<(f64, usize)> = self
-            .points
-            .iter()
-            .enumerate()
-            .map(|(j, p)| (euclidean(query, p), j))
-            .collect();
+        let mut dists: Vec<(f64, usize)> =
+            self.points.iter().enumerate().map(|(j, p)| (euclidean(query, p), j)).collect();
         dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         dists.truncate(self.k);
 

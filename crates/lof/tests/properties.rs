@@ -4,10 +4,7 @@ use baffle_lof::{lof_against, LofModel};
 use proptest::prelude::*;
 
 fn points_strategy(dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
-    prop::collection::vec(
-        prop::collection::vec(-100.0_f32..100.0, dim..=dim),
-        3..20,
-    )
+    prop::collection::vec(prop::collection::vec(-100.0_f32..100.0, dim..=dim), 3..20)
 }
 
 proptest! {

@@ -4,7 +4,7 @@ use crate::message::{Message, NodeId};
 use crate::transport::Endpoint;
 use baffle_attack::voting::{Vote, VoterBehavior};
 use baffle_attack::ModelReplacement;
-use baffle_core::Validator;
+use baffle_core::{ValidationEngine, Validator};
 use baffle_data::Dataset;
 use baffle_fl::history_sync::ModelId;
 use baffle_fl::LocalTrainer;
@@ -38,10 +38,14 @@ pub struct Client {
     endpoint: Endpoint,
     data: Dataset,
     trainer: LocalTrainer,
-    validator: Validator,
+    engine: ValidationEngine,
     role: ClientRole,
-    /// Cached history: `(id, model)` pairs, oldest first.
-    history_cache: Vec<(ModelId, Mlp)>,
+    /// Cached history ids, oldest first — parallel to `history_models`.
+    /// The ids double as the validation engine's cache keys, so a model
+    /// shipped once is never re-evaluated on this client's data.
+    history_ids: Vec<ModelId>,
+    /// Cached history models, oldest first.
+    history_models: Vec<Mlp>,
     history_window: usize,
     template: Mlp,
     rng: StdRng,
@@ -66,9 +70,10 @@ impl Client {
             endpoint,
             data,
             trainer,
-            validator,
+            engine: ValidationEngine::new(validator),
             role,
-            history_cache: Vec::new(),
+            history_ids: Vec::new(),
+            history_models: Vec::new(),
             history_window,
             template,
             rng: StdRng::seed_from_u64(seed),
@@ -94,15 +99,22 @@ impl Client {
                     self.rounds_participated += 1;
                     for entry in history_delta {
                         if let Ok(params) = wire::decode_f32(&entry.params) {
-                            let mut m = self.template.clone();
-                            m.set_params(&params);
-                            self.history_cache.push((entry.id, m));
+                            // Ids arrive mostly in order; insert sorted and
+                            // skip duplicates (a re-shipped delta after loss).
+                            if let Err(pos) = self.history_ids.binary_search(&entry.id) {
+                                let mut m = self.template.clone();
+                                m.set_params(&params);
+                                self.history_ids.insert(pos, entry.id);
+                                self.history_models.insert(pos, m);
+                            }
                         }
                     }
-                    self.history_cache.sort_by_key(|(id, _)| *id);
-                    self.history_cache.dedup_by_key(|(id, _)| *id);
-                    while self.history_cache.len() > self.history_window {
-                        self.history_cache.remove(0);
+                    let excess = self.history_ids.len().saturating_sub(self.history_window);
+                    if excess > 0 {
+                        for id in self.history_ids.drain(..excess) {
+                            self.engine.invalidate(id);
+                        }
+                        self.history_models.drain(..excess);
                     }
                     self.handle_validate(round, &candidate);
                 }
@@ -143,8 +155,9 @@ impl Client {
         let Ok(params) = wire::decode_f32(candidate_bytes) else { return };
         let mut candidate = self.template.clone();
         candidate.set_params(&params);
-        let history: Vec<Mlp> = self.history_cache.iter().map(|(_, m)| m.clone()).collect();
-        let honest_vote = match self.validator.validate(&candidate, &history, &self.data) {
+        let outcome =
+            self.engine.validate(&candidate, &self.history_ids, &self.history_models, &self.data);
+        let honest_vote = match outcome {
             Ok(verdict) => verdict.vote(),
             Err(_) => Vote::Accept, // cannot judge: abstain (footnote 1)
         };

@@ -3,7 +3,7 @@
 use crate::message::{HistoryEntry, Message, NodeId};
 use crate::transport::Endpoint;
 use baffle_attack::voting::Vote;
-use baffle_core::{Decision, ModelHistory, QuorumRule, Validator};
+use baffle_core::{Decision, ModelHistory, QuorumRule, ValidationEngine, Validator};
 use baffle_data::Dataset;
 use baffle_fl::history_sync::HistorySync;
 use baffle_fl::{fedavg, sampling, FlConfig};
@@ -11,7 +11,7 @@ use baffle_nn::{wire, Mlp, Model};
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::Duration;
 
 /// Server-side protocol parameters.
@@ -54,6 +54,16 @@ pub struct ServerRound {
     pub votes_received: usize,
     /// Reject votes among them.
     pub reject_votes: usize,
+    /// Update submissions discarded at intake: sender not in this
+    /// round's sampled contributor set, claimed id not matching the
+    /// transport envelope, undecodable payload, or wrong parameter
+    /// count. (Stale-round stragglers are silently dropped, not
+    /// counted — losing a race is not an intake violation.)
+    pub rejected_submissions: usize,
+    /// Vote submissions discarded at intake: sender not in this round's
+    /// sampled validator set, claimed id not matching the envelope, or a
+    /// duplicate vote from an already-counted validator.
+    pub rejected_votes: usize,
     /// Bytes of history shipped to validators this round (the §VI-D
     /// overhead, measured).
     pub history_bytes_shipped: usize,
@@ -66,10 +76,13 @@ pub struct Server {
     endpoint: Endpoint,
     config: ServerConfig,
     global: Mlp,
+    /// Number of parameters of the global model — the only update length
+    /// accepted at intake (anything else would panic `fedavg`).
+    param_len: usize,
     history: ModelHistory,
-    history_entries: Vec<HistoryEntry>,
+    history_entries: VecDeque<HistoryEntry>,
     sync: HistorySync,
-    validator: Validator,
+    engine: ValidationEngine,
     server_data: Dataset,
     rng: StdRng,
     round: u64,
@@ -87,22 +100,26 @@ impl Server {
         server_data: Dataset,
     ) -> Self {
         let mut history = ModelHistory::new(history_window);
-        history.push(initial_model.clone());
+        let hist_id = history.push(initial_model.clone());
         let mut sync = HistorySync::new(history_window);
         let first_id = sync.push_accepted();
-        let history_entries = vec![HistoryEntry {
+        // The history's cache ids and the sync protocol's wire ids are
+        // assigned in lockstep: both count acceptances from zero.
+        debug_assert_eq!(hist_id, first_id);
+        let history_entries = VecDeque::from(vec![HistoryEntry {
             id: first_id,
             params: wire::encode_f32(&initial_model.params()),
-        }];
+        }]);
         let rng = StdRng::seed_from_u64(config.seed);
         Self {
             endpoint,
             config,
+            param_len: initial_model.num_params(),
             global: initial_model,
             history,
             history_entries,
             sync,
-            validator,
+            engine: ValidationEngine::new(validator),
             server_data,
             rng,
             round: 0,
@@ -121,18 +138,17 @@ impl Server {
         let n = self.config.fl.clients_per_round();
 
         // --- Training phase ------------------------------------------------
-        let contributors: Vec<usize> = if round <= self.config.bootstrap_rounds
-            && !self.config.bootstrap_trusted.is_empty()
-        {
-            let pool = &self.config.bootstrap_trusted;
-            let k = n.min(pool.len());
-            sampling::select_clients(&mut self.rng, pool.len(), k)
-                .into_iter()
-                .map(|i| pool[i])
-                .collect()
-        } else {
-            sampling::select_clients(&mut self.rng, self.config.fl.num_clients(), n)
-        };
+        let contributors: Vec<usize> =
+            if round <= self.config.bootstrap_rounds && !self.config.bootstrap_trusted.is_empty() {
+                let pool = &self.config.bootstrap_trusted;
+                let k = n.min(pool.len());
+                sampling::select_clients(&mut self.rng, pool.len(), k)
+                    .into_iter()
+                    .map(|i| pool[i])
+                    .collect()
+            } else {
+                sampling::select_clients(&mut self.rng, self.config.fl.num_clients(), n)
+            };
         let global_bytes = Bytes::from(wire::encode_f32(&self.global.params()));
         for &c in &contributors {
             self.endpoint.send(
@@ -140,7 +156,7 @@ impl Server {
                 Message::TrainRequest { round, global: global_bytes.clone() },
             );
         }
-        let updates = self.collect_updates(round, contributors.len());
+        let (updates, rejected_submissions) = self.collect_updates(round, &contributors);
         let updates_received = updates.len();
 
         // A round with no surviving updates is skipped entirely.
@@ -151,6 +167,8 @@ impl Server {
                 updates_received: 0,
                 votes_received: 0,
                 reject_votes: 0,
+                rejected_submissions,
+                rejected_votes: 0,
                 history_bytes_shipped: 0,
             };
         }
@@ -194,13 +212,15 @@ impl Server {
                 },
             );
         }
-        let mut votes = self.collect_votes(round, validators.len());
+        let (mut votes, rejected_votes) = self.collect_votes(round, &validators);
         if self.config.server_votes {
-            let own = match self.validator.validate(
+            let outcome = self.engine.validate(
                 &candidate,
+                self.history.ids(),
                 self.history.models(),
                 &self.server_data,
-            ) {
+            );
+            let own = match outcome {
                 Ok(verdict) => verdict.vote(),
                 Err(_) => Vote::Accept,
             };
@@ -215,11 +235,12 @@ impl Server {
         // --- Integration ----------------------------------------------------
         if decision == Decision::Accepted {
             self.global = candidate;
-            self.history.push(self.global.clone());
+            let hist_id = self.history.push(self.global.clone());
             let id = self.sync.push_accepted();
-            self.history_entries.push(HistoryEntry { id, params: candidate_bytes.clone() });
+            debug_assert_eq!(hist_id, id, "history and sync ids must stay in lockstep");
+            self.history_entries.push_back(HistoryEntry { id, params: candidate_bytes.clone() });
             if self.history_entries.len() > self.history.capacity() {
-                self.history_entries.remove(0);
+                self.history_entries.pop_front();
             }
         }
         for &c in contributors.iter().chain(&validators) {
@@ -235,6 +256,8 @@ impl Server {
             updates_received,
             votes_received: votes.len() - usize::from(self.config.server_votes),
             reject_votes,
+            rejected_submissions,
+            rejected_votes,
             history_bytes_shipped,
         }
     }
@@ -246,10 +269,29 @@ impl Server {
         }
     }
 
-    fn collect_updates(&self, round: u64, expected: usize) -> HashMap<NodeId, Vec<f32>> {
+    /// Collects update submissions for `round` until every sampled
+    /// contributor answered or the phase timeout expires. Returns the
+    /// surviving updates plus the number rejected at intake.
+    ///
+    /// An update survives only if **all** of these hold — the protocol's
+    /// random-sampling defense is void without them:
+    ///
+    /// - the sender is in this round's sampled contributor set (an
+    ///   unsolicited update must not reach FedAvg);
+    /// - the claimed `from` matches the transport envelope's sender (no
+    ///   impersonating a sampled client);
+    /// - the payload decodes to exactly `param_len` floats (a truncated
+    ///   update would panic the aggregation — a remote DoS).
+    fn collect_updates(
+        &self,
+        round: u64,
+        contributors: &[usize],
+    ) -> (HashMap<NodeId, Vec<f32>>, usize) {
+        let allowed: HashSet<NodeId> = contributors.iter().map(|&c| NodeId(c as u32)).collect();
         let mut updates = HashMap::new();
+        let mut rejected = 0usize;
         let deadline = std::time::Instant::now() + self.config.phase_timeout;
-        while updates.len() < expected {
+        while updates.len() < contributors.len() {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             if remaining.is_zero() {
                 break;
@@ -257,25 +299,43 @@ impl Server {
             match self.endpoint.recv_timeout(remaining) {
                 Ok(env) => {
                     if let Message::UpdateSubmission { round: r, from, update } = env.message {
-                        if r == round {
-                            if let Ok(u) = wire::decode_f32(&update) {
+                        if r != round {
+                            // Stale-round stragglers are dropped silently.
+                            continue;
+                        }
+                        if from != env.from || !allowed.contains(&from) {
+                            rejected += 1;
+                            continue;
+                        }
+                        match wire::decode_f32(&update) {
+                            Ok(u) if u.len() == self.param_len => {
                                 updates.insert(from, u);
                             }
+                            _ => rejected += 1,
                         }
-                        // Stale-round submissions are discarded.
                     }
                 }
                 Err(_) => break,
             }
         }
-        updates
+        (updates, rejected)
     }
 
-    fn collect_votes(&self, round: u64, expected: usize) -> Vec<Vote> {
+    /// Collects vote submissions for `round` until every sampled
+    /// validator voted or the phase timeout expires. Returns the counted
+    /// votes plus the number rejected at intake.
+    ///
+    /// A vote counts only if the sender is in this round's sampled
+    /// validator set, the claimed `from` matches the envelope, and the
+    /// validator has not voted already — otherwise any node could stuff
+    /// the quorum.
+    fn collect_votes(&self, round: u64, validators: &[usize]) -> (Vec<Vote>, usize) {
+        let allowed: HashSet<NodeId> = validators.iter().map(|&v| NodeId(v as u32)).collect();
         let mut votes = Vec::new();
-        let mut seen = std::collections::HashSet::new();
+        let mut rejected = 0usize;
+        let mut seen = HashSet::new();
         let deadline = std::time::Instant::now() + self.config.phase_timeout;
-        while votes.len() < expected {
+        while votes.len() < validators.len() {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             if remaining.is_zero() {
                 break;
@@ -283,14 +343,19 @@ impl Server {
             match self.endpoint.recv_timeout(remaining) {
                 Ok(env) => {
                     if let Message::VoteSubmission { round: r, from, vote } = env.message {
-                        if r == round && seen.insert(from) {
-                            votes.push(vote);
+                        if r != round {
+                            continue;
                         }
+                        if from != env.from || !allowed.contains(&from) || !seen.insert(from) {
+                            rejected += 1;
+                            continue;
+                        }
+                        votes.push(vote);
                     }
                 }
                 Err(_) => break,
             }
         }
-        votes
+        (votes, rejected)
     }
 }

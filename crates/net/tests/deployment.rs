@@ -73,10 +73,7 @@ fn incremental_history_shipping_shrinks_over_time() {
     let model_bytes = 8 + 4 * (32 * 16 + 16 + 16 * 10 + 10);
     let worst_case = outcome.rounds.len() * 4 * 5 * model_bytes; // rounds × validators × window
     assert!(shipped > 0);
-    assert!(
-        shipped < worst_case,
-        "incremental shipping saved nothing: {shipped} vs {worst_case}"
-    );
+    assert!(shipped < worst_case, "incremental shipping saved nothing: {shipped} vs {worst_case}");
 }
 
 #[test]

@@ -1,0 +1,217 @@
+//! Regression tests for server intake hardening: submissions from nodes
+//! outside the round's sampled sets, spoofed sender ids and malformed
+//! updates must be rejected at the door.
+//!
+//! Each test drives a real [`Server`] through scripted client threads
+//! over the in-process [`Network`]. The transport delivers each node's
+//! messages in send order, so a rogue message queued before the honest
+//! replies is guaranteed to reach the server first — these tests fail on
+//! the pre-fix server (corrupted aggregate, panic, stuffed quorum).
+
+use baffle_core::{ValidationConfig, Validator, Vote};
+use baffle_data::Dataset;
+use baffle_fl::FlConfig;
+use baffle_net::message::{Message, NodeId};
+use baffle_net::server::{Server, ServerConfig};
+use baffle_net::transport::{Endpoint, Network};
+use baffle_nn::{wire, Mlp, MlpSpec, Model};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const NUM_CLIENTS: usize = 3;
+
+fn tiny_model(seed: u64) -> Mlp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Mlp::new(&MlpSpec::new(2, &[], 2), &mut rng)
+}
+
+/// A server where every client is sampled both as contributor and as
+/// validator every round (3 of 3), so membership itself is never the
+/// reason an honest submission would be missing.
+fn make_server(network: &Network, quorum: usize, timeout_ms: u64, initial: &Mlp) -> Server {
+    let endpoint = network.register(NodeId::SERVER);
+    let config = ServerConfig {
+        fl: FlConfig::new(NUM_CLIENTS, NUM_CLIENTS),
+        validators_per_round: NUM_CLIENTS,
+        quorum,
+        phase_timeout: Duration::from_millis(timeout_ms),
+        server_votes: false,
+        seed: 7,
+        bootstrap_rounds: 0,
+        bootstrap_trusted: Vec::new(),
+    };
+    Server::new(
+        endpoint,
+        config,
+        initial.clone(),
+        5,
+        Validator::new(ValidationConfig::new(3)),
+        Dataset::empty(2, 2),
+    )
+}
+
+/// Actor loop of a scripted client: answers every train request with the
+/// fixed `update`, runs `on_validate` for every validate request, exits
+/// on shutdown.
+fn run_scripted_client(endpoint: Endpoint, update: Vec<f32>, on_validate: impl Fn(&Endpoint, u64)) {
+    while let Ok(env) = endpoint.recv() {
+        match env.message {
+            Message::TrainRequest { round, .. } => {
+                endpoint.send(
+                    NodeId::SERVER,
+                    Message::UpdateSubmission {
+                        round,
+                        from: endpoint.id(),
+                        update: wire::encode_f32(&update),
+                    },
+                );
+            }
+            Message::ValidateRequest { round, .. } => on_validate(&endpoint, round),
+            Message::Shutdown => break,
+            _ => {}
+        }
+    }
+}
+
+fn accept_vote(endpoint: &Endpoint, round: u64) {
+    endpoint.send(
+        NodeId::SERVER,
+        Message::VoteSubmission { round, from: endpoint.id(), vote: Vote::Accept },
+    );
+}
+
+#[test]
+fn unsolicited_update_cannot_reach_aggregation() {
+    let network = Network::new();
+    let initial = tiny_model(1);
+    let before = initial.params();
+    let mut server = make_server(&network, 2, 2_000, &initial);
+
+    // A node that was never sampled injects a boosted "update" before the
+    // round even starts — it is the first thing the server dequeues.
+    let rogue = network.register(NodeId(9));
+    rogue.send(
+        NodeId::SERVER,
+        Message::UpdateSubmission {
+            round: 1,
+            from: NodeId(9),
+            update: wire::encode_f32(&vec![1e6; initial.num_params()]),
+        },
+    );
+
+    let round = crossbeam::thread::scope(|scope| {
+        for c in 0..NUM_CLIENTS {
+            let endpoint = network.register(NodeId(c as u32));
+            let zeros = vec![0.0f32; initial.num_params()];
+            scope.spawn(move |_| run_scripted_client(endpoint, zeros, accept_vote));
+        }
+        let round = server.run_round();
+        server.shutdown();
+        round
+    })
+    .expect("client thread panicked");
+
+    assert_eq!(round.rejected_submissions, 1, "the rogue update must be counted as rejected");
+    assert_eq!(round.updates_received, NUM_CLIENTS, "all honest updates still aggregate");
+    assert!(round.accepted);
+    // All honest updates were zero, so the global model must be exactly
+    // unchanged: the 1e6-boosted injection never touched FedAvg.
+    assert_eq!(server.global_model().params(), before);
+}
+
+#[test]
+fn wrong_length_update_is_discarded_not_fatal() {
+    let network = Network::new();
+    let initial = tiny_model(2);
+    let before = initial.params();
+    let mut server = make_server(&network, 2, 600, &initial);
+
+    let round = crossbeam::thread::scope(|scope| {
+        for c in 0..NUM_CLIENTS {
+            let endpoint = network.register(NodeId(c as u32));
+            // Client 2 is sampled but buggy/malicious: its update has half
+            // the parameters. Pre-fix this panicked the server inside the
+            // aggregation kernel.
+            let update = if c == 2 {
+                vec![0.0f32; initial.num_params() / 2]
+            } else {
+                vec![0.0f32; initial.num_params()]
+            };
+            scope.spawn(move |_| run_scripted_client(endpoint, update, accept_vote));
+        }
+        let round = server.run_round();
+        server.shutdown();
+        round
+    })
+    .expect("client thread panicked");
+
+    assert_eq!(round.rejected_submissions, 1);
+    assert_eq!(round.updates_received, NUM_CLIENTS - 1);
+    assert!(round.accepted);
+    assert_eq!(server.global_model().params(), before);
+}
+
+#[test]
+fn votes_from_outside_the_validator_set_cannot_stuff_the_quorum() {
+    let network = Network::new();
+    let initial = tiny_model(3);
+    // Quorum 1: a single counted Reject kills the round — the easiest
+    // possible target for a stuffing attack.
+    let mut server = make_server(&network, 1, 2_000, &initial);
+
+    let rogue_a = network.register(NodeId(50));
+    let rogue_b = network.register(NodeId(51));
+    let spoofer = network.register(NodeId(9));
+
+    // Honest validators hold their votes until the coordinator saw the
+    // rogue votes enter the server's queue first.
+    let (signal_tx, signal_rx) = crossbeam::channel::unbounded::<u64>();
+    let (gate_tx, gate_rx) = crossbeam::channel::unbounded::<()>();
+
+    let round = crossbeam::thread::scope(|scope| {
+        for c in 0..NUM_CLIENTS {
+            let endpoint = network.register(NodeId(c as u32));
+            let zeros = vec![0.0f32; initial.num_params()];
+            let signal_tx = signal_tx.clone();
+            let gate_rx = gate_rx.clone();
+            scope.spawn(move |_| {
+                run_scripted_client(endpoint, zeros, |endpoint, round| {
+                    // The coordinator only waits for the first signal; it
+                    // may be gone by the time the others fire.
+                    let _ = signal_tx.send(round);
+                    gate_rx.recv().expect("gate open");
+                    accept_vote(endpoint, round);
+                });
+            });
+        }
+        scope.spawn(move |_| {
+            // A validate request went out, so the update phase is over:
+            // stuff three Reject votes, then release the honest voters.
+            let round = signal_rx.recv().expect("a validator was asked");
+            for rogue in [&rogue_a, &rogue_b] {
+                rogue.send(
+                    NodeId::SERVER,
+                    Message::VoteSubmission { round, from: rogue.id(), vote: Vote::Reject },
+                );
+            }
+            // Impersonation attempt: claims to be sampled validator 0.
+            spoofer.send(
+                NodeId::SERVER,
+                Message::VoteSubmission { round, from: NodeId(0), vote: Vote::Reject },
+            );
+            for _ in 0..NUM_CLIENTS {
+                gate_tx.send(()).expect("clients alive");
+            }
+        });
+        let round = server.run_round();
+        server.shutdown();
+        round
+    })
+    .expect("thread panicked");
+
+    assert_eq!(round.rejected_votes, 3, "both outsiders and the spoofer must be rejected");
+    assert_eq!(round.reject_votes, 0, "no rogue Reject may be counted");
+    assert_eq!(round.votes_received, NUM_CLIENTS);
+    assert!(round.accepted, "quorum stuffing must not veto the round");
+}

@@ -251,9 +251,9 @@ mod tests {
             for _ in 0..n_per_class {
                 let center = rng.gen_range(2..len - 2) as f32;
                 let width = match c {
-                    0 => 0.6,  // narrow spike
-                    1 => 6.0,  // wide plateau
-                    _ => 0.0,  // flat
+                    0 => 0.6, // narrow spike
+                    1 => 6.0, // wide plateau
+                    _ => 0.0, // flat
                 };
                 let mut v = vec![0.0_f32; len];
                 for (p, vp) in v.iter_mut().enumerate() {
@@ -357,8 +357,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let mut model = Cnn::new(&spec, &mut rng);
         let before = model.params();
-        let loss =
-            model.train_epoch(&Matrix::zeros(0, 6), &[], 4, &mut Sgd::new(0.1), &mut rng);
+        let loss = model.train_epoch(&Matrix::zeros(0, 6), &[], 4, &mut Sgd::new(0.1), &mut rng);
         assert_eq!(loss, 0.0);
         assert_eq!(model.params(), before);
     }

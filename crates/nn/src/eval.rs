@@ -54,7 +54,13 @@ impl ConfusionMatrix {
     ///
     /// Panics if `x.rows() != y.len()` or a label is out of range.
     pub fn from_model<M: Model + ?Sized>(model: &M, x: &Matrix, y: &[usize]) -> Self {
-        assert_eq!(x.rows(), y.len(), "ConfusionMatrix::from_model: {} rows vs {} labels", x.rows(), y.len());
+        assert_eq!(
+            x.rows(),
+            y.len(),
+            "ConfusionMatrix::from_model: {} rows vs {} labels",
+            x.rows(),
+            y.len()
+        );
         let mut cm = Self::new(model.num_classes());
         let preds = model.predict_batch(x);
         for (&t, &p) in y.iter().zip(&preds) {
@@ -120,10 +126,7 @@ impl ConfusionMatrix {
         if self.total == 0 {
             return 0.0;
         }
-        let wrong: u64 = (0..self.num_classes)
-            .filter(|&p| p != y)
-            .map(|p| self.count(y, p))
-            .sum();
+        let wrong: u64 = (0..self.num_classes).filter(|&p| p != y).map(|p| self.count(y, p)).sum();
         wrong as f32 / self.total as f32
     }
 
@@ -133,10 +136,7 @@ impl ConfusionMatrix {
         if self.total == 0 {
             return 0.0;
         }
-        let wrong: u64 = (0..self.num_classes)
-            .filter(|&t| t != y)
-            .map(|t| self.count(t, y))
-            .sum();
+        let wrong: u64 = (0..self.num_classes).filter(|&t| t != y).map(|t| self.count(t, y)).sum();
         wrong as f32 / self.total as f32
     }
 

@@ -106,10 +106,8 @@ impl Dense {
     /// Panics if called before `forward_train`, or if `grad_out` has the
     /// wrong shape.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("Dense::backward called before forward_train");
+        let input =
+            self.cached_input.as_ref().expect("Dense::backward called before forward_train");
         let pre = self.cached_pre.as_ref().expect("pre-activation cache missing");
         assert_eq!(
             grad_out.shape(),
@@ -164,12 +162,7 @@ impl Dense {
     pub fn read_params<'a>(&mut self, p: &'a [f32]) -> &'a [f32] {
         let nw = self.w.len();
         let nb = self.b.len();
-        assert!(
-            p.len() >= nw + nb,
-            "Dense::read_params: need {} values, got {}",
-            nw + nb,
-            p.len()
-        );
+        assert!(p.len() >= nw + nb, "Dense::read_params: need {} values, got {}", nw + nb, p.len());
         self.w.as_mut_slice().copy_from_slice(&p[..nw]);
         self.b.copy_from_slice(&p[nw..nw + nb]);
         &p[nw + nb..]

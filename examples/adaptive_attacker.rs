@@ -26,9 +26,10 @@ fn run(attack: AttackKind, defense: DefenseMode, seed: u64) -> (usize, usize, Ve
 
 fn main() {
     println!("scenario: 3 injections, miniature CIFAR-like problem\n");
-    for (name, attack) in
-        [("non-adaptive (plain replacement)", AttackKind::Replacement), ("adaptive", AttackKind::Adaptive)]
-    {
+    for (name, attack) in [
+        ("non-adaptive (plain replacement)", AttackKind::Replacement),
+        ("adaptive", AttackKind::Adaptive),
+    ] {
         println!("== {name} ==");
         for (mode_name, mode) in [
             ("BAFFLE-S (server only)", DefenseMode::ServerOnly),

@@ -9,10 +9,10 @@
 //! cargo run --release --example custom_validator
 //! ```
 
+use baffle::attack::{BackdoorSpec, ModelReplacement};
 use baffle::core::{ModelHistory, ValidationConfig, Validator};
 use baffle::data::{SyntheticVision, VisionSpec};
 use baffle::nn::{Mlp, MlpSpec, Sgd};
-use baffle::attack::{BackdoorSpec, ModelReplacement};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

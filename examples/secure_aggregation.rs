@@ -17,8 +17,7 @@ use baffle::tensor::ops;
 
 fn main() {
     // --- Part 1: the masking mechanics on raw update vectors. ----------
-    let updates =
-        [vec![0.5_f32, -1.0, 0.25], vec![-0.5, 0.5, 0.75], vec![1.0, 0.5, -1.0]];
+    let updates = [vec![0.5_f32, -1.0, 0.25], vec![-0.5, 0.5, 0.75], vec![1.0, 0.5, -1.0]];
     let session = SecAggSession::new(2024, updates.len(), updates[0].len());
     let masked: Vec<Vec<f32>> =
         updates.iter().enumerate().map(|(i, u)| session.mask(i, u)).collect();

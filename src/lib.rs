@@ -34,9 +34,9 @@
 pub use baffle_attack as attack;
 pub use baffle_baselines as baselines;
 pub use baffle_core as core;
-pub use baffle_net as net;
 pub use baffle_data as data;
 pub use baffle_fl as fl;
 pub use baffle_lof as lof;
+pub use baffle_net as net;
 pub use baffle_nn as nn;
 pub use baffle_tensor as tensor;

@@ -1,12 +1,12 @@
 //! Cross-crate integration tests: the full pipeline from synthetic data
 //! through federated training, attack injection and the BaFFLe defense.
 
+use baffle::attack::{BackdoorSpec, ModelReplacement};
 use baffle::core::{
     AttackKind, Decision, DefenseMode, Simulation, SimulationConfig, ValidationConfig, Validator,
 };
 use baffle::data::{SyntheticVision, VisionSpec};
 use baffle::nn::{Mlp, MlpSpec, Model, Sgd};
-use baffle::attack::{BackdoorSpec, ModelReplacement};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -115,16 +115,9 @@ fn adaptive_attack_beats_server_less_often_than_it_beats_itself() {
     config.defense = DefenseMode::Both;
     config.poison_rounds = vec![5, 8, 10];
     let report = Simulation::new(config).run();
-    let self_accepted = report
-        .records
-        .iter()
-        .filter(|r| r.adaptive_self_accepted == Some(true))
-        .count();
-    let caught = report
-        .records
-        .iter()
-        .filter(|r| r.poisoned && !r.decision.is_accepted())
-        .count();
+    let self_accepted =
+        report.records.iter().filter(|r| r.adaptive_self_accepted == Some(true)).count();
+    let caught = report.records.iter().filter(|r| r.poisoned && !r.decision.is_accepted()).count();
     assert!(self_accepted >= 1, "adaptive attacker never found a self-accepted update");
     assert!(caught >= 2, "feedback loop caught only {caught}/3 adaptive injections");
 }
@@ -138,6 +131,10 @@ fn umbrella_reexports_compose() {
     let bytes = baffle::nn::wire::encode_f32(&p);
     let back = baffle::nn::wire::decode_f32(&bytes).unwrap();
     assert_eq!(p, back);
-    let lof = baffle::lof::lof_against(&[0.0, 0.0], &[vec![0.0, 0.1], vec![0.1, 0.0], vec![0.0, -0.1]], 2);
+    let lof = baffle::lof::lof_against(
+        &[0.0, 0.0],
+        &[vec![0.0, 0.1], vec![0.1, 0.0], vec![0.0, -0.1]],
+        2,
+    );
     assert!(lof.unwrap() > 0.0);
 }

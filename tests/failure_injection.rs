@@ -2,7 +2,7 @@
 //! under degenerate inputs — empty client shards, NaN-poisoned updates,
 //! dropped validators and absurd parameters.
 
-use baffle::core::{Simulation, SimulationConfig, ValidationConfig, Validator, ValidateError};
+use baffle::core::{Simulation, SimulationConfig, ValidateError, ValidationConfig, Validator};
 use baffle::data::{Dataset, SyntheticVision, VisionSpec};
 use baffle::fl::{fedavg, LocalTrainer};
 use baffle::nn::{Mlp, MlpSpec, Model, Sgd};
@@ -91,6 +91,29 @@ fn single_sample_validation_set_does_not_crash() {
     let validator = Validator::new(ValidationConfig::new(8));
     let verdict = validator.validate(history.last().unwrap(), &history, &one);
     assert!(verdict.is_ok());
+}
+
+#[test]
+fn lossy_network_round_keeps_straggler_tolerance_under_membership_checks() {
+    // A lossy deployment: messages vanish, so some sampled contributors
+    // and validators never answer. The server's intake membership checks
+    // must not mistake those stragglers for intruders — nothing here is
+    // outside its sampled set, so every rejection counter must stay 0
+    // while the round machinery keeps running on partial responses.
+    use baffle::net::deployment::{Deployment, DeploymentConfig};
+    use std::time::Duration;
+
+    let mut config = DeploymentConfig::small(17);
+    config.drop_prob = 0.2;
+    config.rounds = 5;
+    config.phase_timeout = Duration::from_millis(1500);
+
+    let outcome = Deployment::run(config);
+    assert_eq!(outcome.rounds.len(), 5);
+    assert!(outcome.messages_dropped > 0, "the lossy link must actually lose messages");
+    let rejected: usize =
+        outcome.rounds.iter().map(|r| r.rejected_submissions + r.rejected_votes).sum();
+    assert_eq!(rejected, 0, "honest stragglers must never be counted as intake rejections");
 }
 
 #[test]
