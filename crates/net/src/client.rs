@@ -1,10 +1,10 @@
 //! Client actors: honest participants and the attacker.
 
-use crate::message::{Message, NodeId};
+use crate::message::{AbstainReason, Message, NodeId};
 use crate::transport::Endpoint;
-use baffle_attack::voting::{Vote, VoterBehavior};
+use baffle_attack::voting::VoterBehavior;
 use baffle_attack::ModelReplacement;
-use baffle_core::{ValidationEngine, Validator};
+use baffle_core::{ValidateError, ValidationEngine, Validator};
 use baffle_data::Dataset;
 use baffle_fl::history_sync::ModelId;
 use baffle_fl::LocalTrainer;
@@ -122,7 +122,9 @@ impl Client {
                     // Nothing to do: history updates arrive with the next
                     // ValidateRequest delta.
                 }
-                Message::UpdateSubmission { .. } | Message::VoteSubmission { .. } => {
+                Message::UpdateSubmission { .. }
+                | Message::VoteSubmission { .. }
+                | Message::Abstain { .. } => {
                     // Client-to-server messages; ignore if misrouted.
                 }
                 Message::Shutdown => break,
@@ -130,8 +132,24 @@ impl Client {
         }
     }
 
+    /// Declares that this client cannot act on the current request, so
+    /// the server's phase ledger stops waiting for it instead of burning
+    /// the phase timeout. In the vote phase this is the paper's
+    /// footnote-1 implicit accept made explicit.
+    fn abstain(&self, round: u64, reason: AbstainReason) {
+        self.endpoint
+            .send(NodeId::SERVER, Message::Abstain { round, from: self.endpoint.id(), reason });
+    }
+
     fn handle_train(&mut self, round: u64, global_bytes: &Bytes) {
-        let Ok(params) = wire::decode_f32(global_bytes) else { return };
+        let Ok(params) = wire::decode_f32(global_bytes) else {
+            return self.abstain(round, AbstainReason::UndecodableGlobal);
+        };
+        if self.data.is_empty() {
+            // No local data: a zero update would only dilute the
+            // aggregate; declare the inability instead.
+            return self.abstain(round, AbstainReason::EmptyShard);
+        }
         let mut global = self.template.clone();
         global.set_params(&params);
         let update = match &self.role {
@@ -152,14 +170,25 @@ impl Client {
     }
 
     fn handle_validate(&mut self, round: u64, candidate_bytes: &Bytes) {
-        let Ok(params) = wire::decode_f32(candidate_bytes) else { return };
+        let Ok(params) = wire::decode_f32(candidate_bytes) else {
+            return self.abstain(round, AbstainReason::UndecodableCandidate);
+        };
         let mut candidate = self.template.clone();
         candidate.set_params(&params);
         let outcome =
             self.engine.validate(&candidate, &self.history_ids, &self.history_models, &self.data);
         let honest_vote = match outcome {
             Ok(verdict) => verdict.vote(),
-            Err(_) => Vote::Accept, // cannot judge: abstain (footnote 1)
+            // Cannot judge: abstain explicitly (footnote 1) — regardless
+            // of role, since there is no verdict to lie about.
+            Err(e) => {
+                let reason = match e {
+                    ValidateError::NotEnoughHistory { .. } => AbstainReason::HistoryTooShort,
+                    ValidateError::EmptyDataset => AbstainReason::NoValidationData,
+                    ValidateError::Lof(_) => AbstainReason::DegenerateAnalysis,
+                };
+                return self.abstain(round, reason);
+            }
         };
         let vote = match &self.role {
             ClientRole::Honest => honest_vote,

@@ -15,6 +15,11 @@
 //!   a local cache of the accepted-model history, run the VALIDATE
 //!   function (Algorithm 2) and vote — or, if malicious, inject
 //!   model-replacement updates and lie in votes;
+//! - a per-phase [`phase::PhaseLedger`] tracking every sampled responder
+//!   as pending / answered / rejected / abstained, so a collection phase
+//!   ends as soon as everyone is **accounted for** — a malformed update
+//!   or an explicit [`message::Message::Abstain`] never burns the full
+//!   phase timeout; only genuinely silent nodes do;
 //! - an in-process [`transport`] layer with per-link drop simulation, so
 //!   dropout handling is exercised for real.
 //!
@@ -37,5 +42,6 @@
 pub mod client;
 pub mod deployment;
 pub mod message;
+pub mod phase;
 pub mod server;
 pub mod transport;

@@ -34,6 +34,57 @@ impl std::fmt::Display for NodeId {
     }
 }
 
+/// Why a client could not act on a request (carried by
+/// [`Message::Abstain`]).
+///
+/// The reason pins the abstention to one server phase: train-phase
+/// reasons settle the sender's slot in the update collection, vote-phase
+/// reasons settle it in the vote collection. Without that, an abstention
+/// lingering in the server's queue past a phase boundary could be
+/// mis-attributed to the following phase of the same round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbstainReason {
+    /// The `TrainRequest`'s global model failed to decode.
+    UndecodableGlobal,
+    /// The client has no local data to train on.
+    EmptyShard,
+    /// The `ValidateRequest`'s candidate model failed to decode.
+    UndecodableCandidate,
+    /// The client's cached history is too short to run Algorithm 2.
+    HistoryTooShort,
+    /// The client has no validation data — it cannot judge.
+    NoValidationData,
+    /// The misclassification analysis failed (degenerate LOF geometry).
+    DegenerateAnalysis,
+}
+
+impl AbstainReason {
+    /// Whether this abstention answers a `TrainRequest` (otherwise it
+    /// answers a `ValidateRequest`).
+    pub fn is_train_phase(self) -> bool {
+        matches!(self, AbstainReason::UndecodableGlobal | AbstainReason::EmptyShard)
+    }
+
+    /// Whether this abstention answers a `ValidateRequest`.
+    pub fn is_vote_phase(self) -> bool {
+        !self.is_train_phase()
+    }
+}
+
+impl std::fmt::Display for AbstainReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AbstainReason::UndecodableGlobal => "undecodable global model",
+            AbstainReason::EmptyShard => "empty local shard",
+            AbstainReason::UndecodableCandidate => "undecodable candidate model",
+            AbstainReason::HistoryTooShort => "history too short",
+            AbstainReason::NoValidationData => "no validation data",
+            AbstainReason::DegenerateAnalysis => "degenerate analysis",
+        };
+        f.write_str(s)
+    }
+}
+
 /// One accepted global model shipped as part of a history sync.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistoryEntry {
@@ -84,6 +135,20 @@ pub enum Message {
         /// The vote.
         vote: Vote,
     },
+    /// Client → server: the sender cannot act on this round's request
+    /// (train or validate, per [`AbstainReason::is_train_phase`]). An
+    /// abstention settles the sender's slot in the server's phase
+    /// ledger so the round does not wait out the phase timeout on it; in
+    /// the vote phase it is the paper's footnote-1 implicit accept made
+    /// explicit.
+    Abstain {
+        /// Round the abstention belongs to.
+        round: u64,
+        /// Abstaining client.
+        from: NodeId,
+        /// Why the client cannot act.
+        reason: AbstainReason,
+    },
     /// Server → everyone involved in the round: the decision.
     RoundResult {
         /// The round.
@@ -103,6 +168,7 @@ impl Message {
             Message::UpdateSubmission { .. } => "update-submission",
             Message::ValidateRequest { .. } => "validate-request",
             Message::VoteSubmission { .. } => "vote-submission",
+            Message::Abstain { .. } => "abstain",
             Message::RoundResult { .. } => "round-result",
             Message::Shutdown => "shutdown",
         }
@@ -128,6 +194,7 @@ mod tests {
             Message::UpdateSubmission { round: 0, from: NodeId(0), update: Bytes::new() },
             Message::ValidateRequest { round: 0, candidate: Bytes::new(), history_delta: vec![] },
             Message::VoteSubmission { round: 0, from: NodeId(0), vote: Vote::Accept },
+            Message::Abstain { round: 0, from: NodeId(0), reason: AbstainReason::EmptyShard },
             Message::RoundResult { round: 0, accepted: true },
             Message::Shutdown,
         ];
@@ -135,5 +202,22 @@ mod tests {
         kinds.sort_unstable();
         kinds.dedup();
         assert_eq!(kinds.len(), msgs.len());
+    }
+
+    #[test]
+    fn abstain_reasons_partition_into_exactly_one_phase() {
+        let reasons = [
+            AbstainReason::UndecodableGlobal,
+            AbstainReason::EmptyShard,
+            AbstainReason::UndecodableCandidate,
+            AbstainReason::HistoryTooShort,
+            AbstainReason::NoValidationData,
+            AbstainReason::DegenerateAnalysis,
+        ];
+        for r in reasons {
+            assert_ne!(r.is_train_phase(), r.is_vote_phase(), "{r} must belong to one phase");
+            assert!(!r.to_string().is_empty());
+        }
+        assert_eq!(reasons.iter().filter(|r| r.is_train_phase()).count(), 2);
     }
 }

@@ -1,0 +1,196 @@
+//! Per-phase responder accounting — the **phase ledger**.
+//!
+//! Both server collection phases (updates, votes) wait on a sampled set
+//! of nodes. The paper's footnote 1 tolerates nodes that say *nothing*
+//! (missing votes are implicit accepts), but a node that responds
+//! *badly* — a malformed update, a spoofed sender, an explicit
+//! [`Message::Abstain`](crate::message::Message::Abstain) — must not
+//! keep the server waiting for it: it has been heard from. The ledger
+//! tracks every expected responder through exactly one transition out of
+//! [`ResponderState::Pending`], and the collection loops exit as soon as
+//! nobody is pending, instead of burning the full phase timeout.
+
+use crate::message::NodeId;
+use std::collections::HashMap;
+
+/// What the server knows about one expected responder in one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponderState {
+    /// Nothing heard yet — the phase must keep waiting (until timeout).
+    Pending,
+    /// A usable response was counted (update accepted, vote counted).
+    Answered,
+    /// The node responded but the response was discarded at intake
+    /// (malformed payload, spoofed sender). The node is accounted for:
+    /// waiting longer cannot change its contribution.
+    Rejected,
+    /// The node explicitly declared it cannot act this round. Treated as
+    /// the paper's implicit accept in the vote phase.
+    Abstained,
+}
+
+/// Tracks the per-phase state machine of every expected responder.
+///
+/// States move `Pending → {Answered, Rejected, Abstained}` exactly once;
+/// the first transition wins and later marks are ignored (first-wins
+/// intake). Nodes outside the expected set are never tracked — marking
+/// them is a no-op, so rogue traffic cannot terminate a phase.
+#[derive(Debug, Clone)]
+pub struct PhaseLedger {
+    states: HashMap<NodeId, ResponderState>,
+    pending: usize,
+}
+
+impl PhaseLedger {
+    /// Creates a ledger with every expected responder `Pending`.
+    pub fn new(expected: impl IntoIterator<Item = NodeId>) -> Self {
+        let states: HashMap<NodeId, ResponderState> =
+            expected.into_iter().map(|id| (id, ResponderState::Pending)).collect();
+        let pending = states.len();
+        Self { states, pending }
+    }
+
+    /// Whether `id` is one of the phase's expected responders.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.states.contains_key(&id)
+    }
+
+    /// The state of `id`, or `None` for nodes outside the expected set.
+    pub fn state(&self, id: NodeId) -> Option<ResponderState> {
+        self.states.get(&id).copied()
+    }
+
+    /// Whether `id` is expected and still unheard-from.
+    pub fn is_pending(&self, id: NodeId) -> bool {
+        self.state(id) == Some(ResponderState::Pending)
+    }
+
+    /// Marks a counted response. Returns `true` iff this was `id`'s
+    /// first transition (i.e. the response should be used).
+    pub fn mark_answered(&mut self, id: NodeId) -> bool {
+        self.transition(id, ResponderState::Answered)
+    }
+
+    /// Marks a response discarded at intake. No-op (returns `false`) for
+    /// unknown or already-settled responders.
+    pub fn mark_rejected(&mut self, id: NodeId) -> bool {
+        self.transition(id, ResponderState::Rejected)
+    }
+
+    /// Marks an explicit abstention. Returns `true` iff it settled a
+    /// pending responder (i.e. the abstention should be counted).
+    pub fn mark_abstained(&mut self, id: NodeId) -> bool {
+        self.transition(id, ResponderState::Abstained)
+    }
+
+    fn transition(&mut self, id: NodeId, to: ResponderState) -> bool {
+        match self.states.get_mut(&id) {
+            Some(s @ ResponderState::Pending) => {
+                *s = to;
+                self.pending -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of responders still pending.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// The phase's early-exit condition: every expected responder is
+    /// accounted for (answered, rejected or abstained) — waiting longer
+    /// cannot produce new information.
+    pub fn all_accounted(&self) -> bool {
+        self.pending == 0
+    }
+
+    fn count(&self, state: ResponderState) -> usize {
+        self.states.values().filter(|&&s| s == state).count()
+    }
+
+    /// Responders whose response was counted.
+    pub fn answered(&self) -> usize {
+        self.count(ResponderState::Answered)
+    }
+
+    /// Responders whose response was discarded at intake.
+    pub fn rejected(&self) -> usize {
+        self.count(ResponderState::Rejected)
+    }
+
+    /// Responders that explicitly abstained.
+    pub fn abstained(&self) -> usize {
+        self.count(ResponderState::Abstained)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> impl Iterator<Item = NodeId> + '_ {
+        v.iter().map(|&i| NodeId(i))
+    }
+
+    #[test]
+    fn empty_ledger_is_immediately_accounted() {
+        let ledger = PhaseLedger::new(ids(&[]));
+        assert!(ledger.all_accounted());
+        assert_eq!(ledger.pending(), 0);
+    }
+
+    #[test]
+    fn all_states_count_toward_accounted() {
+        let mut ledger = PhaseLedger::new(ids(&[0, 1, 2]));
+        assert!(!ledger.all_accounted());
+        assert!(ledger.mark_answered(NodeId(0)));
+        assert!(ledger.mark_rejected(NodeId(1)));
+        assert!(!ledger.all_accounted());
+        assert!(ledger.mark_abstained(NodeId(2)));
+        assert!(ledger.all_accounted());
+        assert_eq!((ledger.answered(), ledger.rejected(), ledger.abstained()), (1, 1, 1));
+    }
+
+    #[test]
+    fn first_transition_wins() {
+        let mut ledger = PhaseLedger::new(ids(&[0]));
+        assert!(ledger.mark_answered(NodeId(0)));
+        // A duplicate answer, a late rejection and a late abstention all
+        // bounce off the settled state.
+        assert!(!ledger.mark_answered(NodeId(0)));
+        assert!(!ledger.mark_rejected(NodeId(0)));
+        assert!(!ledger.mark_abstained(NodeId(0)));
+        assert_eq!(ledger.state(NodeId(0)), Some(ResponderState::Answered));
+        assert_eq!(ledger.answered(), 1);
+    }
+
+    #[test]
+    fn rejected_responder_cannot_answer_later() {
+        let mut ledger = PhaseLedger::new(ids(&[0]));
+        assert!(ledger.mark_rejected(NodeId(0)));
+        assert!(!ledger.mark_answered(NodeId(0)));
+        assert_eq!(ledger.state(NodeId(0)), Some(ResponderState::Rejected));
+    }
+
+    #[test]
+    fn outsiders_are_never_tracked() {
+        let mut ledger = PhaseLedger::new(ids(&[0, 1]));
+        assert!(!ledger.contains(NodeId(9)));
+        assert!(!ledger.mark_answered(NodeId(9)));
+        assert!(!ledger.mark_rejected(NodeId(9)));
+        assert!(!ledger.mark_abstained(NodeId(9)));
+        assert_eq!(ledger.state(NodeId(9)), None);
+        assert_eq!(ledger.pending(), 2, "rogue traffic must not drain the phase");
+    }
+
+    #[test]
+    fn is_pending_tracks_transitions() {
+        let mut ledger = PhaseLedger::new(ids(&[3]));
+        assert!(ledger.is_pending(NodeId(3)));
+        ledger.mark_abstained(NodeId(3));
+        assert!(!ledger.is_pending(NodeId(3)));
+        assert!(!ledger.is_pending(NodeId(4)));
+    }
+}

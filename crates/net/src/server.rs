@@ -1,6 +1,7 @@
 //! The coordinating server actor (Algorithm 1, server side).
 
 use crate::message::{HistoryEntry, Message, NodeId};
+use crate::phase::PhaseLedger;
 use crate::transport::Endpoint;
 use baffle_attack::voting::Vote;
 use baffle_core::{Decision, ModelHistory, QuorumRule, ValidationEngine, Validator};
@@ -11,7 +12,7 @@ use baffle_nn::{wire, Mlp, Model};
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
 /// Server-side protocol parameters.
@@ -56,14 +57,30 @@ pub struct ServerRound {
     pub reject_votes: usize,
     /// Update submissions discarded at intake: sender not in this
     /// round's sampled contributor set, claimed id not matching the
-    /// transport envelope, undecodable payload, or wrong parameter
-    /// count. (Stale-round stragglers are silently dropped, not
-    /// counted — losing a race is not an intake violation.)
+    /// transport envelope, undecodable payload, wrong parameter count,
+    /// or a duplicate submission from an already-settled contributor
+    /// (first submission wins). (Stale-round stragglers are silently
+    /// dropped, not counted — losing a race is not an intake violation.)
     pub rejected_submissions: usize,
     /// Vote submissions discarded at intake: sender not in this round's
     /// sampled validator set, claimed id not matching the envelope, or a
     /// duplicate vote from an already-counted validator.
     pub rejected_votes: usize,
+    /// Explicit [`Message::Abstain`] declarations counted this round
+    /// (both phases). An abstaining validator is the paper's footnote-1
+    /// implicit accept made explicit: it casts no vote, but the phase
+    /// ledger stops waiting for it.
+    pub abstentions: usize,
+    /// Whether the effective quorum was silently lowered because fewer
+    /// voters exist than the configured `q` — a misconfigured deployment
+    /// that experiments should be able to detect.
+    pub quorum_clamped: bool,
+    /// Wall-clock spent collecting updates. With the phase ledger this
+    /// approaches `phase_timeout` only when a sampled contributor is
+    /// genuinely silent.
+    pub update_phase: Duration,
+    /// Wall-clock spent collecting votes (zero for skipped rounds).
+    pub vote_phase: Duration,
     /// Bytes of history shipped to validators this round (the §VI-D
     /// overhead, measured).
     pub history_bytes_shipped: usize,
@@ -156,10 +173,12 @@ impl Server {
                 Message::TrainRequest { round, global: global_bytes.clone() },
             );
         }
-        let (updates, rejected_submissions) = self.collect_updates(round, &contributors);
+        let (updates, update_tally) = self.collect_updates(round, &contributors);
         let updates_received = updates.len();
 
-        // A round with no surviving updates is skipped entirely.
+        // A round with no surviving updates is skipped entirely — and,
+        // thanks to the phase ledger, without waiting out the timeout
+        // when every contributor was rejected or abstained.
         if updates.is_empty() {
             return ServerRound {
                 round,
@@ -167,8 +186,12 @@ impl Server {
                 updates_received: 0,
                 votes_received: 0,
                 reject_votes: 0,
-                rejected_submissions,
+                rejected_submissions: update_tally.rejected,
                 rejected_votes: 0,
+                abstentions: update_tally.abstentions,
+                quorum_clamped: false,
+                update_phase: update_tally.elapsed,
+                vote_phase: Duration::ZERO,
                 history_bytes_shipped: 0,
             };
         }
@@ -212,7 +235,7 @@ impl Server {
                 },
             );
         }
-        let (mut votes, rejected_votes) = self.collect_votes(round, &validators);
+        let (mut votes, vote_tally) = self.collect_votes(round, &validators);
         if self.config.server_votes {
             let outcome = self.engine.validate(
                 &candidate,
@@ -228,8 +251,9 @@ impl Server {
         }
         let reject_votes = votes.iter().filter(|v| matches!(v, Vote::Reject)).count();
         let voters = validators.len() + usize::from(self.config.server_votes);
-        let rule = QuorumRule::new(voters.max(1), self.config.quorum.min(voters.max(1)))
-            .expect("valid quorum");
+        let effective_quorum = self.config.quorum.min(voters.max(1));
+        let quorum_clamped = effective_quorum != self.config.quorum;
+        let rule = QuorumRule::new(voters.max(1), effective_quorum).expect("valid quorum");
         let decision = rule.decide(&votes);
 
         // --- Integration ----------------------------------------------------
@@ -256,8 +280,12 @@ impl Server {
             updates_received,
             votes_received: votes.len() - usize::from(self.config.server_votes),
             reject_votes,
-            rejected_submissions,
-            rejected_votes,
+            rejected_submissions: update_tally.rejected,
+            rejected_votes: vote_tally.rejected,
+            abstentions: update_tally.abstentions + vote_tally.abstentions,
+            quorum_clamped,
+            update_phase: update_tally.elapsed,
+            vote_phase: vote_tally.elapsed,
             history_bytes_shipped,
         }
     }
@@ -270,8 +298,9 @@ impl Server {
     }
 
     /// Collects update submissions for `round` until every sampled
-    /// contributor answered or the phase timeout expires. Returns the
-    /// surviving updates plus the number rejected at intake.
+    /// contributor is **accounted for** in the phase ledger (answered,
+    /// rejected at intake, or explicitly abstained) or the phase timeout
+    /// expires. Returns the surviving updates plus the phase tally.
     ///
     /// An update survives only if **all** of these hold — the protocol's
     /// random-sampling defense is void without them:
@@ -280,82 +309,151 @@ impl Server {
     ///   unsolicited update must not reach FedAvg);
     /// - the claimed `from` matches the transport envelope's sender (no
     ///   impersonating a sampled client);
+    /// - the sender has not already settled its slot — the **first**
+    ///   submission wins, later duplicates are rejected (mirroring the
+    ///   first-wins rule votes enforce);
     /// - the payload decodes to exactly `param_len` floats (a truncated
     ///   update would panic the aggregation — a remote DoS).
+    ///
+    /// A misbehaving *sampled* sender settles its ledger slot as
+    /// `Rejected`: it has been heard from, so the phase no longer waits
+    /// on it. Traffic from outside the sampled set never touches the
+    /// ledger — rogues cannot drain the phase.
     fn collect_updates(
         &self,
         round: u64,
         contributors: &[usize],
-    ) -> (HashMap<NodeId, Vec<f32>>, usize) {
-        let allowed: HashSet<NodeId> = contributors.iter().map(|&c| NodeId(c as u32)).collect();
+    ) -> (HashMap<NodeId, Vec<f32>>, PhaseTally) {
+        let mut ledger = PhaseLedger::new(contributors.iter().map(|&c| NodeId(c as u32)));
         let mut updates = HashMap::new();
-        let mut rejected = 0usize;
-        let deadline = std::time::Instant::now() + self.config.phase_timeout;
-        while updates.len() < contributors.len() {
+        let mut tally = PhaseTally::default();
+        let start = std::time::Instant::now();
+        let deadline = start + self.config.phase_timeout;
+        while !ledger.all_accounted() {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             if remaining.is_zero() {
                 break;
             }
             match self.endpoint.recv_timeout(remaining) {
-                Ok(env) => {
-                    if let Message::UpdateSubmission { round: r, from, update } = env.message {
+                Ok(env) => match env.message {
+                    Message::UpdateSubmission { round: r, from, update } => {
                         if r != round {
                             // Stale-round stragglers are dropped silently.
                             continue;
                         }
-                        if from != env.from || !allowed.contains(&from) {
-                            rejected += 1;
+                        if from != env.from || !ledger.contains(from) {
+                            tally.rejected += 1;
+                            ledger.mark_rejected(env.from);
+                            continue;
+                        }
+                        if !ledger.is_pending(from) {
+                            // Duplicate: the first submission won.
+                            tally.rejected += 1;
                             continue;
                         }
                         match wire::decode_f32(&update) {
                             Ok(u) if u.len() == self.param_len => {
                                 updates.insert(from, u);
+                                ledger.mark_answered(from);
                             }
-                            _ => rejected += 1,
+                            _ => {
+                                tally.rejected += 1;
+                                ledger.mark_rejected(from);
+                            }
                         }
                     }
-                }
+                    Message::Abstain { round: r, from, reason } => {
+                        if r != round || !reason.is_train_phase() {
+                            continue;
+                        }
+                        if from != env.from || !ledger.contains(from) {
+                            tally.rejected += 1;
+                            ledger.mark_rejected(env.from);
+                            continue;
+                        }
+                        if ledger.mark_abstained(from) {
+                            tally.abstentions += 1;
+                        }
+                    }
+                    _ => {}
+                },
                 Err(_) => break,
             }
         }
-        (updates, rejected)
+        tally.elapsed = start.elapsed();
+        (updates, tally)
     }
 
     /// Collects vote submissions for `round` until every sampled
-    /// validator voted or the phase timeout expires. Returns the counted
-    /// votes plus the number rejected at intake.
+    /// validator is accounted for in the phase ledger or the phase
+    /// timeout expires. Returns the counted votes plus the phase tally.
     ///
     /// A vote counts only if the sender is in this round's sampled
     /// validator set, the claimed `from` matches the envelope, and the
-    /// validator has not voted already — otherwise any node could stuff
-    /// the quorum.
-    fn collect_votes(&self, round: u64, validators: &[usize]) -> (Vec<Vote>, usize) {
-        let allowed: HashSet<NodeId> = validators.iter().map(|&v| NodeId(v as u32)).collect();
+    /// validator's ledger slot is still pending (no double votes, no
+    /// vote after an abstention) — otherwise any node could stuff the
+    /// quorum. An explicit abstention settles the slot without casting a
+    /// vote: per footnote 1 it is an implicit accept, and the phase
+    /// stops waiting for that validator.
+    fn collect_votes(&self, round: u64, validators: &[usize]) -> (Vec<Vote>, PhaseTally) {
+        let mut ledger = PhaseLedger::new(validators.iter().map(|&v| NodeId(v as u32)));
         let mut votes = Vec::new();
-        let mut rejected = 0usize;
-        let mut seen = HashSet::new();
-        let deadline = std::time::Instant::now() + self.config.phase_timeout;
-        while votes.len() < validators.len() {
+        let mut tally = PhaseTally::default();
+        let start = std::time::Instant::now();
+        let deadline = start + self.config.phase_timeout;
+        while !ledger.all_accounted() {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             if remaining.is_zero() {
                 break;
             }
             match self.endpoint.recv_timeout(remaining) {
-                Ok(env) => {
-                    if let Message::VoteSubmission { round: r, from, vote } = env.message {
+                Ok(env) => match env.message {
+                    Message::VoteSubmission { round: r, from, vote } => {
                         if r != round {
                             continue;
                         }
-                        if from != env.from || !allowed.contains(&from) || !seen.insert(from) {
-                            rejected += 1;
+                        if from != env.from || !ledger.contains(from) {
+                            tally.rejected += 1;
+                            ledger.mark_rejected(env.from);
                             continue;
                         }
-                        votes.push(vote);
+                        if ledger.mark_answered(from) {
+                            votes.push(vote);
+                        } else {
+                            // Duplicate vote, or a vote after abstaining.
+                            tally.rejected += 1;
+                        }
                     }
-                }
+                    Message::Abstain { round: r, from, reason } => {
+                        if r != round || !reason.is_vote_phase() {
+                            continue;
+                        }
+                        if from != env.from || !ledger.contains(from) {
+                            tally.rejected += 1;
+                            ledger.mark_rejected(env.from);
+                            continue;
+                        }
+                        if ledger.mark_abstained(from) {
+                            tally.abstentions += 1;
+                        }
+                    }
+                    _ => {}
+                },
                 Err(_) => break,
             }
         }
-        (votes, rejected)
+        tally.elapsed = start.elapsed();
+        (votes, tally)
     }
+}
+
+/// What one collection phase observed besides its payloads.
+#[derive(Debug, Default)]
+struct PhaseTally {
+    /// Submissions discarded at intake.
+    rejected: usize,
+    /// Explicit abstentions counted.
+    abstentions: usize,
+    /// Wall-clock the phase took.
+    elapsed: Duration,
 }

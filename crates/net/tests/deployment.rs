@@ -5,12 +5,31 @@ use std::time::Duration;
 
 #[test]
 fn small_deployment_completes_all_rounds() {
-    let outcome = Deployment::run(DeploymentConfig::small(1));
+    let config = DeploymentConfig::small(1);
+    let phase_timeout = config.phase_timeout;
+    let outcome = Deployment::run(config);
     assert_eq!(outcome.rounds.len(), 6);
     assert!(outcome.messages_sent > 0);
     assert_eq!(outcome.messages_dropped, 0);
     // Training proceeded: the final model is usable.
     assert!(outcome.final_main_accuracy > 0.5, "{}", outcome.final_main_accuracy);
+    // Phase-ledger liveness accounting is populated end-to-end.
+    for r in &outcome.rounds {
+        assert!(!r.quorum_clamped, "round {}: q=2 over 5 voters cannot clamp", r.round);
+        assert!(r.update_phase <= phase_timeout);
+        assert!(r.vote_phase <= phase_timeout);
+        assert!(r.vote_phase > std::time::Duration::ZERO, "vote phase must have run");
+    }
+    // Round 1 ships a single-model history — far below the VALIDATE
+    // minimum — so every validator abstains (explicit implicit-accept)
+    // rather than going silent and stalling the vote phase.
+    assert_eq!(outcome.rounds[0].abstentions, 4, "round 1 validators must abstain");
+    assert_eq!(outcome.rounds[0].votes_received, 0);
+    assert!(outcome.rounds[0].accepted, "abstentions are implicit accepts");
+    // On a lossless network, no phase should ever wait out its timeout:
+    // every sampled node answers or abstains, and the ledger exits early.
+    let slowest = outcome.rounds.iter().map(|r| r.update_phase.max(r.vote_phase)).max().unwrap();
+    assert!(slowest < phase_timeout, "a phase burned its full timeout: {slowest:?}");
 }
 
 #[test]

@@ -153,6 +153,96 @@ fn wrong_length_update_is_discarded_not_fatal() {
 }
 
 #[test]
+fn duplicate_update_submissions_keep_the_first() {
+    let network = Network::new();
+    let initial = tiny_model(4);
+    let before = initial.params();
+    let mut server = make_server(&network, 2, 600, &initial);
+
+    let round = crossbeam::thread::scope(|scope| {
+        // Client 0 double-submits: first a zero update, then a boosted
+        // one. First wins; the duplicate must be rejected at intake.
+        let dup = network.register(NodeId(0));
+        let n_params = initial.num_params();
+        scope.spawn(move |_| {
+            while let Ok(env) = dup.recv() {
+                match env.message {
+                    Message::TrainRequest { round, .. } => {
+                        for update in [vec![0.0f32; n_params], vec![1e6; n_params]] {
+                            dup.send(
+                                NodeId::SERVER,
+                                Message::UpdateSubmission {
+                                    round,
+                                    from: dup.id(),
+                                    update: wire::encode_f32(&update),
+                                },
+                            );
+                        }
+                    }
+                    Message::ValidateRequest { round, .. } => accept_vote(&dup, round),
+                    Message::Shutdown => break,
+                    _ => {}
+                }
+            }
+        });
+        let honest = network.register(NodeId(1));
+        let zeros = vec![0.0f32; initial.num_params()];
+        scope.spawn(move |_| run_scripted_client(honest, zeros, accept_vote));
+        // Client 2 is mute: the phases run to their (short) timeout, so
+        // the server is guaranteed to drain the duplicate submission.
+        let mute = network.register(NodeId(2));
+        scope.spawn(move |_| {
+            while let Ok(env) = mute.recv() {
+                if env.message == Message::Shutdown {
+                    break;
+                }
+            }
+        });
+
+        let round = server.run_round();
+        server.shutdown();
+        round
+    })
+    .expect("client thread panicked");
+
+    assert_eq!(round.rejected_submissions, 1, "the duplicate must be counted as rejected");
+    assert_eq!(round.updates_received, 2, "clients 0 and 1 each contribute exactly once");
+    assert!(round.accepted);
+    // Both counted updates were zero: if the boosted duplicate had
+    // overwritten the first submission, the global model would move.
+    assert_eq!(server.global_model().params(), before);
+}
+
+#[test]
+fn quorum_clamping_is_surfaced_on_the_round() {
+    for (configured_quorum, expect_clamped) in [(9, true), (2, false)] {
+        let network = Network::new();
+        let initial = tiny_model(5);
+        // 3 voters total (server does not vote): q = 9 cannot be met and
+        // is silently lowered — the round must report the clamp.
+        let mut server = make_server(&network, configured_quorum, 2_000, &initial);
+
+        let round = crossbeam::thread::scope(|scope| {
+            for c in 0..NUM_CLIENTS {
+                let endpoint = network.register(NodeId(c as u32));
+                let zeros = vec![0.0f32; initial.num_params()];
+                scope.spawn(move |_| run_scripted_client(endpoint, zeros, accept_vote));
+            }
+            let round = server.run_round();
+            server.shutdown();
+            round
+        })
+        .expect("client thread panicked");
+
+        assert_eq!(
+            round.quorum_clamped, expect_clamped,
+            "q={configured_quorum} over {NUM_CLIENTS} voters"
+        );
+        assert!(round.accepted);
+    }
+}
+
+#[test]
 fn votes_from_outside_the_validator_set_cannot_stuff_the_quorum() {
     let network = Network::new();
     let initial = tiny_model(3);

@@ -29,16 +29,22 @@ fn main() {
     );
     let outcome = Deployment::run(config);
 
-    println!("round  accepted  updates  votes  rejects  history shipped");
+    println!(
+        "round  accepted  updates  votes  rejects  abstain  upd-phase  vote-phase  history shipped"
+    );
     for r in &outcome.rounds {
         println!(
-            "{:>5}  {:>8}  {:>7}  {:>5}  {:>7}  {:>12} B",
+            "{:>5}  {:>8}  {:>7}  {:>5}  {:>7}  {:>7}  {:>7.0?}  {:>8.0?}  {:>12} B{}",
             r.round,
             if r.accepted { "yes" } else { "NO" },
             r.updates_received,
             r.votes_received,
             r.reject_votes,
+            r.abstentions,
+            r.update_phase,
+            r.vote_phase,
             r.history_bytes_shipped,
+            if r.quorum_clamped { "  (quorum clamped!)" } else { "" },
         );
     }
     println!(

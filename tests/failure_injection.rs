@@ -108,12 +108,27 @@ fn lossy_network_round_keeps_straggler_tolerance_under_membership_checks() {
     config.rounds = 5;
     config.phase_timeout = Duration::from_millis(1500);
 
-    let outcome = Deployment::run(config);
+    let outcome = Deployment::run(config.clone());
     assert_eq!(outcome.rounds.len(), 5);
     assert!(outcome.messages_dropped > 0, "the lossy link must actually lose messages");
     let rejected: usize =
         outcome.rounds.iter().map(|r| r.rejected_submissions + r.rejected_votes).sum();
     assert_eq!(rejected, 0, "honest stragglers must never be counted as intake rejections");
+    // Phase-ledger accounting: every sampled validator resolves to at
+    // most one of {vote counted, rejected, abstained}; the rest are
+    // silent stragglers (implicit accepts). Nothing can be counted
+    // twice, so the per-round sum is bounded by the sample size.
+    for r in &outcome.rounds {
+        assert!(
+            r.abstentions + r.votes_received + r.rejected_votes <= config.validators_per_round,
+            "round {}: ledger over-counted ({} abstained + {} voted + {} rejected > {})",
+            r.round,
+            r.abstentions,
+            r.votes_received,
+            r.rejected_votes,
+            config.validators_per_round,
+        );
+    }
 }
 
 #[test]
