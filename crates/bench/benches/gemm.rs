@@ -1,0 +1,58 @@
+//! GEMM kernel benchmarks at the shapes the trainer and validator hit.
+//!
+//! Three paths per shape: the retained naive reference (`serial_naive`,
+//! the perf baseline inherited from the seed kernel), the serial
+//! cache-blocked kernel (`blocked`), and the dispatching entry point
+//! used by `Matrix::matmul` (`auto` — row-banded across the worker pool
+//! above the size threshold). Pin the pool with `BAFFLE_THREADS` to
+//! separate blocking gains from threading gains.
+
+use baffle_tensor::{gemm, rng as trng};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// (m, k, n): one Dense forward over a training batch, the full-set
+/// forward of confusion evaluation, and the square trajectory point.
+const SHAPES: &[(usize, usize, usize)] = &[(32, 32, 64), (2000, 32, 64), (256, 256, 256)];
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20);
+    for &(m, k, n) in SHAPES {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = trng::uniform_matrix(&mut rng, m, k, -1.0, 1.0);
+        let b = trng::uniform_matrix(&mut rng, k, n, -1.0, 1.0);
+        let id = format!("{m}x{k}x{n}");
+
+        group.bench_function(BenchmarkId::new("serial_naive", &id), |bch| {
+            bch.iter(|| {
+                let mut out = vec![0.0f32; m * n];
+                gemm::naive_nn(m, k, n, black_box(a.as_slice()), black_box(b.as_slice()), &mut out);
+                out
+            })
+        });
+        group.bench_function(BenchmarkId::new("blocked", &id), |bch| {
+            bch.iter(|| {
+                let mut out = vec![0.0f32; m * n];
+                gemm::blocked_nn(
+                    m,
+                    k,
+                    n,
+                    black_box(a.as_slice()),
+                    black_box(b.as_slice()),
+                    &mut out,
+                );
+                out
+            })
+        });
+        group.bench_function(BenchmarkId::new("auto", &id), |bch| {
+            bch.iter(|| black_box(&a).matmul(black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

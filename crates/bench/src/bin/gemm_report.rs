@@ -1,0 +1,81 @@
+//! Emits a machine-readable GEMM perf summary (`BENCH_gemm.json` on CI):
+//! median ns/op for the serial-naive reference, the serial blocked
+//! kernel, and the auto-dispatched (pool-parallel above threshold) path
+//! at the trainer shapes, so the perf trajectory is tracked per commit.
+//!
+//! Uses plain `std::time` rather than Criterion so it runs as a normal
+//! release binary: `cargo run --release -p baffle-bench --bin gemm_report`.
+
+use baffle_tensor::{gemm, pool, rng as trng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// (m, k, n): one Dense forward over a training batch, the full-set
+/// forward of confusion evaluation, and the square trajectory point.
+const SHAPES: &[(usize, usize, usize)] = &[(32, 32, 64), (2000, 32, 64), (256, 256, 256)];
+
+/// Median wall-clock of `reps` single runs of `f`, in nanoseconds.
+fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Picks a repetition count that keeps each variant near ~0.3 s total.
+fn reps_for<F: FnMut()>(f: &mut F) -> usize {
+    let t = Instant::now();
+    f();
+    let once = t.elapsed().as_nanos().max(1) as usize;
+    (300_000_000 / once).clamp(5, 200)
+}
+
+fn main() {
+    println!("{{");
+    println!("  \"bench\": \"gemm\",");
+    println!("  \"threads\": {},", pool::threads());
+    println!("  \"unit\": \"ns_per_op_median\",");
+    println!("  \"shapes\": [");
+    for (idx, &(m, k, n)) in SHAPES.iter().enumerate() {
+        let a = trng::uniform_matrix(&mut rand_rng(idx), m, k, -1.0, 1.0);
+        let b = trng::uniform_matrix(&mut rand_rng(idx + 100), k, n, -1.0, 1.0);
+
+        let mut naive = || {
+            let mut out = vec![0.0f32; m * n];
+            gemm::naive_nn(m, k, n, black_box(a.as_slice()), black_box(b.as_slice()), &mut out);
+            black_box(out);
+        };
+        let mut blocked = || {
+            let mut out = vec![0.0f32; m * n];
+            gemm::blocked_nn(m, k, n, black_box(a.as_slice()), black_box(b.as_slice()), &mut out);
+            black_box(out);
+        };
+        let mut auto = || {
+            black_box(black_box(&a).matmul(black_box(&b)));
+        };
+
+        let serial_ns = median_ns(reps_for(&mut naive), naive);
+        let blocked_ns = median_ns(reps_for(&mut blocked), blocked);
+        let parallel_ns = median_ns(reps_for(&mut auto), auto);
+        let comma = if idx + 1 < SHAPES.len() { "," } else { "" };
+        println!(
+            "    {{\"shape\": \"{m}x{k}x{n}\", \"serial_ns\": {serial_ns:.0}, \
+             \"blocked_ns\": {blocked_ns:.0}, \"parallel_ns\": {parallel_ns:.0}, \
+             \"speedup_blocked\": {:.2}, \"speedup_parallel\": {:.2}}}{comma}",
+            serial_ns / blocked_ns,
+            serial_ns / parallel_ns,
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}
+
+fn rand_rng(seed: usize) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(42 + seed as u64)
+}

@@ -26,9 +26,9 @@
 //!    (property-tested in `tests/engine_coherence.rs`).
 //!
 //! On a cold cache (first round, or after a client re-syncs a long
-//! history delta) the missing matrices are computed on crossbeam scoped
-//! threads; results are keyed by id, so scheduling order cannot affect
-//! the verdict.
+//! history delta) the missing matrices are computed on the shared worker
+//! pool; results are keyed by id, so scheduling order cannot affect the
+//! verdict.
 
 use crate::validate::{Diagnostics, ValidateError, Validator, Verdict, MIN_HISTORY};
 use baffle_data::Dataset;
@@ -36,9 +36,9 @@ use baffle_fl::history_sync::ModelId;
 use baffle_nn::{ConfusionMatrix, Model};
 use std::collections::HashMap;
 
-/// Spawn threads for the cold-cache confusion fan-out only when at least
-/// this many matrices are missing; below that, thread start-up costs more
-/// than the forward passes it saves.
+/// Fan the cold-cache confusion computation out to the worker pool only
+/// when at least this many matrices are missing; below that, task
+/// hand-off costs more than the forward passes it saves.
 const CONFUSION_PARALLEL_THRESHOLD: usize = 4;
 
 /// Confusion matrices of already-evaluated history models, keyed by
@@ -185,7 +185,7 @@ impl ValidationEngine {
 
     /// Cached equivalent of [`Validator::validate_detailed`]. Computes
     /// confusion matrices only for window models missing from the cache
-    /// (on scoped threads when several are missing), evicts entries that
+    /// (on the shared worker pool when several are missing), evicts entries that
     /// left the window, and runs the shared decision path
     /// [`Validator::validate_confusions`].
     ///
@@ -225,22 +225,9 @@ impl ValidationEngine {
 
         if !missing.is_empty() {
             let computed: Vec<ConfusionMatrix> = if missing.len() >= CONFUSION_PARALLEL_THRESHOLD {
-                crossbeam::thread::scope(|s| {
-                    let handles: Vec<_> = missing
-                        .iter()
-                        .map(|&i| {
-                            let model = &window[i];
-                            s.spawn(move |_| {
-                                ConfusionMatrix::from_model(model, data.features(), data.labels())
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("confusion worker panicked"))
-                        .collect()
+                baffle_tensor::pool::parallel_map(missing.clone(), |_, i| {
+                    ConfusionMatrix::from_model(&window[i], data.features(), data.labels())
                 })
-                .expect("confusion thread scope panicked")
             } else {
                 missing
                     .iter()

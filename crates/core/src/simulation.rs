@@ -1054,34 +1054,28 @@ impl Simulation {
             let malicious = self.config.malicious_clients;
             let behavior = self.config.malicious_voter_behavior;
 
-            let collected: Mutex<Vec<Vote>> = Mutex::new(Vec::with_capacity(validators.len()));
-            crossbeam::thread::scope(|scope| {
-                for &v in &validators {
-                    let collected = &collected;
-                    scope.spawn(move |_| {
-                        let vote = if v < malicious && !behavior.needs_validation() {
-                            behavior.cast(Vote::Accept)
-                        } else {
-                            let outcome =
-                                engines[v].lock().validate(candidate, ids, history, &shards[v]);
-                            let honest = match outcome {
-                                Ok(verdict) => verdict.vote(),
-                                // A client that cannot judge abstains
-                                // (counts as accept, footnote 1).
-                                Err(_) => Vote::Accept,
-                            };
-                            if v < malicious {
-                                behavior.cast(honest)
-                            } else {
-                                honest
-                            }
-                        };
-                        collected.lock().push(vote);
-                    });
+            // One pool task per validator; `parallel_map` returns votes
+            // in validator order, so tallies (and reports) are identical
+            // at any thread count.
+            let collected = baffle_tensor::pool::parallel_map(validators, |_, v| {
+                if v < malicious && !behavior.needs_validation() {
+                    behavior.cast(Vote::Accept)
+                } else {
+                    let outcome = engines[v].lock().validate(candidate, ids, history, &shards[v]);
+                    let honest = match outcome {
+                        Ok(verdict) => verdict.vote(),
+                        // A client that cannot judge abstains
+                        // (counts as accept, footnote 1).
+                        Err(_) => Vote::Accept,
+                    };
+                    if v < malicious {
+                        behavior.cast(honest)
+                    } else {
+                        honest
+                    }
                 }
-            })
-            .expect("validator worker panicked");
-            votes.extend(collected.into_inner());
+            });
+            votes.extend(collected);
         }
 
         let server_vote =

@@ -249,7 +249,7 @@ impl Validator {
     ///   [`MIN_HISTORY`] models are available;
     /// - [`ValidateError::EmptyDataset`] if `data` has no samples;
     /// - [`ValidateError::Lof`] if the LOF geometry is degenerate.
-    pub fn validate<M: Model>(
+    pub fn validate<M: Model + Sync>(
         &self,
         current: &M,
         history: &[M],
@@ -266,7 +266,7 @@ impl Validator {
     /// # Errors
     ///
     /// Same as [`Validator::validate`].
-    pub fn validate_detailed<M: Model>(
+    pub fn validate_detailed<M: Model + Sync>(
         &self,
         current: &M,
         history: &[M],

@@ -67,7 +67,7 @@ pub fn variation_from_confusions(prev: &ConfusionMatrix, curr: &ConfusionMatrix)
 ///
 /// Panics if the models disagree on the number of classes or the data has
 /// mismatched labels.
-pub fn variation<M: Model + ?Sized>(prev: &M, curr: &M, data: &Dataset) -> Vec<f32> {
+pub fn variation<M: Model + Sync + ?Sized>(prev: &M, curr: &M, data: &Dataset) -> Vec<f32> {
     let cm_prev = ConfusionMatrix::from_model(prev, data.features(), data.labels());
     let cm_curr = ConfusionMatrix::from_model(curr, data.features(), data.labels());
     variation_from_confusions(&cm_prev, &cm_curr)

@@ -3,7 +3,6 @@
 use crate::FlConfig;
 use baffle_data::Dataset;
 use baffle_nn::{Mlp, Model, Sgd};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -84,35 +83,23 @@ impl LocalTrainer {
     }
 }
 
-/// Trains several clients in parallel with crossbeam scoped threads,
-/// returning one update per shard (in shard order).
+/// Trains several clients in parallel on the process-wide worker pool
+/// ([`baffle_tensor::pool`]), returning one update per shard (in shard
+/// order).
 ///
 /// Each client gets a deterministic RNG derived from `seed` and its
-/// position, so results are reproducible regardless of scheduling.
+/// position, so results are bit-identical to training the shards
+/// sequentially, regardless of scheduling or `BAFFLE_THREADS`.
 pub fn train_clients_parallel(
     global: &Mlp,
     shards: &[&Dataset],
     trainer: &LocalTrainer,
     seed: u64,
 ) -> Vec<Vec<f32>> {
-    let results: Mutex<Vec<Option<Vec<f32>>>> = Mutex::new(vec![None; shards.len()]);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    crossbeam::thread::scope(|scope| {
-        for chunk_start in (0..shards.len()).step_by(shards.len().div_ceil(threads).max(1)) {
-            let chunk_end = (chunk_start + shards.len().div_ceil(threads).max(1)).min(shards.len());
-            let results = &results;
-            scope.spawn(move |_| {
-                #[allow(clippy::needless_range_loop)] // index drives both seed and slot
-                for i in chunk_start..chunk_end {
-                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
-                    let update = trainer.train_update(global, shards[i], &mut rng);
-                    results.lock()[i] = Some(update);
-                }
-            });
-        }
+    baffle_tensor::pool::parallel_map(shards.to_vec(), |i, shard| {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+        trainer.train_update(global, shard, &mut rng)
     })
-    .expect("local training worker panicked");
-    results.into_inner().into_iter().map(|r| r.expect("every shard trained")).collect()
 }
 
 #[cfg(test)]

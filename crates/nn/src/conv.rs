@@ -58,7 +58,7 @@ impl Conv1d {
             out_channels,
             kernel,
             length,
-            w: trng::he_init(rng, fan_in, out_channels).transpose(),
+            w: trng::he_init_transposed(rng, fan_in, out_channels),
             b: vec![0.0; out_channels],
             activation,
             cached_input: None,

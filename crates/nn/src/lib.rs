@@ -72,5 +72,10 @@ pub trait Model: Send {
     fn num_classes(&self) -> usize;
 
     /// Predicted class index for each row of `x`.
+    ///
+    /// Implementations must be *row-wise*: the prediction for a row may
+    /// not depend on which other rows share the batch. Parallel
+    /// evaluation ([`ConfusionMatrix::from_model`]) relies on this to
+    /// split large datasets into chunks without changing any result.
     fn predict_batch(&self, x: &Matrix) -> Vec<usize>;
 }

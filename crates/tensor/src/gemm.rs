@@ -1,0 +1,443 @@
+//! Cache-blocked GEMM kernels with pool-parallel dispatch.
+//!
+//! All three matmul orientations used by backpropagation live here:
+//!
+//! - [`nn`]  — `C += A·B` (forward pass),
+//! - [`tn`]  — `C += Aᵀ·B` (weight gradients),
+//! - [`nt`]  — `C += A·Bᵀ` (input deltas),
+//!
+//! each as a *dispatcher* that picks, by problem size, between a serial
+//! cache-blocked kernel and a row-banded parallel run on the shared
+//! worker pool ([`crate::pool`]). The naive reference kernels
+//! ([`naive_nn`], [`naive_tn`], [`naive_nt`]) are retained as the
+//! ground truth for property tests and benchmarks.
+//!
+//! # Bit-exactness
+//!
+//! Every path — naive, blocked, banded-parallel at any thread count —
+//! produces **bit-identical** output: for each output element the
+//! products are accumulated in strictly increasing `k` order, starting
+//! from the element's prior value. Blocking only reorders work *between*
+//! elements (which f32 addition cannot observe), never within one, and
+//! row bands touch disjoint outputs. This is what lets seeded
+//! experiments reproduce exactly regardless of `BAFFLE_THREADS`.
+//!
+//! # Tiling
+//!
+//! Tiles are `MB×KB = 32×32` panels of `A` against `KB×NB = 32×256`
+//! panels of `B`: one `B` panel (32 KiB) plus one `A` panel (4 KiB) sit
+//! comfortably in L1/L2 while the inner loop streams `NB`-wide rows the
+//! compiler autovectorizes. The inner micro-kernel unrolls `k` by 4,
+//! keeping each output element in a register across four updates —
+//! sequential adds, so the per-element order is unchanged.
+
+use crate::pool;
+
+/// Row-tile height over `C`/`A` (fits an f32 `MB×KB` A-panel in 4 KiB).
+const MB: usize = 32;
+/// Depth-tile size over `k`.
+const KB: usize = 32;
+/// Column-tile width over `C`/`B` (a `KB×NB` B-panel is 32 KiB).
+const NB: usize = 256;
+
+/// Minimum `m·k·n` before a product is row-banded across the pool;
+/// below this, thread hand-off costs more than the multiply.
+const PAR_MIN_WORK: usize = 1 << 20;
+
+/// Minimum `m·k·n` before [`nt`] packs `Bᵀ` to reach the blocked
+/// kernel; tiny products just run the direct dot-product loop.
+const NT_PACK_MIN_WORK: usize = 1 << 16;
+
+#[inline]
+fn work(m: usize, k: usize, n: usize) -> usize {
+    m.saturating_mul(k).saturating_mul(n)
+}
+
+#[inline]
+fn check(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &[f32], what: &str) {
+    assert_eq!(a.len(), m * k, "gemm::{what}: A is not {m}x{k}");
+    assert_eq!(b.len(), k * n, "gemm::{what}: B is not {k}x{n}");
+    assert_eq!(out.len(), m * n, "gemm::{what}: C is not {m}x{n}");
+}
+
+/// Reference kernel `C += A·B` (`A` is `m×k`, `B` is `k×n`, row-major).
+///
+/// Branch-free i-k-j triple loop; the correctness oracle for the
+/// blocked and parallel paths.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its shape.
+pub fn naive_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    check(m, k, n, a, b, out, "naive_nn");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Reference kernel `C += Aᵀ·B` (`A` is `ra×ca`, `B` is `ra×n`, `C` is
+/// `ca×n`), without materialising the transpose.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its shape.
+pub fn naive_tn(ra: usize, ca: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), ra * ca, "gemm::naive_tn: A is not {ra}x{ca}");
+    assert_eq!(b.len(), ra * n, "gemm::naive_tn: B is not {ra}x{n}");
+    assert_eq!(out.len(), ca * n, "gemm::naive_tn: C is not {ca}x{n}");
+    for kk in 0..ra {
+        let a_row = &a[kk * ca..(kk + 1) * ca];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Reference kernel `C += A·Bᵀ` (`A` is `m×k`, `B` is `n×k`, `C` is
+/// `m×n`), without materialising the transpose.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its shape.
+pub fn naive_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm::naive_nt: A is not {m}x{k}");
+    assert_eq!(b.len(), n * k, "gemm::naive_nt: B is not {n}x{k}");
+    assert_eq!(out.len(), m * n, "gemm::naive_nt: C is not {m}x{n}");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = out[i * n + j];
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Serial cache-blocked `C += A·B` with a k-unrolled-by-4 micro-kernel.
+/// Bit-identical to [`naive_nn`] for every shape.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its shape.
+pub fn blocked_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    check(m, k, n, a, b, out, "blocked_nn");
+    for jb in (0..n).step_by(NB) {
+        let jw = (jb + NB).min(n) - jb;
+        for ib in (0..m).step_by(MB) {
+            let iend = (ib + MB).min(m);
+            for kb in (0..k).step_by(KB) {
+                let kend = (kb + KB).min(k);
+                for i in ib..iend {
+                    let a_row = &a[i * k..(i + 1) * k];
+                    let out_row = &mut out[i * n + jb..i * n + jb + jw];
+                    let mut kk = kb;
+                    while kk + 4 <= kend {
+                        let (a0, a1, a2, a3) =
+                            (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+                        let b0 = &b[kk * n + jb..kk * n + jb + jw];
+                        let b1 = &b[(kk + 1) * n + jb..(kk + 1) * n + jb + jw];
+                        let b2 = &b[(kk + 2) * n + jb..(kk + 2) * n + jb + jw];
+                        let b3 = &b[(kk + 3) * n + jb..(kk + 3) * n + jb + jw];
+                        // Sequential adds keep each element's k order.
+                        for j in 0..jw {
+                            let mut acc = out_row[j];
+                            acc += a0 * b0[j];
+                            acc += a1 * b1[j];
+                            acc += a2 * b2[j];
+                            acc += a3 * b3[j];
+                            out_row[j] = acc;
+                        }
+                        kk += 4;
+                    }
+                    while kk < kend {
+                        let av = a_row[kk];
+                        let b_row = &b[kk * n + jb..kk * n + jb + jw];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                            *o += av * bv;
+                        }
+                        kk += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Serial cache-blocked `C += Aᵀ·B`. Bit-identical to [`naive_tn`].
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its shape.
+pub fn blocked_tn(ra: usize, ca: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), ra * ca, "gemm::blocked_tn: A is not {ra}x{ca}");
+    assert_eq!(b.len(), ra * n, "gemm::blocked_tn: B is not {ra}x{n}");
+    assert_eq!(out.len(), ca * n, "gemm::blocked_tn: C is not {ca}x{n}");
+    blocked_tn_cols(ra, ca, n, a, b, 0, ca, out);
+}
+
+/// The `tn` tile loop over output rows (= `A` columns) `i0..i1` only,
+/// writing into the `(i1-i0)×n` band `out`. Per-element accumulation
+/// order depends only on `kb`/`kk`, so banding cannot change results.
+fn blocked_tn_cols(
+    ra: usize,
+    ca: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    i1: usize,
+    out: &mut [f32],
+) {
+    for jb in (0..n).step_by(NB) {
+        let jend = (jb + NB).min(n);
+        for ib in (i0..i1).step_by(MB) {
+            let iend = (ib + MB).min(i1);
+            for kb in (0..ra).step_by(KB) {
+                let kend = (kb + KB).min(ra);
+                for kk in kb..kend {
+                    let a_row = &a[kk * ca..(kk + 1) * ca];
+                    let b_row = &b[kk * n + jb..kk * n + jend];
+                    for i in ib..iend {
+                        let av = a_row[i];
+                        let out_row = &mut out[(i - i0) * n + jb..(i - i0) * n + jend];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Transposes the row-major `rows×cols` slice `src` into `dst`
+/// (`cols×rows`). Used by [`nt`] to reach the blocked `nn` kernel.
+fn transpose_into(rows: usize, cols: usize, src: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            dst[j * rows + i] = src[i * cols + j];
+        }
+    }
+}
+
+/// `C += A·B` dispatcher: serial blocked kernel for small products,
+/// row-banded across the worker pool once `m·k·n` reaches the parallel
+/// threshold. Always bit-identical to [`naive_nn`].
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its shape.
+pub fn nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    check(m, k, n, a, b, out, "nn");
+    let t = pool::threads();
+    if t > 1 && m >= 2 && work(m, k, n) >= PAR_MIN_WORK {
+        let band_rows = m.div_ceil(t.min(m));
+        let tasks: Vec<pool::ScopedTask<'_>> = out
+            .chunks_mut(band_rows * n)
+            .enumerate()
+            .map(|(band, chunk)| {
+                let i0 = band * band_rows;
+                let rows = chunk.len() / n;
+                let a_band = &a[i0 * k..(i0 + rows) * k];
+                Box::new(move || blocked_nn(rows, k, n, a_band, b, chunk)) as pool::ScopedTask<'_>
+            })
+            .collect();
+        pool::join_all(tasks);
+    } else {
+        blocked_nn(m, k, n, a, b, out);
+    }
+}
+
+/// `C += Aᵀ·B` dispatcher: serial blocked kernel for small products,
+/// output-row-banded across the worker pool for large ones. Always
+/// bit-identical to [`naive_tn`].
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its shape.
+pub fn tn(ra: usize, ca: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), ra * ca, "gemm::tn: A is not {ra}x{ca}");
+    assert_eq!(b.len(), ra * n, "gemm::tn: B is not {ra}x{n}");
+    assert_eq!(out.len(), ca * n, "gemm::tn: C is not {ca}x{n}");
+    let t = pool::threads();
+    if t > 1 && ca >= 2 && work(ra, ca, n) >= PAR_MIN_WORK {
+        let band_rows = ca.div_ceil(t.min(ca));
+        let tasks: Vec<pool::ScopedTask<'_>> = out
+            .chunks_mut(band_rows * n)
+            .enumerate()
+            .map(|(band, chunk)| {
+                let i0 = band * band_rows;
+                let i1 = i0 + chunk.len() / n;
+                Box::new(move || blocked_tn_cols(ra, ca, n, a, b, i0, i1, chunk))
+                    as pool::ScopedTask<'_>
+            })
+            .collect();
+        pool::join_all(tasks);
+    } else {
+        blocked_tn(ra, ca, n, a, b, out);
+    }
+}
+
+/// `C += A·Bᵀ` dispatcher (`B` is `n×k`): tiny products run the direct
+/// dot-product loop; larger ones pack `Bᵀ` once and go through [`nn`]
+/// (and so inherit its blocking and banding). Always bit-identical to
+/// [`naive_nt`] — the packed path performs the same per-element adds in
+/// the same k order.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its shape.
+pub fn nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm::nt: A is not {m}x{k}");
+    assert_eq!(b.len(), n * k, "gemm::nt: B is not {n}x{k}");
+    assert_eq!(out.len(), m * n, "gemm::nt: C is not {m}x{n}");
+    if work(m, k, n) < NT_PACK_MIN_WORK {
+        naive_nt(m, k, n, a, b, out);
+    } else {
+        let mut bt = vec![0.0f32; k * n];
+        transpose_into(n, k, b, &mut bt);
+        nn(m, k, n, a, &bt, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random fill with a sprinkling of exact zeros
+    /// (the seed kernel's zero-skip made zeros a historical edge case).
+    fn fill(n: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = ((s >> 33) as i32 % 1000) as f32 / 250.0;
+                if v.abs() < 0.01 {
+                    0.0
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+
+    fn assert_bits_eq(x: &[f32], y: &[f32], what: &str) {
+        assert_eq!(x.len(), y.len());
+        for (i, (a, b)) in x.iter().zip(y).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "{what}: element {i}: {a} vs {b}");
+        }
+    }
+
+    /// Shapes covering 1×N / N×1 degeneracies, non-multiple-of-tile
+    /// edges, and one product large enough to band across the pool.
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (1, 40, 1),
+        (1, 7, 300),
+        (300, 7, 1),
+        (3, 5, 2),
+        (33, 65, 17),
+        (100, 130, 70),
+        (31, 257, 129),
+        (150, 70, 130),
+    ];
+
+    #[test]
+    fn blocked_and_dispatched_nn_match_naive_exactly() {
+        for &(m, k, n) in SHAPES {
+            let a = fill(m * k, 1);
+            let b = fill(k * n, 2);
+            let mut want = vec![0.0f32; m * n];
+            naive_nn(m, k, n, &a, &b, &mut want);
+            let mut got = vec![0.0f32; m * n];
+            blocked_nn(m, k, n, &a, &b, &mut got);
+            assert_bits_eq(&want, &got, &format!("blocked_nn {m}x{k}x{n}"));
+            let mut got = vec![0.0f32; m * n];
+            nn(m, k, n, &a, &b, &mut got);
+            assert_bits_eq(&want, &got, &format!("nn {m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn blocked_and_dispatched_tn_match_naive_exactly() {
+        for &(ra, ca, n) in SHAPES {
+            let a = fill(ra * ca, 3);
+            let b = fill(ra * n, 4);
+            let mut want = vec![0.0f32; ca * n];
+            naive_tn(ra, ca, n, &a, &b, &mut want);
+            let mut got = vec![0.0f32; ca * n];
+            blocked_tn(ra, ca, n, &a, &b, &mut got);
+            assert_bits_eq(&want, &got, &format!("blocked_tn {ra}x{ca}x{n}"));
+            let mut got = vec![0.0f32; ca * n];
+            tn(ra, ca, n, &a, &b, &mut got);
+            assert_bits_eq(&want, &got, &format!("tn {ra}x{ca}x{n}"));
+        }
+    }
+
+    #[test]
+    fn dispatched_nt_matches_naive_exactly() {
+        for &(m, k, n) in SHAPES {
+            let a = fill(m * k, 5);
+            let b = fill(n * k, 6);
+            let mut want = vec![0.0f32; m * n];
+            naive_nt(m, k, n, &a, &b, &mut want);
+            let mut got = vec![0.0f32; m * n];
+            nt(m, k, n, &a, &b, &mut got);
+            assert_bits_eq(&want, &got, &format!("nt {m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn kernels_accumulate_into_existing_output() {
+        let (m, k, n) = (5, 9, 11);
+        let a = fill(m * k, 7);
+        let b = fill(k * n, 8);
+        let mut want = fill(m * n, 9);
+        let mut got = want.clone();
+        naive_nn(m, k, n, &a, &b, &mut want);
+        blocked_nn(m, k, n, &a, &b, &mut got);
+        assert_bits_eq(&want, &got, "accumulate");
+    }
+
+    #[test]
+    fn parallel_band_boundaries_are_exact() {
+        // Wide enough that every band split the pool can pick still has
+        // non-multiple-of-tile rows at its edges.
+        let (m, k, n) = (151, 71, 131);
+        let a = fill(m * k, 10);
+        let b = fill(k * n, 11);
+        let mut want = vec![0.0f32; m * n];
+        naive_nn(m, k, n, &a, &b, &mut want);
+        let mut got = vec![0.0f32; m * n];
+        nn(m, k, n, &a, &b, &mut got);
+        assert_bits_eq(&want, &got, "banded nn 151x71x131");
+    }
+
+    #[test]
+    fn empty_dimensions_are_noops() {
+        let mut out = vec![0.0f32; 0];
+        nn(0, 3, 0, &[], &fill(0, 1), &mut out);
+        let mut out = vec![1.5f32; 4];
+        nn(2, 0, 2, &[], &[], &mut out);
+        assert_eq!(out, vec![1.5; 4], "k = 0 leaves C untouched");
+        let mut out = vec![2.5f32; 4];
+        nt(2, 0, 2, &[], &[], &mut out);
+        assert_eq!(out, vec![2.5; 4], "nt with k = 0 leaves C untouched");
+    }
+}

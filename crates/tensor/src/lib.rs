@@ -6,9 +6,14 @@
 //! plus flat `[f32]` vector helpers ([`ops`]) used by the federated-learning
 //! layer to average, scale and mask model parameters.
 //!
-//! No external BLAS is used; the kernels are simple cache-friendly loops
-//! that are plenty fast for the model sizes exercised by the BaFFLe
-//! experiments (10²–10⁵ parameters).
+//! No external BLAS is used. Matrix products dispatch into the
+//! cache-blocked kernels of [`gemm`], which row-band large products
+//! across a process-wide worker pool ([`pool`], sized by the
+//! `BAFFLE_THREADS` environment variable) and fall back to the serial
+//! blocked kernel below a size threshold so small LOF/feedback math pays
+//! zero overhead. Every path is bit-identical to the naive serial
+//! reference, so seeded experiments reproduce exactly at any thread
+//! count.
 //!
 //! # Example
 //!
@@ -22,7 +27,10 @@
 //! ```
 
 mod matrix;
+
+pub mod gemm;
 pub mod ops;
+pub mod pool;
 pub mod rng;
 
 pub use matrix::Matrix;

@@ -178,7 +178,10 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
-    /// Uses an i-k-j loop order so the inner loop streams rows of `other`.
+    /// Dispatches into the cache-blocked kernels of [`crate::gemm`],
+    /// which row-band large products across the shared worker pool
+    /// ([`crate::pool`]); the result is bit-identical to the naive
+    /// serial triple loop for every shape and thread count.
     ///
     /// # Panics
     ///
@@ -190,23 +193,13 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::gemm::nn(self.rows, self.cols, other.cols, &self.data, &other.data, &mut out.data);
         out
     }
 
-    /// Matrix product `self * otherᵀ` without materialising the transpose.
+    /// Matrix product `self * otherᵀ` without materialising the
+    /// transpose at the API level; large products pack `otherᵀ` once
+    /// internally to reach the blocked kernel (see [`crate::gemm::nt`]).
     ///
     /// # Panics
     ///
@@ -218,21 +211,12 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
-        }
+        crate::gemm::nt(self.rows, self.cols, other.rows, &self.data, &other.data, &mut out.data);
         out
     }
 
-    /// Matrix product `selfᵀ * other` without materialising the transpose.
+    /// Matrix product `selfᵀ * other` without materialising the
+    /// transpose (see [`crate::gemm::tn`]).
     ///
     /// # Panics
     ///
@@ -244,19 +228,7 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::gemm::tn(self.rows, self.cols, other.cols, &self.data, &other.data, &mut out.data);
         out
     }
 
@@ -483,6 +455,31 @@ mod tests {
         let a = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32);
         let b = Matrix::from_fn(4, 5, |r, c| (r + c) as f32);
         assert_eq!(a.matmul_tn(&b), a.transpose().matmul(&b));
+    }
+
+    /// Regression for the old `a == 0.0 { continue }` fast path, which
+    /// silently turned `0 × ∞` into `0` instead of `NaN` in `matmul` /
+    /// `matmul_tn`: IEEE-754 non-finite inputs must propagate.
+    #[test]
+    fn matmul_propagates_nan_from_zero_times_infinity() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[f32::INFINITY], &[1.0]]);
+        assert!(a.matmul(&b)[(0, 0)].is_nan(), "matmul: 0·∞ + 1·1 must be NaN");
+
+        let at = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        assert!(at.matmul_tn(&b)[(0, 0)].is_nan(), "matmul_tn: 0·∞ + 1·1 must be NaN");
+
+        let bt = Matrix::from_rows(&[&[f32::INFINITY, 1.0]]);
+        assert!(a.matmul_nt(&bt)[(0, 0)].is_nan(), "matmul_nt: 0·∞ + 1·1 must be NaN");
+    }
+
+    #[test]
+    fn matmul_propagates_infinity_and_nan_inputs() {
+        let a = Matrix::from_rows(&[&[2.0]]);
+        let inf = Matrix::from_rows(&[&[f32::INFINITY]]);
+        assert_eq!(a.matmul(&inf)[(0, 0)], f32::INFINITY);
+        let nan = Matrix::from_rows(&[&[f32::NAN]]);
+        assert!(a.matmul(&nan)[(0, 0)].is_nan());
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Process-wide scoped worker pool for data-parallel kernels.
+//!
+//! Every parallel hot path in the workspace — row-banded GEMM
+//! ([`crate::gemm`]), chunked confusion-matrix evaluation, client-local
+//! training, the feedback vote fan-out — shares this one pool instead of
+//! spawning ad-hoc scoped threads per call. Workers are started lazily on
+//! first use and live for the rest of the process, so a simulation that
+//! issues thousands of small fan-outs per round pays thread start-up cost
+//! exactly once.
+//!
+//! # Sizing
+//!
+//! The pool holds [`threads`] workers: the `BAFFLE_THREADS` environment
+//! variable if set to a positive integer, otherwise
+//! [`std::thread::available_parallelism`]. `BAFFLE_THREADS=1` disables
+//! parallelism entirely ([`join_all`] then runs every task inline on the
+//! caller), which is the supported way to pin benchmarks or bisect a
+//! suspected concurrency issue. The variable is read once, at first use.
+//!
+//! # Determinism
+//!
+//! The pool provides *structured* parallelism only: [`join_all`] and
+//! [`parallel_map`] return after every submitted task has completed, and
+//! [`parallel_map`] writes each result into the slot of its input index.
+//! Callers that keep per-task state independent (per-client RNG streams,
+//! disjoint output bands) therefore produce bit-identical results at any
+//! thread count.
+//!
+//! # Nesting
+//!
+//! Tasks that themselves call [`join_all`] / [`parallel_map`] (e.g. a
+//! client validation task whose model evaluation wants to chunk) do not
+//! deadlock: a call made *from a pool worker* runs its tasks inline
+//! serially instead of re-submitting to the queue it is draining.
+
+use std::cell::Cell;
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// A task that has been made `'static` for the queue; only produced
+/// inside [`join_all`], which guarantees the borrow it erases outlives
+/// the task's execution.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A captured worker panic, replayed on the submitting thread.
+type Panic = Box<dyn std::any::Any + Send>;
+
+/// A borrowed task accepted by [`join_all`].
+pub type ScopedTask<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+struct Pool {
+    sender: crossbeam::channel::Sender<Job>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+static THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of pool workers: `BAFFLE_THREADS` if set to a positive
+/// integer, otherwise the machine's available parallelism. Read once and
+/// cached for the life of the process.
+pub fn threads() -> usize {
+    *THREADS.get_or_init(|| match std::env::var("BAFFLE_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("BAFFLE_THREADS={v:?} is not a positive integer; using default");
+                default_threads()
+            }
+        },
+        Err(_) => default_threads(),
+    })
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let (tx, rx) = crossbeam::channel::unbounded::<Job>();
+        for i in 0..threads() {
+            let rx = rx.clone();
+            std::thread::Builder::new()
+                .name(format!("baffle-pool-{i}"))
+                .spawn(move || {
+                    IS_WORKER.with(|w| w.set(true));
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("spawn baffle pool worker");
+        }
+        Pool { sender: tx }
+    })
+}
+
+/// Counts outstanding tasks of one [`join_all`] call and holds the first
+/// panic (if any) until every task has finished.
+struct Latch {
+    state: Mutex<(usize, Option<Panic>)>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self { state: Mutex::new((count, None)), done: Condvar::new() }
+    }
+
+    fn complete(&self, panic: Option<Panic>) {
+        let mut st = self.state.lock().unwrap();
+        st.0 -= 1;
+        if st.1.is_none() {
+            st.1 = panic;
+        }
+        if st.0 == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut st = self.state.lock().unwrap();
+        while st.0 > 0 {
+            st = self.done.wait(st).unwrap();
+        }
+        if let Some(p) = st.1.take() {
+            drop(st);
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+/// Runs every task to completion, on pool workers when that can help:
+/// single-task batches, a 1-thread pool, and calls made from inside a
+/// pool worker (see module docs on nesting) all run inline serially.
+///
+/// Tasks may borrow from the caller's stack — the call does not return
+/// until every task has finished, even if one of them panics.
+///
+/// # Panics
+///
+/// If a task panics, the first such panic is re-raised here after **all**
+/// tasks have completed (no partial writes are left in flight).
+pub fn join_all(tasks: Vec<ScopedTask<'_>>) {
+    if tasks.len() <= 1 || threads() == 1 || IS_WORKER.with(|w| w.get()) {
+        for t in tasks {
+            t();
+        }
+        return;
+    }
+    let latch = Latch::new(tasks.len());
+    let pool = pool();
+    for task in tasks {
+        let latch_ref = &latch;
+        let job: ScopedTask<'_> = Box::new(move || {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+            latch_ref.complete(outcome.err());
+        });
+        // SAFETY: `latch.wait()` below blocks until every submitted job
+        // has run to completion, so the borrows captured by `job`
+        // (including `latch` itself) strictly outlive all worker-side
+        // accesses; erasing the lifetime to queue the job is sound.
+        let job = unsafe { std::mem::transmute::<ScopedTask<'_>, Job>(job) };
+        pool.sender.send(job).expect("baffle pool workers disconnected");
+    }
+    latch.wait();
+}
+
+/// Applies `f` to every item on the pool, returning results **in input
+/// order** (`f` also receives the item's index). The ordering guarantee
+/// is what keeps callers deterministic at any thread count.
+///
+/// # Panics
+///
+/// Re-raises the first task panic after all tasks have completed.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    {
+        let f = &f;
+        let tasks: Vec<ScopedTask<'_>> = out
+            .iter_mut()
+            .zip(items)
+            .enumerate()
+            .map(|(i, (slot, item))| Box::new(move || *slot = Some(f(i, item))) as ScopedTask<'_>)
+            .collect();
+        join_all(tasks);
+    }
+    out.into_iter().map(|r| r.expect("pool task completed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn threads_is_positive_and_stable() {
+        let t = threads();
+        assert!(t >= 1);
+        assert_eq!(threads(), t);
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let out = parallel_map((0..100).collect::<Vec<usize>>(), |i, x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_all_runs_borrowed_disjoint_chunks() {
+        let mut buf = vec![0u64; 1024];
+        let tasks: Vec<ScopedTask<'_>> = buf
+            .chunks_mut(100)
+            .enumerate()
+            .map(|(ci, chunk)| {
+                Box::new(move || {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = (ci * 100 + j) as u64;
+                    }
+                }) as ScopedTask<'_>
+            })
+            .collect();
+        join_all(tasks);
+        assert!(buf.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn nested_calls_do_not_deadlock() {
+        let sums = parallel_map((0..16).collect::<Vec<u64>>(), |_, base| {
+            let inner = parallel_map((0..50).collect::<Vec<u64>>(), |_, x| x + base);
+            inner.iter().sum::<u64>()
+        });
+        assert_eq!(sums.len(), 16);
+        assert_eq!(sums[0], (0..50).sum::<u64>());
+    }
+
+    #[test]
+    fn task_panic_propagates_to_caller() {
+        let hit = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let tasks: Vec<ScopedTask<'_>> = (0..8)
+                .map(|i| {
+                    let hit = &hit;
+                    Box::new(move || {
+                        hit.fetch_add(1, Ordering::SeqCst);
+                        assert!(i != 3, "boom");
+                    }) as ScopedTask<'_>
+                })
+                .collect();
+            join_all(tasks);
+        }));
+        assert!(r.is_err(), "panic must resurface on the caller");
+        assert!(hit.load(Ordering::SeqCst) >= 4, "tasks before the panic still ran");
+    }
+
+    #[test]
+    fn many_concurrent_fanouts_from_external_threads() {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for round in 0..100 {
+                        let v = parallel_map((0..9).collect::<Vec<usize>>(), |_, x| x + round);
+                        assert_eq!(v[0], round);
+                    }
+                });
+            }
+        });
+    }
+}

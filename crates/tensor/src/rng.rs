@@ -48,6 +48,28 @@ pub fn he_init<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize) -> M
     normal_matrix(rng, fan_in, fan_out, std)
 }
 
+/// [`he_init`] materialised directly in the transposed orientation
+/// (`fan_out × fan_in`): draws the identical sample sequence, so the
+/// result is bit-for-bit equal to
+/// `he_init(rng, fan_in, fan_out).transpose()` without building and
+/// discarding the intermediate matrix.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn he_init_transposed<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize) -> Matrix {
+    assert!(fan_in > 0, "he_init_transposed: fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    let samples = normal_vec(rng, fan_in * fan_out, 0.0, std);
+    let mut m = Matrix::zeros(fan_out, fan_in);
+    for (t, v) in samples.into_iter().enumerate() {
+        // The t-th draw lands at (t / fan_out, t % fan_out) in he_init's
+        // row-major layout; write it to the mirrored position.
+        m[(t % fan_out, t / fan_out)] = v;
+    }
+    m
+}
+
 /// A matrix with i.i.d. `U(lo, hi)` entries.
 pub fn uniform_matrix<R: Rng + ?Sized>(
     rng: &mut R,
@@ -92,6 +114,16 @@ mod tests {
         let wide_std = wide.frobenius_norm() / (wide.len() as f32).sqrt();
         let narrow_std = narrow.frobenius_norm() / (narrow.len() as f32).sqrt();
         assert!(wide_std < narrow_std, "{wide_std} !< {narrow_std}");
+    }
+
+    #[test]
+    fn he_init_transposed_is_exactly_the_transpose() {
+        for &(fan_in, fan_out) in &[(1usize, 1usize), (7, 5), (3, 12), (48, 96)] {
+            let seed = (fan_in * 31 + fan_out) as u64;
+            let via_transpose = he_init(&mut StdRng::seed_from_u64(seed), fan_in, fan_out);
+            let direct = he_init_transposed(&mut StdRng::seed_from_u64(seed), fan_in, fan_out);
+            assert_eq!(via_transpose.transpose(), direct, "{fan_in}x{fan_out}");
+        }
     }
 
     #[test]

@@ -107,3 +107,75 @@ proptest! {
         prop_assert!((m.frobenius_norm() - m.transpose().frobenius_norm()).abs() < 1e-3);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Blocked/parallel GEMM vs the retained naive reference: the dispatched
+// kernels must be BIT-identical (`to_bits` equality, not epsilon), at any
+// shape — including 1×N / N×1 and non-multiple-of-tile dims — and at any
+// thread count. Large banded shapes are covered by unit tests in
+// `baffle_tensor::gemm`; these randomized ones sweep the small-shape space.
+// ---------------------------------------------------------------------------
+
+use baffle_tensor::gemm;
+
+/// Random dims straddling the 32-wide tile edges, 1×N/N×1 included.
+fn gemm_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..=40, 1usize..=40, 1usize..=40)
+}
+
+/// Random data with ~10 % exact zeros — the removed zero-skip fast path
+/// made zeros a historical edge case worth hammering.
+fn gemm_data(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0_f32..10.0, len)
+        .prop_map(|v| v.into_iter().map(|x| if x.abs() < 1.0 { 0.0 } else { x }).collect())
+}
+
+fn nn_problem() -> impl Strategy<Value = (usize, usize, usize, Vec<f32>, Vec<f32>)> {
+    gemm_dims()
+        .prop_flat_map(|(m, k, n)| (Just(m), Just(k), Just(n), gemm_data(m * k), gemm_data(k * n)))
+}
+
+fn tn_problem() -> impl Strategy<Value = (usize, usize, usize, Vec<f32>, Vec<f32>)> {
+    gemm_dims()
+        .prop_flat_map(|(m, k, n)| (Just(m), Just(k), Just(n), gemm_data(m * k), gemm_data(m * n)))
+}
+
+fn nt_problem() -> impl Strategy<Value = (usize, usize, usize, Vec<f32>, Vec<f32>)> {
+    gemm_dims()
+        .prop_flat_map(|(m, k, n)| (Just(m), Just(k), Just(n), gemm_data(m * k), gemm_data(n * k)))
+}
+
+proptest! {
+    /// `Matrix::matmul` (blocked, possibly banded) ≡ naive, bitwise.
+    #[test]
+    fn matmul_is_bit_identical_to_naive((m, k, n, a, b) in nn_problem()) {
+        let got = Matrix::from_vec(m, k, a.clone()).matmul(&Matrix::from_vec(k, n, b.clone()));
+        let mut want = vec![0.0f32; m * n];
+        gemm::naive_nn(m, k, n, &a, &b, &mut want);
+        for (x, y) in got.as_slice().iter().zip(&want) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// `Matrix::matmul_tn` ≡ naive Aᵀ·B, bitwise (A is m×k, B is m×n).
+    #[test]
+    fn matmul_tn_is_bit_identical_to_naive((m, k, n, a, b) in tn_problem()) {
+        let got = Matrix::from_vec(m, k, a.clone()).matmul_tn(&Matrix::from_vec(m, n, b.clone()));
+        let mut want = vec![0.0f32; k * n];
+        gemm::naive_tn(m, k, n, &a, &b, &mut want);
+        for (x, y) in got.as_slice().iter().zip(&want) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// `Matrix::matmul_nt` ≡ naive A·Bᵀ, bitwise (A is m×k, B is n×k).
+    #[test]
+    fn matmul_nt_is_bit_identical_to_naive((m, k, n, a, b) in nt_problem()) {
+        let got = Matrix::from_vec(m, k, a.clone()).matmul_nt(&Matrix::from_vec(n, k, b.clone()));
+        let mut want = vec![0.0f32; m * n];
+        gemm::naive_nt(m, k, n, &a, &b, &mut want);
+        for (x, y) in got.as_slice().iter().zip(&want) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
