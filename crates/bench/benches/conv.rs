@@ -1,0 +1,65 @@
+//! Conv1d benchmarks: the packed im2col/GEMM path against the retained
+//! naive scalar loops, at the channel mixes the default CNN hits.
+//!
+//! Two views per shape: `forward` (inference) and `train` (forward_train
+//! + backward + a no-op gradient drain, the per-batch training cost).
+//! Both paths are bit-identical by construction, so any gap here is pure
+//! speed, never accuracy. Set `BAFFLE_NO_SIMD=1` to see how much of the
+//! im2col win survives without the 8-wide GEMM micro-kernel.
+
+use baffle_nn::conv::Conv1d;
+use baffle_nn::Activation;
+use baffle_tensor::rng as trng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// (in_channels, out_channels, kernel, length, batch): the two conv
+/// layers of the default CNN (`CnnSpec::new(24, &[6, 6], 3, _)`) over a
+/// training batch, plus a full-validation-set sized batch.
+const SHAPES: &[(usize, usize, usize, usize, usize)] =
+    &[(1, 6, 3, 24, 64), (6, 6, 3, 24, 64), (6, 6, 3, 24, 512)];
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv");
+    group.sample_size(20);
+    for &(ic, oc, k, len, batch) in SHAPES {
+        let mut rng = StdRng::seed_from_u64(42);
+        let conv = Conv1d::new(ic, oc, k, len, Activation::Relu, &mut rng);
+        let x = trng::uniform_matrix(&mut rng, batch, ic * len, -1.0, 1.0);
+        let g = trng::uniform_matrix(&mut rng, batch, oc * len, -1.0, 1.0);
+        let id = format!("{ic}x{oc}x{k}x{len}b{batch}");
+
+        group.bench_function(BenchmarkId::new("naive_forward", &id), |bch| {
+            bch.iter(|| conv.naive_forward(black_box(&x)))
+        });
+        group.bench_function(BenchmarkId::new("im2col_forward", &id), |bch| {
+            bch.iter(|| conv.forward(black_box(&x)))
+        });
+
+        let mut naive = conv.clone();
+        naive.force_naive(true);
+        group.bench_function(BenchmarkId::new("naive_train", &id), |bch| {
+            bch.iter(|| {
+                let _ = naive.forward_train(black_box(&x));
+                let dx = naive.backward(black_box(&g));
+                naive.apply_grads(|_, _| {});
+                dx
+            })
+        });
+        let mut packed = conv.clone();
+        group.bench_function(BenchmarkId::new("im2col_train", &id), |bch| {
+            bch.iter(|| {
+                let _ = packed.forward_train(black_box(&x));
+                let dx = packed.backward(black_box(&g));
+                packed.apply_grads(|_, _| {});
+                dx
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Whole-model training-step benchmarks: one `train_batch` of the
+//! default CNN (all conv layers on the im2col path vs forced onto the
+//! naive loops) and of the default MLP, over the batch size the
+//! experiment driver uses.
+//!
+//! This is the end-to-end number behind the conv/GEMM micro-benchmarks:
+//! it includes activations, the dense head, softmax and SGD, so it shows
+//! how much of the kernel speedup survives in a full step.
+
+use baffle_nn::{Cnn, CnnSpec, Mlp, MlpSpec, Sgd};
+use baffle_tensor::rng as trng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const BATCH: usize = 64;
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(20);
+
+    let spec = CnnSpec::new(24, &[6, 6], 3, 6).with_residual();
+    let mut rng = StdRng::seed_from_u64(42);
+    let x = trng::uniform_matrix(&mut rng, BATCH, spec.input_len(), -1.0, 1.0);
+    let y: Vec<usize> = (0..BATCH).map(|i| i % spec.num_classes()).collect();
+
+    let mut cnn = Cnn::new(&spec, &mut rng);
+    group.bench_function(BenchmarkId::new("cnn", "im2col"), |bch| {
+        let mut opt = Sgd::new(0.01);
+        bch.iter(|| cnn.train_batch(black_box(&x), black_box(&y), &mut opt))
+    });
+
+    let mut naive = Cnn::new(&spec, &mut StdRng::seed_from_u64(42));
+    naive.force_naive_conv(true);
+    group.bench_function(BenchmarkId::new("cnn", "naive_conv"), |bch| {
+        let mut opt = Sgd::new(0.01);
+        bch.iter(|| naive.train_batch(black_box(&x), black_box(&y), &mut opt))
+    });
+
+    let mlp_spec = MlpSpec::new(24, &[32, 32], 6);
+    let mut mlp = Mlp::new(&mlp_spec, &mut rng);
+    group.bench_function(BenchmarkId::new("mlp", "default"), |bch| {
+        let mut opt = Sgd::new(0.01);
+        bch.iter(|| mlp.train_batch(black_box(&x), black_box(&y), &mut opt))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Emits a machine-readable conv perf summary (`BENCH_conv.json` on CI):
+//! median ns/op for the retained naive scalar loops and the packed
+//! im2col/GEMM path, forward and full train pass, at the default CNN's
+//! layer shapes. Both paths are bit-identical, so the speedup columns
+//! are pure perf signal.
+//!
+//! Uses plain `std::time` rather than Criterion so it runs as a normal
+//! release binary: `cargo run --release -p baffle-bench --bin conv_report`.
+
+use baffle_nn::conv::Conv1d;
+use baffle_nn::Activation;
+use baffle_tensor::{pool, rng as trng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// (in_channels, out_channels, kernel, length, batch): the two conv
+/// layers of the default CNN over a training batch, plus a
+/// validation-set sized batch.
+const SHAPES: &[(usize, usize, usize, usize, usize)] =
+    &[(1, 6, 3, 24, 64), (6, 6, 3, 24, 64), (6, 6, 3, 24, 512)];
+
+/// Median wall-clock of `reps` single runs of `f`, in nanoseconds.
+fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Picks a repetition count that keeps each variant near ~0.3 s total.
+fn reps_for<F: FnMut()>(f: &mut F) -> usize {
+    let t = Instant::now();
+    f();
+    let once = t.elapsed().as_nanos().max(1) as usize;
+    (300_000_000 / once).clamp(5, 200)
+}
+
+fn main() {
+    println!("{{");
+    println!("  \"bench\": \"conv\",");
+    println!("  \"threads\": {},", pool::threads());
+    println!("  \"simd\": {},", baffle_tensor::gemm::simd_enabled());
+    println!("  \"unit\": \"ns_per_op_median\",");
+    println!("  \"shapes\": [");
+    for (idx, &(ic, oc, k, len, batch)) in SHAPES.iter().enumerate() {
+        let mut rng = rand_rng(idx);
+        let conv = Conv1d::new(ic, oc, k, len, Activation::Relu, &mut rng);
+        let x = trng::uniform_matrix(&mut rng, batch, ic * len, -1.0, 1.0);
+        let g = trng::uniform_matrix(&mut rng, batch, oc * len, -1.0, 1.0);
+
+        let mut naive_fwd = || {
+            black_box(conv.naive_forward(black_box(&x)));
+        };
+        let mut packed_fwd = || {
+            black_box(conv.forward(black_box(&x)));
+        };
+        let naive_fwd_ns = median_ns(reps_for(&mut naive_fwd), naive_fwd);
+        let packed_fwd_ns = median_ns(reps_for(&mut packed_fwd), packed_fwd);
+
+        let mut slow = conv.clone();
+        slow.force_naive(true);
+        let mut naive_train = || {
+            let _ = slow.forward_train(black_box(&x));
+            black_box(slow.backward(black_box(&g)));
+            slow.apply_grads(|_, _| {});
+        };
+        let naive_train_ns = median_ns(reps_for(&mut naive_train), naive_train);
+        let mut fast = conv.clone();
+        let mut packed_train = || {
+            let _ = fast.forward_train(black_box(&x));
+            black_box(fast.backward(black_box(&g)));
+            fast.apply_grads(|_, _| {});
+        };
+        let packed_train_ns = median_ns(reps_for(&mut packed_train), packed_train);
+
+        let comma = if idx + 1 < SHAPES.len() { "," } else { "" };
+        println!(
+            "    {{\"shape\": \"{ic}x{oc}x{k}x{len}b{batch}\", \
+             \"naive_forward_ns\": {naive_fwd_ns:.0}, \"im2col_forward_ns\": {packed_fwd_ns:.0}, \
+             \"naive_train_ns\": {naive_train_ns:.0}, \"im2col_train_ns\": {packed_train_ns:.0}, \
+             \"speedup_forward\": {:.2}, \"speedup_train\": {:.2}}}{comma}",
+            naive_fwd_ns / packed_fwd_ns,
+            naive_train_ns / packed_train_ns,
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}
+
+fn rand_rng(seed: usize) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(42 + seed as u64)
+}

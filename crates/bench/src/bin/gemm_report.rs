@@ -1,7 +1,9 @@
 //! Emits a machine-readable GEMM perf summary (`BENCH_gemm.json` on CI):
 //! median ns/op for the serial-naive reference, the serial blocked
-//! kernel, and the auto-dispatched (pool-parallel above threshold) path
-//! at the trainer shapes, so the perf trajectory is tracked per commit.
+//! kernel, the 8-wide SIMD micro-kernel, and the auto-dispatched
+//! (pool-parallel above threshold) path at the trainer shapes, so the
+//! perf trajectory is tracked per commit. A `dispatch` summary records
+//! which kernel paths the auto entry points actually took.
 //!
 //! Uses plain `std::time` rather than Criterion so it runs as a normal
 //! release binary: `cargo run --release -p baffle-bench --bin gemm_report`.
@@ -55,23 +57,41 @@ fn main() {
             gemm::blocked_nn(m, k, n, black_box(a.as_slice()), black_box(b.as_slice()), &mut out);
             black_box(out);
         };
+        let mut simd = || {
+            let mut out = vec![0.0f32; m * n];
+            gemm::simd_nn(m, k, n, black_box(a.as_slice()), black_box(b.as_slice()), &mut out);
+            black_box(out);
+        };
         let mut auto = || {
             black_box(black_box(&a).matmul(black_box(&b)));
         };
 
         let serial_ns = median_ns(reps_for(&mut naive), naive);
         let blocked_ns = median_ns(reps_for(&mut blocked), blocked);
+        let simd_ns = median_ns(reps_for(&mut simd), simd);
         let parallel_ns = median_ns(reps_for(&mut auto), auto);
         let comma = if idx + 1 < SHAPES.len() { "," } else { "" };
         println!(
             "    {{\"shape\": \"{m}x{k}x{n}\", \"serial_ns\": {serial_ns:.0}, \
-             \"blocked_ns\": {blocked_ns:.0}, \"parallel_ns\": {parallel_ns:.0}, \
-             \"speedup_blocked\": {:.2}, \"speedup_parallel\": {:.2}}}{comma}",
+             \"blocked_ns\": {blocked_ns:.0}, \"simd_ns\": {simd_ns:.0}, \
+             \"parallel_ns\": {parallel_ns:.0}, \
+             \"speedup_blocked\": {:.2}, \"speedup_simd\": {:.2}, \
+             \"speedup_parallel\": {:.2}}}{comma}",
             serial_ns / blocked_ns,
+            serial_ns / simd_ns,
             serial_ns / parallel_ns,
         );
     }
-    println!("  ]");
+    println!("  ],");
+    let d = gemm::dispatch_counts();
+    println!(
+        "  \"dispatch\": {{\"blocked\": {}, \"simd\": {}, \"banded\": {}, \
+         \"simd_enabled\": {}}}",
+        d.blocked,
+        d.simd,
+        d.banded,
+        gemm::simd_enabled()
+    );
     println!("}}");
 }
 

@@ -1,0 +1,87 @@
+//! Emits a machine-readable training-step perf summary
+//! (`BENCH_train_step.json` on CI): median ns per `train_batch` of the
+//! default residual CNN on the im2col path, the same CNN forced onto
+//! the naive conv loops, and the default MLP, so the end-to-end cost of
+//! one optimizer step is tracked per commit alongside the kernel
+//! micro-benchmarks.
+//!
+//! Uses plain `std::time` rather than Criterion so it runs as a normal
+//! release binary:
+//! `cargo run --release -p baffle-bench --bin train_step_report`.
+
+use baffle_nn::{Cnn, CnnSpec, Mlp, MlpSpec, Sgd};
+use baffle_tensor::{gemm, pool, rng as trng};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+const BATCH: usize = 64;
+
+/// Median wall-clock of `reps` single runs of `f`, in nanoseconds.
+fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Picks a repetition count that keeps each variant near ~0.3 s total.
+fn reps_for<F: FnMut()>(f: &mut F) -> usize {
+    let t = Instant::now();
+    f();
+    let once = t.elapsed().as_nanos().max(1) as usize;
+    (300_000_000 / once).clamp(5, 200)
+}
+
+fn main() {
+    let spec = CnnSpec::new(24, &[6, 6], 3, 6).with_residual();
+    let mut rng = StdRng::seed_from_u64(42);
+    let x = trng::uniform_matrix(&mut rng, BATCH, spec.input_len(), -1.0, 1.0);
+    let y: Vec<usize> = (0..BATCH).map(|i| i % spec.num_classes()).collect();
+
+    let mut cnn = Cnn::new(&spec, &mut rng);
+    let mut opt = Sgd::new(0.01);
+    let mut step_cnn = || {
+        black_box(cnn.train_batch(black_box(&x), black_box(&y), &mut opt));
+    };
+    let cnn_ns = median_ns(reps_for(&mut step_cnn), step_cnn);
+
+    let mut naive = Cnn::new(&spec, &mut StdRng::seed_from_u64(42));
+    naive.force_naive_conv(true);
+    let mut opt_naive = Sgd::new(0.01);
+    let mut step_naive = || {
+        black_box(naive.train_batch(black_box(&x), black_box(&y), &mut opt_naive));
+    };
+    let naive_ns = median_ns(reps_for(&mut step_naive), step_naive);
+
+    let mlp_spec = MlpSpec::new(24, &[32, 32], 6);
+    let mut mlp = Mlp::new(&mlp_spec, &mut rng);
+    let mut opt_mlp = Sgd::new(0.01);
+    let mut step_mlp = || {
+        black_box(mlp.train_batch(black_box(&x), black_box(&y), &mut opt_mlp));
+    };
+    let mlp_ns = median_ns(reps_for(&mut step_mlp), step_mlp);
+
+    let d = gemm::dispatch_counts();
+    println!("{{");
+    println!("  \"bench\": \"train_step\",");
+    println!("  \"threads\": {},", pool::threads());
+    println!("  \"simd\": {},", gemm::simd_enabled());
+    println!("  \"batch\": {BATCH},");
+    println!("  \"unit\": \"ns_per_step_median\",");
+    println!("  \"cnn_im2col_ns\": {cnn_ns:.0},");
+    println!("  \"cnn_naive_conv_ns\": {naive_ns:.0},");
+    println!("  \"cnn_speedup\": {:.2},", naive_ns / cnn_ns);
+    println!("  \"mlp_ns\": {mlp_ns:.0},");
+    println!(
+        "  \"gemm_dispatch\": {{\"blocked\": {}, \"simd\": {}, \"banded\": {}}}",
+        d.blocked, d.simd, d.banded
+    );
+    println!("}}");
+}

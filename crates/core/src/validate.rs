@@ -23,32 +23,30 @@ use baffle_attack::voting::Vote;
 use baffle_data::Dataset;
 use baffle_lof::{LofError, LofModel};
 use baffle_nn::{ConfusionMatrix, Model};
+use baffle_tensor::pool;
 use serde::{Deserialize, Serialize};
 
-/// Spawn threads for the leave-one-out threshold loop only when the
-/// trusted window is at least this wide: each iteration is a small LOF
-/// fit, and below this point thread start-up dominates the work.
+/// Fan the leave-one-out threshold loop across the worker pool only when
+/// the trusted window is at least this wide: each iteration is a small
+/// LOF fit, and below this point dispatch overhead dominates the work.
 const LOO_PARALLEL_THRESHOLD: usize = 8;
 
 /// Scores each of the last `tw` references leave-one-out against the
 /// remaining ones, returning the per-probe results **in index order**
-/// (`refs.len() - tw` first). Runs on scoped threads when the window is
-/// wide enough; the output is identical either way, so parallelism can
+/// (`refs.len() - tw` first). Runs on the process-wide worker pool
+/// ([`baffle_tensor::pool`], the same threads the GEMM kernels band
+/// over) when the window is wide enough; `parallel_map` preserves input
+/// order, so the output is identical either way and parallelism can
 /// never change a verdict.
 fn leave_one_out_scores(refs: &[Vec<f32>], k: usize, tw: usize) -> Vec<Result<f64, LofError>> {
     let lo = refs.len() - tw;
-    let score_one = &|i: usize| -> Result<f64, LofError> {
+    let score_one = |i: usize| -> Result<f64, LofError> {
         let mut others = refs.to_vec();
         let probe = others.remove(i);
         LofModel::fit(others, k)?.score(&probe)
     };
-    if tw >= LOO_PARALLEL_THRESHOLD {
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> =
-                (lo..refs.len()).map(|i| s.spawn(move |_| score_one(i))).collect();
-            handles.into_iter().map(|h| h.join().expect("LOO worker panicked")).collect()
-        })
-        .expect("LOO thread scope panicked")
+    if tw >= LOO_PARALLEL_THRESHOLD && pool::threads() > 1 {
+        pool::parallel_map((lo..refs.len()).collect(), |_, i| score_one(i))
     } else {
         (lo..refs.len()).map(score_one).collect()
     }

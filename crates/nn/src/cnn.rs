@@ -100,6 +100,17 @@ impl Cnn {
         &self.spec
     }
 
+    /// Routes every conv layer through the retained scalar loops
+    /// (`true`) or the im2col GEMM path (`false`, the default); see
+    /// [`Conv1d::force_naive`]. The paths are bit-identical — this
+    /// exists so tests can train twin models on both and assert equal
+    /// loss curves.
+    pub fn force_naive_conv(&mut self, on: bool) {
+        for conv in &mut self.convs {
+            conv.force_naive(on);
+        }
+    }
+
     fn skip_at(&self, stage: usize) -> bool {
         self.spec.residual && self.convs[stage].in_dim() == self.convs[stage].out_dim()
     }

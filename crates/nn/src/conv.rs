@@ -6,11 +6,90 @@
 //! supports. Shapes follow a channels-major layout: a batch row of a
 //! `c`-channel, length-`L` signal is the concatenation
 //! `[ch 0 | ch 1 | … | ch c−1]`, each of length `L`.
+//!
+//! # im2col
+//!
+//! All three convolution passes (forward, weight gradient, input delta)
+//! run as single matrix products on [`baffle_tensor::gemm`] via a packed
+//! im2col buffer: `col[(i·K + k)][bi·L + p] = x[bi][i·L + p + k − pad]`,
+//! with zeros where the tap falls in the same-padding margin. The buffer
+//! is cached on the layer and reused across batches of the same size
+//! (only the valid spans are rewritten; the margin zeros persist). The
+//! original scalar loops are retained as [`Conv1d::naive_forward`] /
+//! `naive_backward` references, and every GEMM path is **bit-identical**
+//! to them: per output element the products are accumulated in the same
+//! strictly ascending order (`(i, k)` for the forward pass, `(bi, p)`
+//! for the weight gradient, `(o, p)` for the input delta — the delta
+//! pass convolves with the kernel-flipped weights so GEMM's ascending
+//! k-order reproduces the scalar loop's order exactly), and the extra
+//! zero-tap products the naive loops skip only ever add `±0.0` to an
+//! accumulator that is never `-0.0` (accumulators start at `+0.0` or at
+//! a bias that SGD from zero init can never drive to `-0.0`, and IEEE
+//! addition cannot produce `-0.0` from such a start).
 
 use crate::Activation;
-use baffle_tensor::{rng as trng, Matrix};
+use baffle_tensor::{gemm, rng as trng, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// A cached im2col scratch buffer: the packed matrix plus the batch size
+/// it was sized for. Reusing it across same-size batches skips the
+/// allocation *and* the margin re-zeroing — packing only rewrites the
+/// valid spans.
+#[derive(Debug, Clone, Default)]
+struct Im2col {
+    batch: usize,
+    data: Vec<f32>,
+}
+
+/// Packs `x` (`batch × channels·len`, channels-major) into `col` in the
+/// im2col layout: `col[(c·kernel + k)][bi·len + p] = x[bi][c·len + p + k
+/// − pad]`, leaving zeros where `p + k − pad` falls outside `[0, len)`.
+/// The valid `p` span per `(c, k)` row is hoisted so the copy is one
+/// `copy_from_slice` per batch row.
+fn im2col_into(x: &Matrix, channels: usize, kernel: usize, len: usize, col: &mut [f32]) {
+    let pad = kernel / 2;
+    let batch = x.rows();
+    let cl = batch * len;
+    debug_assert_eq!(col.len(), channels * kernel * cl);
+    for c in 0..channels {
+        for k in 0..kernel {
+            let p_lo = pad.saturating_sub(k);
+            let p_hi = (len + pad).saturating_sub(k).min(len);
+            if p_lo >= p_hi {
+                continue;
+            }
+            let col_row = &mut col[(c * kernel + k) * cl..(c * kernel + k + 1) * cl];
+            let src_lo = c * len + p_lo + k - pad;
+            let width = p_hi - p_lo;
+            for bi in 0..batch {
+                let src = &x.row(bi)[src_lo..src_lo + width];
+                col_row[bi * len + p_lo..bi * len + p_hi].copy_from_slice(src);
+            }
+        }
+    }
+}
+
+/// Packs `x` into `cache`, reusing the buffer when the batch size (and
+/// hence every margin position) is unchanged, and returns the packed
+/// slice (`channels·kernel` rows of `batch·len` columns).
+fn im2col_cached<'a>(
+    cache: &'a mut Option<Im2col>,
+    x: &Matrix,
+    channels: usize,
+    kernel: usize,
+    len: usize,
+) -> &'a [f32] {
+    let batch = x.rows();
+    let need = channels * kernel * batch * len;
+    let fresh = !matches!(cache, Some(c) if c.batch == batch && c.data.len() == need);
+    if fresh {
+        *cache = Some(Im2col { batch, data: vec![0.0; need] });
+    }
+    let buf = cache.as_mut().expect("im2col cache just ensured");
+    im2col_into(x, channels, kernel, len, &mut buf.data);
+    &buf.data
+}
 
 /// A same-padded, stride-1 1-D convolution layer with a pointwise
 /// activation: `y[o][p] = act(Σᵢ Σₖ w[o][i][k] · x[i][p+k−⌊K/2⌋] + b[o])`.
@@ -32,6 +111,17 @@ pub struct Conv1d {
     grad_w: Option<Matrix>,
     #[serde(skip)]
     grad_b: Option<Vec<f32>>,
+    /// im2col scratch for the forward / weight-gradient passes.
+    #[serde(skip)]
+    col_cache: Option<Im2col>,
+    /// im2col scratch for the input-delta pass (packs `delta`, so it is
+    /// sized by `out_channels`, not `in_channels`).
+    #[serde(skip)]
+    dcol_cache: Option<Im2col>,
+    /// Route every pass through the retained scalar loops instead of
+    /// GEMM (test support; see [`Conv1d::force_naive`]).
+    #[serde(skip)]
+    force_naive: bool,
 }
 
 impl Conv1d {
@@ -65,6 +155,9 @@ impl Conv1d {
             cached_pre: None,
             grad_w: None,
             grad_b: None,
+            col_cache: None,
+            dcol_cache: None,
+            force_naive: false,
         }
     }
 
@@ -93,7 +186,7 @@ impl Conv1d {
         self.w[(o, i * self.kernel + k)]
     }
 
-    fn convolve(&self, x: &Matrix) -> Matrix {
+    fn check_input(&self, x: &Matrix) {
         assert_eq!(
             x.cols(),
             self.in_dim(),
@@ -101,6 +194,13 @@ impl Conv1d {
             x.cols(),
             self.in_dim()
         );
+    }
+
+    /// The retained scalar reference convolution, with the valid tap
+    /// range `k ∈ [pad−p, len+pad−p)` hoisted out of the inner loop so
+    /// the margin test is not re-evaluated per element.
+    fn naive_convolve(&self, x: &Matrix) -> Matrix {
+        self.check_input(x);
         let pad = self.kernel / 2;
         let len = self.length;
         let mut out = Matrix::zeros(x.rows(), self.out_dim());
@@ -109,15 +209,13 @@ impl Conv1d {
             let out_row = out.row_mut(bi);
             for o in 0..self.out_channels {
                 for p in 0..len {
+                    let k_lo = pad.saturating_sub(p);
+                    let k_hi = self.kernel.min(len + pad - p);
                     let mut acc = self.b[o];
                     for i in 0..self.in_channels {
-                        let base = i * len;
-                        for k in 0..self.kernel {
-                            let q = p + k;
-                            if q < pad || q - pad >= len {
-                                continue;
-                            }
-                            acc += self.weight(o, i, k) * row[base + q - pad];
+                        let base = i * len + p - pad;
+                        for k in k_lo..k_hi {
+                            acc += self.weight(o, i, k) * row[base + k];
                         }
                     }
                     out_row[o * len + p] = acc;
@@ -127,15 +225,82 @@ impl Conv1d {
         out
     }
 
+    /// The GEMM convolution over an already-packed im2col buffer: one
+    /// `oc × (ic·K) × (batch·len)` product into a bias-prefilled
+    /// transposed output, then an unpack back to batch-major rows.
+    fn convolve_packed(&self, batch: usize, col: &[f32]) -> Matrix {
+        let len = self.length;
+        let cl = batch * len;
+        let ick = self.in_channels * self.kernel;
+        let mut out_t = vec![0.0f32; self.out_channels * cl];
+        for (chunk, &bo) in out_t.chunks_mut(cl.max(1)).zip(&self.b) {
+            chunk.fill(bo);
+        }
+        gemm::nn(self.out_channels, ick, cl, self.w.as_slice(), col, &mut out_t);
+        let mut out = Matrix::zeros(batch, self.out_dim());
+        for bi in 0..batch {
+            let row = out.row_mut(bi);
+            for o in 0..self.out_channels {
+                row[o * len..(o + 1) * len]
+                    .copy_from_slice(&out_t[o * cl + bi * len..o * cl + (bi + 1) * len]);
+            }
+        }
+        out
+    }
+
+    fn convolve(&self, x: &Matrix) -> Matrix {
+        self.check_input(x);
+        if self.force_naive {
+            return self.naive_convolve(x);
+        }
+        let mut col = vec![0.0f32; self.in_channels * self.kernel * x.rows() * self.length];
+        im2col_into(x, self.in_channels, self.kernel, self.length, &mut col);
+        self.convolve_packed(x.rows(), &col)
+    }
+
     /// Inference-only forward pass.
     pub fn forward(&self, x: &Matrix) -> Matrix {
         let act = self.activation;
         self.convolve(x).map(|v| act.apply(v))
     }
 
+    /// Forward pass through the retained scalar loops, regardless of
+    /// [`Conv1d::force_naive`]. The bit-exactness reference for the
+    /// GEMM path (see the module docs).
+    pub fn naive_forward(&self, x: &Matrix) -> Matrix {
+        let act = self.activation;
+        self.naive_convolve(x).map(|v| act.apply(v))
+    }
+
+    /// Routes every subsequent pass through the retained scalar loops
+    /// (`true`) or the im2col GEMM path (`false`, the default). The two
+    /// are bit-identical; this exists so tests and benchmarks can pin a
+    /// side.
+    pub fn force_naive(&mut self, on: bool) {
+        self.force_naive = on;
+    }
+
+    /// Drops every cached activation, gradient and im2col scratch
+    /// buffer (e.g. before serialising or measuring memory).
+    pub fn clear_cache(&mut self) {
+        self.cached_input = None;
+        self.cached_pre = None;
+        self.grad_w = None;
+        self.grad_b = None;
+        self.col_cache = None;
+        self.dcol_cache = None;
+    }
+
     /// Training forward pass (caches state for [`Conv1d::backward`]).
     pub fn forward_train(&mut self, x: &Matrix) -> Matrix {
-        let pre = self.convolve(x);
+        self.check_input(x);
+        let pre = if self.force_naive {
+            self.naive_convolve(x)
+        } else {
+            im2col_cached(&mut self.col_cache, x, self.in_channels, self.kernel, self.length);
+            let col = &self.col_cache.as_ref().expect("col cache just packed").data;
+            self.convolve_packed(x.rows(), col)
+        };
         self.cached_input = Some(x.clone());
         let act = self.activation;
         let out = pre.map(|v| act.apply(v));
@@ -150,14 +315,24 @@ impl Conv1d {
     /// Panics if called before `forward_train` or with a wrong-shaped
     /// gradient.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let input = self.cached_input.as_ref().expect("Conv1d::backward before forward_train");
         let pre = self.cached_pre.as_ref().expect("pre-activation cache missing");
         assert_eq!(grad_out.shape(), pre.shape(), "Conv1d::backward: gradient shape mismatch");
-
         let act = self.activation;
         let mut delta = pre.map(|v| act.derivative(v));
         delta.hadamard_assign(grad_out);
+        if self.force_naive {
+            self.naive_backward(&delta)
+        } else {
+            self.gemm_backward(&delta)
+        }
+    }
 
+    /// The retained scalar backward loops (valid tap range hoisted like
+    /// [`Conv1d::naive_convolve`]); the reference for [`gemm_backward`].
+    ///
+    /// [`gemm_backward`]: Conv1d::gemm_backward
+    fn naive_backward(&mut self, delta: &Matrix) -> Matrix {
+        let input = self.cached_input.as_ref().expect("Conv1d::backward before forward_train");
         let pad = self.kernel / 2;
         let len = self.length;
         let mut grad_w = Matrix::zeros(self.out_channels, self.in_channels * self.kernel);
@@ -175,20 +350,80 @@ impl Conv1d {
                         continue;
                     }
                     grad_b[o] += d;
+                    let k_lo = pad.saturating_sub(p);
+                    let k_hi = self.kernel.min(len + pad - p);
                     for i in 0..self.in_channels {
-                        let base = i * len;
-                        for k in 0..self.kernel {
-                            let q = p + k;
-                            if q < pad || q - pad >= len {
-                                continue;
-                            }
-                            grad_w[(o, i * self.kernel + k)] += d * x_row[base + q - pad];
-                            dx_row[base + q - pad] += d * self.weight(o, i, k);
+                        let base = i * len + p - pad;
+                        for k in k_lo..k_hi {
+                            grad_w[(o, i * self.kernel + k)] += d * x_row[base + k];
+                            dx_row[base + k] += d * self.weight(o, i, k);
                         }
                     }
                 }
             }
         }
+        self.grad_w = Some(grad_w);
+        self.grad_b = Some(grad_b);
+        dx
+    }
+
+    /// GEMM backward: the weight gradient is one `nt` product of the
+    /// transposed delta against the forward im2col buffer (`k`-dimension
+    /// `(bi, p)` ascending, exactly the scalar loop's order), the bias
+    /// gradient a row sum of the transposed delta, and the input delta a
+    /// convolution of `delta` with the kernel-flipped weights — im2col
+    /// over `delta`, then one `nn` product whose ascending `(o, kf)`
+    /// order reproduces the scalar loop's `(o, p)` order per element.
+    fn gemm_backward(&mut self, delta: &Matrix) -> Matrix {
+        let input = self.cached_input.as_ref().expect("Conv1d::backward before forward_train");
+        let (oc, ic, kernel, len) = (self.out_channels, self.in_channels, self.kernel, self.length);
+        let batch = input.rows();
+        let cl = batch * len;
+        let ick = ic * kernel;
+
+        // Transpose delta to `oc × (batch·len)` once; both the weight
+        // and bias gradients consume it row-major.
+        let mut dt = vec![0.0f32; oc * cl];
+        for bi in 0..batch {
+            let d_row = delta.row(bi);
+            for o in 0..oc {
+                dt[o * cl + bi * len..o * cl + (bi + 1) * len]
+                    .copy_from_slice(&d_row[o * len..(o + 1) * len]);
+            }
+        }
+        let grad_b: Vec<f32> =
+            if cl == 0 { vec![0.0; oc] } else { dt.chunks(cl).map(|r| r.iter().sum()).collect() };
+
+        // Repack the cached input (reusing the forward buffer when the
+        // batch size matches) and take the weight gradient in one shot.
+        im2col_cached(&mut self.col_cache, input, ic, kernel, len);
+        let col = &self.col_cache.as_ref().expect("col cache just packed").data;
+        let mut grad_w = Matrix::zeros(oc, ick);
+        gemm::nt(oc, cl, ick, &dt, col, grad_w.as_mut_slice());
+
+        // Input delta: convolve `delta` with the kernel-flipped weights.
+        let mut wflip = vec![0.0f32; ic * oc * kernel];
+        for i in 0..ic {
+            for o in 0..oc {
+                for kf in 0..kernel {
+                    wflip[i * (oc * kernel) + o * kernel + kf] =
+                        self.w[(o, i * kernel + (kernel - 1 - kf))];
+                }
+            }
+        }
+        im2col_cached(&mut self.dcol_cache, delta, oc, kernel, len);
+        let dcol = &self.dcol_cache.as_ref().expect("dcol cache just packed").data;
+        let mut dxt = vec![0.0f32; ic * cl];
+        gemm::nn(ic, oc * kernel, cl, &wflip, dcol, &mut dxt);
+        let mut dx = Matrix::zeros(batch, self.in_dim());
+        for bi in 0..batch {
+            let dx_row = dx.row_mut(bi);
+            for i in 0..ic {
+                dx_row[i * len..(i + 1) * len]
+                    .copy_from_slice(&dxt[i * cl + bi * len..i * cl + (bi + 1) * len]);
+            }
+        }
+
         self.grad_w = Some(grad_w);
         self.grad_b = Some(grad_b);
         dx

@@ -1,6 +1,10 @@
 //! Property-based tests for the NN substrate.
 
-use baffle_nn::{softmax, softmax_cross_entropy, ConfusionMatrix, Mlp, MlpSpec, Model};
+use baffle_nn::conv::Conv1d;
+use baffle_nn::{
+    softmax, softmax_cross_entropy, Activation, Cnn, CnnSpec, ConfusionMatrix, Mlp, MlpSpec, Model,
+    Sgd,
+};
 use baffle_tensor::Matrix;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -96,6 +100,130 @@ proptest! {
             for (a, b) in p.iter().zip(&q) {
                 prop_assert!((a - b).abs() <= step + 1e-6);
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// im2col convolution vs the retained naive reference: like the GEMM
+// dispatch, the packed path must be BIT-identical (`to_bits` equality) —
+// forward, input delta and both gradients — for any odd kernel, channel
+// mix and batch size. Exact zeros are seeded into the signals because
+// the padded im2col margins add `±0.0` products the naive loops never
+// form (see `conv.rs` module docs for why those are bitwise harmless).
+// ---------------------------------------------------------------------------
+
+/// Conv shape: channels 1–3, odd kernel 1/3/5/7 (also wider than the
+/// signal), short signals straddling the pad width, batch 1/7/64.
+fn conv_problem() -> impl Strategy<Value = (usize, usize, usize, usize, usize, Vec<f32>, Vec<f32>)>
+{
+    (
+        1usize..=3,
+        1usize..=3,
+        prop_oneof![Just(1usize), Just(3), Just(5), Just(7)],
+        1usize..=12,
+        prop_oneof![Just(1usize), Just(7), Just(64)],
+    )
+        .prop_flat_map(|(ic, oc, k, len, batch)| {
+            (
+                Just(ic),
+                Just(oc),
+                Just(k),
+                Just(len),
+                Just(batch),
+                signal_data(batch * ic * len),
+                signal_data(batch * oc * len),
+            )
+        })
+}
+
+/// Signal data with ~10 % exact zeros (normalised to `+0.0`).
+fn signal_data(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-3.0_f32..3.0, len)
+        .prop_map(|v| v.into_iter().map(|x| if x.abs() < 0.3 { 0.0 } else { x }).collect())
+}
+
+proptest! {
+    /// Packed forward ≡ naive forward, bitwise, across activations.
+    #[test]
+    fn conv_forward_is_bit_identical_to_naive((ic, oc, k, len, batch, x, _g) in conv_problem()) {
+        let mut rng = StdRng::seed_from_u64(k as u64 * 31 + len as u64);
+        for act in [Activation::Identity, Activation::Relu, Activation::Tanh] {
+            let conv = Conv1d::new(ic, oc, k, len, act, &mut rng);
+            let input = Matrix::from_vec(batch, ic * len, x.clone());
+            let fast = conv.forward(&input);
+            let slow = conv.naive_forward(&input);
+            for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// Packed train pass ≡ naive train pass, bitwise: forward_train,
+    /// input delta, and both gradients (read back through apply_grads).
+    #[test]
+    fn conv_backward_is_bit_identical_to_naive((ic, oc, k, len, batch, x, g) in conv_problem()) {
+        let mut rng = StdRng::seed_from_u64(k as u64 * 17 + batch as u64);
+        let mut fast = Conv1d::new(ic, oc, k, len, Activation::Tanh, &mut rng);
+        let mut slow = fast.clone();
+        slow.force_naive(true);
+        let input = Matrix::from_vec(batch, ic * len, x);
+        let grad = Matrix::from_vec(batch, oc * len, g);
+        let of = fast.forward_train(&input);
+        let os = slow.forward_train(&input);
+        for (a, b) in of.as_slice().iter().zip(os.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let df = fast.backward(&grad);
+        let ds = slow.backward(&grad);
+        for (a, b) in df.as_slice().iter().zip(ds.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let mut gf = Vec::new();
+        fast.apply_grads(|_, gr| gf.push(gr.to_bits()));
+        let mut gs = Vec::new();
+        slow.apply_grads(|_, gr| gs.push(gr.to_bits()));
+        prop_assert_eq!(gf, gs);
+    }
+}
+
+/// Two seed-identical CNNs — one forced onto the naive conv loops — must
+/// produce bit-identical losses and parameters over several epochs of
+/// real SGD, including the residual architecture and a cache-straddling
+/// final partial batch.
+#[test]
+fn cnn_training_is_bit_identical_with_and_without_im2col() {
+    for residual in [false, true] {
+        let mut spec = CnnSpec::new(12, &[4, 4], 3, 3);
+        if residual {
+            spec = spec.with_residual();
+        }
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut fast = Cnn::new(&spec, &mut rng);
+        let mut slow = fast.clone();
+        slow.force_naive_conv(true);
+
+        let n = 26; // batch 8 → final partial batch of 2
+        let x = baffle_tensor::rng::normal_matrix(&mut StdRng::seed_from_u64(7), n, 12, 1.0);
+        let y: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let mut opt_f = Sgd::new(0.05);
+        let mut opt_s = Sgd::new(0.05);
+        let mut rng_f = StdRng::seed_from_u64(99);
+        let mut rng_s = StdRng::seed_from_u64(99);
+        for epoch in 0..3 {
+            let lf = fast.train_epoch(&x, &y, 8, &mut opt_f, &mut rng_f);
+            let ls = slow.train_epoch(&x, &y, 8, &mut opt_s, &mut rng_s);
+            assert_eq!(
+                lf.to_bits(),
+                ls.to_bits(),
+                "loss diverged (residual={residual}, epoch={epoch}): {lf} vs {ls}"
+            );
+        }
+        let pf = fast.params();
+        let ps = slow.params();
+        assert_eq!(pf.len(), ps.len());
+        for (i, (a, b)) in pf.iter().zip(&ps).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "param {i} diverged (residual={residual})");
         }
     }
 }

@@ -1,4 +1,4 @@
-//! Cache-blocked GEMM kernels with pool-parallel dispatch.
+//! Cache-blocked GEMM kernels with pool-parallel, SIMD-aware dispatch.
 //!
 //! All three matmul orientations used by backpropagation live here:
 //!
@@ -7,38 +7,62 @@
 //! - [`nt`]  — `C += A·Bᵀ` (input deltas),
 //!
 //! each as a *dispatcher* that picks, by problem size, between a serial
-//! cache-blocked kernel and a row-banded parallel run on the shared
-//! worker pool ([`crate::pool`]). The naive reference kernels
+//! kernel and a row-banded parallel run on the shared worker pool
+//! ([`crate::pool`]). The serial kernel is the explicit 8-wide
+//! micro-kernel ([`simd_nn`] / [`simd_tn`], built on
+//! [`crate::simd::F32x8`] lanes) unless `BAFFLE_NO_SIMD` is set, in
+//! which case the scalar cache-blocked kernels ([`blocked_nn`] /
+//! [`blocked_tn`]) serve as the fallback. The naive reference kernels
 //! ([`naive_nn`], [`naive_tn`], [`naive_nt`]) are retained as the
-//! ground truth for property tests and benchmarks.
+//! ground truth for property tests and benchmarks, and every dispatcher
+//! call is tallied per path ([`dispatch_counts`]) so perf regressions
+//! can be attributed to dispatch changes, not just kernel changes.
 //!
 //! # Bit-exactness
 //!
-//! Every path — naive, blocked, banded-parallel at any thread count —
-//! produces **bit-identical** output: for each output element the
-//! products are accumulated in strictly increasing `k` order, starting
-//! from the element's prior value. Blocking only reorders work *between*
-//! elements (which f32 addition cannot observe), never within one, and
-//! row bands touch disjoint outputs. This is what lets seeded
-//! experiments reproduce exactly regardless of `BAFFLE_THREADS`.
+//! Every path — naive, blocked, SIMD, banded-parallel at any thread
+//! count — produces **bit-identical** output: for each output element
+//! the products are accumulated in strictly increasing `k` order,
+//! starting from the element's prior value. Blocking only reorders work
+//! *between* elements (which f32 addition cannot observe), row bands
+//! touch disjoint outputs, and the 8-wide kernel assigns each output
+//! element to exactly one lane of one accumulator — lanes never mix and
+//! no FMA contraction is emitted, so each lane performs the scalar
+//! kernel's multiply-then-add sequence verbatim. This is what lets
+//! seeded experiments reproduce exactly regardless of `BAFFLE_THREADS`
+//! or `BAFFLE_NO_SIMD`.
 //!
 //! # Tiling
 //!
-//! Tiles are `MB×KB = 32×32` panels of `A` against `KB×NB = 32×256`
-//! panels of `B`: one `B` panel (32 KiB) plus one `A` panel (4 KiB) sit
-//! comfortably in L1/L2 while the inner loop streams `NB`-wide rows the
-//! compiler autovectorizes. The inner micro-kernel unrolls `k` by 4,
-//! keeping each output element in a register across four updates —
-//! sequential adds, so the per-element order is unchanged.
+//! The scalar blocked kernels tile `MB×KB = 32×32` panels of `A`
+//! against `KB×NB = 32×256` panels of `B`: one `B` panel (32 KiB) plus
+//! one `A` panel (4 KiB) sit comfortably in L1/L2 while the inner loop
+//! streams `NB`-wide rows the compiler autovectorizes. The SIMD kernels
+//! register-block instead: 64 output columns (eight 8-lane
+//! accumulators, enough independent dependency chains to hide add
+//! latency) are held in registers across a `KC = 256`-deep `k` sweep,
+//! so the output is loaded and stored once per sweep instead of once
+//! per `k`-step while `B` streams through in 64-wide rows. On x86-64
+//! the SIMD bodies are additionally compiled with AVX2 enabled and
+//! selected by a run-time CPU check, so an [`F32x8`] is a single
+//! 256-bit register even when the build targets baseline SSE2.
 
 use crate::pool;
+use crate::simd::{F32x8, LANES};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
-/// Row-tile height over `C`/`A` (fits an f32 `MB×KB` A-panel in 4 KiB).
+/// Row-tile height over `C`/`A` in the scalar blocked kernels.
 const MB: usize = 32;
-/// Depth-tile size over `k`.
+/// Depth-tile size over `k` in the scalar blocked kernels.
 const KB: usize = 32;
-/// Column-tile width over `C`/`B` (a `KB×NB` B-panel is 32 KiB).
+/// Column-tile width over `C`/`B` in the scalar blocked kernels.
 const NB: usize = 256;
+
+/// Depth of one register-resident `k` sweep in the SIMD kernels: a
+/// 32-column band of `B` over `KC` depth steps is 32 KiB (L1-sized),
+/// and accumulators reload from `C` only once per sweep.
+const KC: usize = 256;
 
 /// Minimum `m·k·n` before a product is row-banded across the pool;
 /// below this, thread hand-off costs more than the multiply.
@@ -60,10 +84,71 @@ fn check(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &[f32], what: 
     assert_eq!(out.len(), m * n, "gemm::{what}: C is not {m}x{n}");
 }
 
+static NO_SIMD: OnceLock<bool> = OnceLock::new();
+
+/// Whether the dispatchers use the 8-wide SIMD micro-kernels.
+///
+/// Disabled by setting the `BAFFLE_NO_SIMD` environment variable to
+/// anything but `0` or the empty string (CI re-runs tier-1 this way to
+/// guard the scalar blocked fallback). Read once, at first use.
+pub fn simd_enabled() -> bool {
+    !*NO_SIMD.get_or_init(|| match std::env::var("BAFFLE_NO_SIMD") {
+        Ok(v) => !v.trim().is_empty() && v.trim() != "0",
+        Err(_) => false,
+    })
+}
+
+static HITS_BLOCKED: AtomicU64 = AtomicU64::new(0);
+static HITS_SIMD: AtomicU64 = AtomicU64::new(0);
+static HITS_BANDED: AtomicU64 = AtomicU64::new(0);
+
+/// Per-path hit counts of the [`nn`]/[`tn`]/[`nt`] dispatchers (see
+/// [`dispatch_counts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchCounts {
+    /// Serial scalar products: the cache-blocked kernels, plus [`nt`]'s
+    /// tiny direct dot-product path.
+    pub blocked: u64,
+    /// Serial products on the 8-wide micro-kernels.
+    pub simd: u64,
+    /// Products row-banded across the worker pool (each counted once,
+    /// regardless of band count or which kernel the bands run).
+    pub banded: u64,
+}
+
+/// Process-wide tally of which kernel path each dispatcher call took
+/// since start-up (or the last [`reset_dispatch_counts`]). Only the
+/// dispatchers count; calling `blocked_*`/`simd_*`/`naive_*` directly
+/// does not. Intended for perf forensics — `gemm_report` prints these so
+/// a perf change can be attributed to dispatch vs kernel changes.
+pub fn dispatch_counts() -> DispatchCounts {
+    DispatchCounts {
+        blocked: HITS_BLOCKED.load(Ordering::Relaxed),
+        simd: HITS_SIMD.load(Ordering::Relaxed),
+        banded: HITS_BANDED.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the [`dispatch_counts`] tallies.
+pub fn reset_dispatch_counts() {
+    HITS_BLOCKED.store(0, Ordering::Relaxed);
+    HITS_SIMD.store(0, Ordering::Relaxed);
+    HITS_BANDED.store(0, Ordering::Relaxed);
+}
+
+#[inline]
+fn count_serial() {
+    if simd_enabled() {
+        HITS_SIMD.fetch_add(1, Ordering::Relaxed);
+    } else {
+        HITS_BLOCKED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Reference kernel `C += A·B` (`A` is `m×k`, `B` is `k×n`, row-major).
 ///
 /// Branch-free i-k-j triple loop; the correctness oracle for the
-/// blocked and parallel paths.
+/// blocked, SIMD and parallel paths.
 ///
 /// # Panics
 ///
@@ -128,7 +213,9 @@ pub fn naive_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f
 }
 
 /// Serial cache-blocked `C += A·B` with a k-unrolled-by-4 micro-kernel.
-/// Bit-identical to [`naive_nn`] for every shape.
+/// Bit-identical to [`naive_nn`] for every shape. Retained as the
+/// scalar fallback behind `BAFFLE_NO_SIMD` and as the SIMD kernels'
+/// perf baseline.
 ///
 /// # Panics
 ///
@@ -192,6 +279,7 @@ pub fn blocked_tn(ra: usize, ca: usize, n: usize, a: &[f32], b: &[f32], out: &mu
 /// The `tn` tile loop over output rows (= `A` columns) `i0..i1` only,
 /// writing into the `(i1-i0)×n` band `out`. Per-element accumulation
 /// order depends only on `kb`/`kk`, so banding cannot change results.
+#[allow(clippy::too_many_arguments)]
 fn blocked_tn_cols(
     ra: usize,
     ca: usize,
@@ -224,8 +312,234 @@ fn blocked_tn_cols(
     }
 }
 
+/// Whether the running CPU supports AVX2, checked once. The SIMD
+/// kernels' bodies are compiled twice — once with the AVX2 feature
+/// enabled (so [`F32x8`] becomes one 256-bit register) and once at the
+/// build's baseline ISA — and this picks between them at run time.
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+/// One register-blocked sweep: `out_row[j] += Σ_{kk=k0..k1} a_at(kk) ·
+/// b[kk·n + j]` for every column `j` of the full `n`-wide row, in
+/// ascending-`kk` order per column. Columns are walked 64 at a time
+/// (eight 8-lane accumulators held in registers across the whole sweep
+/// — enough independent add chains to hide FP-add latency, with the
+/// `B` row hoisted to a fixed-size array so the inner loop carries a
+/// single bounds check), then 8 at a time, then a scalar tail. A column
+/// only ever lives in one lane of one accumulator, so each output
+/// element sees exactly the scalar multiply-then-add sequence.
+#[inline(always)]
+fn simd_row(
+    k0: usize,
+    k1: usize,
+    a_at: impl Fn(usize) -> f32,
+    b: &[f32],
+    n: usize,
+    out_row: &mut [f32],
+) {
+    const JW: usize = 8 * LANES;
+    let mut j = 0;
+    while j + JW <= n {
+        let mut c = [F32x8::default(); 8];
+        for (q, cq) in c.iter_mut().enumerate() {
+            *cq = F32x8::load(&out_row[j + q * LANES..]);
+        }
+        for kk in k0..k1 {
+            let av = F32x8::splat(a_at(kk));
+            let r: &[f32; JW] = b[kk * n + j..kk * n + j + JW].try_into().unwrap();
+            c[0].mul_add_assign(av, F32x8::load(&r[0..]));
+            c[1].mul_add_assign(av, F32x8::load(&r[LANES..]));
+            c[2].mul_add_assign(av, F32x8::load(&r[2 * LANES..]));
+            c[3].mul_add_assign(av, F32x8::load(&r[3 * LANES..]));
+            c[4].mul_add_assign(av, F32x8::load(&r[4 * LANES..]));
+            c[5].mul_add_assign(av, F32x8::load(&r[5 * LANES..]));
+            c[6].mul_add_assign(av, F32x8::load(&r[6 * LANES..]));
+            c[7].mul_add_assign(av, F32x8::load(&r[7 * LANES..]));
+        }
+        for (q, cq) in c.iter().enumerate() {
+            cq.store(&mut out_row[j + q * LANES..]);
+        }
+        j += JW;
+    }
+    while j + LANES <= n {
+        let mut c = F32x8::load(&out_row[j..]);
+        for kk in k0..k1 {
+            c.mul_add_assign(F32x8::splat(a_at(kk)), F32x8::load(&b[kk * n + j..]));
+        }
+        c.store(&mut out_row[j..]);
+        j += LANES;
+    }
+    while j < n {
+        let mut acc = out_row[j];
+        for kk in k0..k1 {
+            acc += a_at(kk) * b[kk * n + j];
+        }
+        out_row[j] = acc;
+        j += 1;
+    }
+}
+
+/// The [`simd_nn`] loop body, generic over the target features of its
+/// instantiation site (see [`avx2_available`]).
+#[inline(always)]
+fn simd_nn_body(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for kb in (0..k).step_by(KC) {
+            let kend = (kb + KC).min(k);
+            simd_row(kb, kend, |kk| a_row[kk], b, n, out_row);
+        }
+    }
+}
+
+/// [`simd_nn_body`] compiled with AVX2 enabled, regardless of the
+/// build's baseline target features.
+///
+/// # Safety
+///
+/// The caller must have verified that the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn simd_nn_avx2(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    simd_nn_body(m, k, n, a, b, out);
+}
+
+/// Serial 8-wide `C += A·B` micro-kernel. Bit-identical to [`naive_nn`]
+/// for every shape (see the module docs on why lanes preserve the
+/// per-element accumulation order — AVX2 and baseline-ISA instantiations
+/// perform the same IEEE operations, so which one runs is unobservable
+/// in the output).
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its shape.
+pub fn simd_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    check(m, k, n, a, b, out, "simd_nn");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was just verified at run time.
+        unsafe { simd_nn_avx2(m, k, n, a, b, out) };
+        return;
+    }
+    simd_nn_body(m, k, n, a, b, out);
+}
+
+/// Serial 8-wide `C += Aᵀ·B` micro-kernel. Bit-identical to
+/// [`naive_tn`] for every shape.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its shape.
+pub fn simd_tn(ra: usize, ca: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), ra * ca, "gemm::simd_tn: A is not {ra}x{ca}");
+    assert_eq!(b.len(), ra * n, "gemm::simd_tn: B is not {ra}x{n}");
+    assert_eq!(out.len(), ca * n, "gemm::simd_tn: C is not {ca}x{n}");
+    simd_tn_cols(ra, ca, n, a, b, 0, ca, out);
+}
+
+/// The [`simd_tn_cols`] loop body, generic over the target features of
+/// its instantiation site.
+#[inline(always)]
+fn simd_tn_cols_body(
+    ra: usize,
+    ca: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    i1: usize,
+    out: &mut [f32],
+) {
+    for i in i0..i1 {
+        let out_row = &mut out[(i - i0) * n..(i - i0 + 1) * n];
+        for kb in (0..ra).step_by(KC) {
+            let kend = (kb + KC).min(ra);
+            simd_row(kb, kend, |kk| a[kk * ca + i], b, n, out_row);
+        }
+    }
+}
+
+/// [`simd_tn_cols_body`] compiled with AVX2 enabled.
+///
+/// # Safety
+///
+/// The caller must have verified that the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn simd_tn_cols_avx2(
+    ra: usize,
+    ca: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    i1: usize,
+    out: &mut [f32],
+) {
+    simd_tn_cols_body(ra, ca, n, a, b, i0, i1, out);
+}
+
+/// The 8-wide `tn` loop over output rows (= `A` columns) `i0..i1` only,
+/// writing into the `(i1-i0)×n` band `out`. The `A` value for step `kk`
+/// is the strided load `a[kk·ca + i]`; per-element order is unchanged.
+#[allow(clippy::too_many_arguments)]
+fn simd_tn_cols(
+    ra: usize,
+    ca: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    i1: usize,
+    out: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was just verified at run time.
+        unsafe { simd_tn_cols_avx2(ra, ca, n, a, b, i0, i1, out) };
+        return;
+    }
+    simd_tn_cols_body(ra, ca, n, a, b, i0, i1, out);
+}
+
+/// The serial `nn` kernel the dispatchers (and their parallel bands)
+/// run: 8-wide unless `BAFFLE_NO_SIMD` pins the scalar blocked kernel.
+#[inline]
+fn kernel_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    if simd_enabled() {
+        simd_nn(m, k, n, a, b, out);
+    } else {
+        blocked_nn(m, k, n, a, b, out);
+    }
+}
+
+/// The serial `tn` band kernel the dispatchers run (see [`kernel_nn`]).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn kernel_tn_cols(
+    ra: usize,
+    ca: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    i1: usize,
+    out: &mut [f32],
+) {
+    if simd_enabled() {
+        simd_tn_cols(ra, ca, n, a, b, i0, i1, out);
+    } else {
+        blocked_tn_cols(ra, ca, n, a, b, i0, i1, out);
+    }
+}
+
 /// Transposes the row-major `rows×cols` slice `src` into `dst`
-/// (`cols×rows`). Used by [`nt`] to reach the blocked `nn` kernel.
+/// (`cols×rows`). Used by [`nt`] to reach the blocked kernel.
 fn transpose_into(rows: usize, cols: usize, src: &[f32], dst: &mut [f32]) {
     debug_assert_eq!(src.len(), rows * cols);
     debug_assert_eq!(dst.len(), rows * cols);
@@ -236,9 +550,9 @@ fn transpose_into(rows: usize, cols: usize, src: &[f32], dst: &mut [f32]) {
     }
 }
 
-/// `C += A·B` dispatcher: serial blocked kernel for small products,
-/// row-banded across the worker pool once `m·k·n` reaches the parallel
-/// threshold. Always bit-identical to [`naive_nn`].
+/// `C += A·B` dispatcher: serial kernel (SIMD unless `BAFFLE_NO_SIMD`)
+/// for small products, row-banded across the worker pool once `m·k·n`
+/// reaches the parallel threshold. Always bit-identical to [`naive_nn`].
 ///
 /// # Panics
 ///
@@ -247,6 +561,7 @@ pub fn nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
     check(m, k, n, a, b, out, "nn");
     let t = pool::threads();
     if t > 1 && m >= 2 && work(m, k, n) >= PAR_MIN_WORK {
+        HITS_BANDED.fetch_add(1, Ordering::Relaxed);
         let band_rows = m.div_ceil(t.min(m));
         let tasks: Vec<pool::ScopedTask<'_>> = out
             .chunks_mut(band_rows * n)
@@ -255,18 +570,19 @@ pub fn nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
                 let i0 = band * band_rows;
                 let rows = chunk.len() / n;
                 let a_band = &a[i0 * k..(i0 + rows) * k];
-                Box::new(move || blocked_nn(rows, k, n, a_band, b, chunk)) as pool::ScopedTask<'_>
+                Box::new(move || kernel_nn(rows, k, n, a_band, b, chunk)) as pool::ScopedTask<'_>
             })
             .collect();
         pool::join_all(tasks);
     } else {
-        blocked_nn(m, k, n, a, b, out);
+        count_serial();
+        kernel_nn(m, k, n, a, b, out);
     }
 }
 
-/// `C += Aᵀ·B` dispatcher: serial blocked kernel for small products,
-/// output-row-banded across the worker pool for large ones. Always
-/// bit-identical to [`naive_tn`].
+/// `C += Aᵀ·B` dispatcher: serial kernel (SIMD unless `BAFFLE_NO_SIMD`)
+/// for small products, output-row-banded across the worker pool for
+/// large ones. Always bit-identical to [`naive_tn`].
 ///
 /// # Panics
 ///
@@ -277,6 +593,7 @@ pub fn tn(ra: usize, ca: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32])
     assert_eq!(out.len(), ca * n, "gemm::tn: C is not {ca}x{n}");
     let t = pool::threads();
     if t > 1 && ca >= 2 && work(ra, ca, n) >= PAR_MIN_WORK {
+        HITS_BANDED.fetch_add(1, Ordering::Relaxed);
         let band_rows = ca.div_ceil(t.min(ca));
         let tasks: Vec<pool::ScopedTask<'_>> = out
             .chunks_mut(band_rows * n)
@@ -284,19 +601,21 @@ pub fn tn(ra: usize, ca: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32])
             .map(|(band, chunk)| {
                 let i0 = band * band_rows;
                 let i1 = i0 + chunk.len() / n;
-                Box::new(move || blocked_tn_cols(ra, ca, n, a, b, i0, i1, chunk))
+                Box::new(move || kernel_tn_cols(ra, ca, n, a, b, i0, i1, chunk))
                     as pool::ScopedTask<'_>
             })
             .collect();
         pool::join_all(tasks);
     } else {
-        blocked_tn(ra, ca, n, a, b, out);
+        count_serial();
+        kernel_tn_cols(ra, ca, n, a, b, 0, ca, out);
     }
 }
 
 /// `C += A·Bᵀ` dispatcher (`B` is `n×k`): tiny products run the direct
-/// dot-product loop; larger ones pack `Bᵀ` once and go through [`nn`]
-/// (and so inherit its blocking and banding). Always bit-identical to
+/// dot-product loop (tallied under `blocked` — it is the serial scalar
+/// path); larger ones pack `Bᵀ` once and go through [`nn`] (and so
+/// inherit its SIMD kernel, banding and tally). Always bit-identical to
 /// [`naive_nt`] — the packed path performs the same per-element adds in
 /// the same k order.
 ///
@@ -308,6 +627,7 @@ pub fn nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
     assert_eq!(b.len(), n * k, "gemm::nt: B is not {n}x{k}");
     assert_eq!(out.len(), m * n, "gemm::nt: C is not {m}x{n}");
     if work(m, k, n) < NT_PACK_MIN_WORK {
+        HITS_BLOCKED.fetch_add(1, Ordering::Relaxed);
         naive_nt(m, k, n, a, b, out);
     } else {
         let mut bt = vec![0.0f32; k * n];
@@ -345,7 +665,8 @@ mod tests {
     }
 
     /// Shapes covering 1×N / N×1 degeneracies, non-multiple-of-tile
-    /// edges, and one product large enough to band across the pool.
+    /// edges, SIMD tail widths (n ≡ 1, 7, 17 mod 8/32), and one product
+    /// large enough to band across the pool.
     const SHAPES: &[(usize, usize, usize)] = &[
         (1, 1, 1),
         (1, 40, 1),
@@ -369,6 +690,9 @@ mod tests {
             blocked_nn(m, k, n, &a, &b, &mut got);
             assert_bits_eq(&want, &got, &format!("blocked_nn {m}x{k}x{n}"));
             let mut got = vec![0.0f32; m * n];
+            simd_nn(m, k, n, &a, &b, &mut got);
+            assert_bits_eq(&want, &got, &format!("simd_nn {m}x{k}x{n}"));
+            let mut got = vec![0.0f32; m * n];
             nn(m, k, n, &a, &b, &mut got);
             assert_bits_eq(&want, &got, &format!("nn {m}x{k}x{n}"));
         }
@@ -384,6 +708,9 @@ mod tests {
             let mut got = vec![0.0f32; ca * n];
             blocked_tn(ra, ca, n, &a, &b, &mut got);
             assert_bits_eq(&want, &got, &format!("blocked_tn {ra}x{ca}x{n}"));
+            let mut got = vec![0.0f32; ca * n];
+            simd_tn(ra, ca, n, &a, &b, &mut got);
+            assert_bits_eq(&want, &got, &format!("simd_tn {ra}x{ca}x{n}"));
             let mut got = vec![0.0f32; ca * n];
             tn(ra, ca, n, &a, &b, &mut got);
             assert_bits_eq(&want, &got, &format!("tn {ra}x{ca}x{n}"));
@@ -409,10 +736,13 @@ mod tests {
         let a = fill(m * k, 7);
         let b = fill(k * n, 8);
         let mut want = fill(m * n, 9);
-        let mut got = want.clone();
+        let mut blocked = want.clone();
+        let mut simd = want.clone();
         naive_nn(m, k, n, &a, &b, &mut want);
-        blocked_nn(m, k, n, &a, &b, &mut got);
-        assert_bits_eq(&want, &got, "accumulate");
+        blocked_nn(m, k, n, &a, &b, &mut blocked);
+        assert_bits_eq(&want, &blocked, "accumulate blocked");
+        simd_nn(m, k, n, &a, &b, &mut simd);
+        assert_bits_eq(&want, &simd, "accumulate simd");
     }
 
     #[test]
@@ -430,6 +760,25 @@ mod tests {
     }
 
     #[test]
+    fn deep_k_sweeps_are_exact_across_the_kc_boundary() {
+        // k > KC forces the SIMD kernels to store and reload their
+        // accumulators between sweeps; the round-trip must be invisible.
+        let (m, k, n) = (3, 2 * KC + 37, 41);
+        let a = fill(m * k, 12);
+        let b = fill(k * n, 13);
+        let mut want = vec![0.0f32; m * n];
+        naive_nn(m, k, n, &a, &b, &mut want);
+        let mut got = vec![0.0f32; m * n];
+        simd_nn(m, k, n, &a, &b, &mut got);
+        assert_bits_eq(&want, &got, "simd_nn deep k");
+        let mut want = vec![0.0f32; n * m];
+        naive_tn(k, n, m, &b, &a, &mut want);
+        let mut got = vec![0.0f32; n * m];
+        simd_tn(k, n, m, &b, &a, &mut got);
+        assert_bits_eq(&want, &got, "simd_tn deep k");
+    }
+
+    #[test]
     fn empty_dimensions_are_noops() {
         let mut out = vec![0.0f32; 0];
         nn(0, 3, 0, &[], &fill(0, 1), &mut out);
@@ -439,5 +788,33 @@ mod tests {
         let mut out = vec![2.5f32; 4];
         nt(2, 0, 2, &[], &[], &mut out);
         assert_eq!(out, vec![2.5; 4], "nt with k = 0 leaves C untouched");
+    }
+
+    #[test]
+    fn dispatch_counters_are_monotone_and_attributed() {
+        // Counters are process-global and other tests run concurrently,
+        // so assert monotone growth of the expected counter only.
+        let before = dispatch_counts();
+        let (m, k, n) = (4, 6, 5);
+        let a = fill(m * k, 20);
+        let b = fill(k * n, 21);
+        let mut out = vec![0.0f32; m * n];
+        nn(m, k, n, &a, &b, &mut out);
+        let after = dispatch_counts();
+        let serial_before = before.blocked + before.simd;
+        let serial_after = after.blocked + after.simd;
+        assert!(serial_after >= serial_before + 1, "serial dispatch not counted");
+
+        let (m, k, n) = (64, 64, 1024); // m·k·n = 2^22 ≥ PAR_MIN_WORK
+        let a = fill(m * k, 22);
+        let b = fill(k * n, 23);
+        let mut out = vec![0.0f32; m * n];
+        nn(m, k, n, &a, &b, &mut out);
+        let banded = dispatch_counts();
+        if pool::threads() > 1 {
+            assert!(banded.banded >= after.banded + 1, "banded dispatch not counted");
+        } else {
+            assert!(banded.blocked + banded.simd >= serial_after + 1);
+        }
     }
 }

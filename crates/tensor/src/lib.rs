@@ -7,13 +7,15 @@
 //! layer to average, scale and mask model parameters.
 //!
 //! No external BLAS is used. Matrix products dispatch into the
-//! cache-blocked kernels of [`gemm`], which row-band large products
-//! across a process-wide worker pool ([`pool`], sized by the
-//! `BAFFLE_THREADS` environment variable) and fall back to the serial
-//! blocked kernel below a size threshold so small LOF/feedback math pays
-//! zero overhead. Every path is bit-identical to the naive serial
-//! reference, so seeded experiments reproduce exactly at any thread
-//! count.
+//! cache-blocked kernels of [`gemm`] — by default through the explicit
+//! 8-wide micro-kernels of [`simd`] (AVX2 selected at runtime where
+//! available; `BAFFLE_NO_SIMD=1` opts out) — and row-band large
+//! products across a process-wide worker pool ([`pool`], sized by the
+//! `BAFFLE_THREADS` environment variable), falling back to the serial
+//! kernels below a size threshold so small LOF/feedback math pays zero
+//! overhead. Every path is bit-identical to the naive serial reference,
+//! so seeded experiments reproduce exactly at any thread count and on
+//! any instruction set.
 //!
 //! # Example
 //!
@@ -32,5 +34,6 @@ pub mod gemm;
 pub mod ops;
 pub mod pool;
 pub mod rng;
+pub mod simd;
 
 pub use matrix::Matrix;

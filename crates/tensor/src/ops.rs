@@ -7,14 +7,28 @@
 //! All binary operations panic on length mismatch — mixing parameter vectors
 //! of two different architectures is a programming error.
 
-/// `y += alpha * x` (the BLAS "axpy" kernel).
+use crate::simd::{F32x8, LANES};
+
+/// `y += alpha * x` (the BLAS "axpy" kernel), 8 lanes at a time.
+///
+/// Each element is a single independent multiply-then-add, so the
+/// explicit [`F32x8`] lanes change nothing about the result — this stays
+/// bit-identical to the scalar loop for every input.
 ///
 /// # Panics
 ///
 /// Panics if `x.len() != y.len()`.
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
-    for (yi, &xi) in y.iter_mut().zip(x) {
+    let av = F32x8::splat(alpha);
+    let mut i = 0;
+    while i + LANES <= y.len() {
+        let mut acc = F32x8::load(&y[i..]);
+        acc.mul_add_assign(av, F32x8::load(&x[i..]));
+        acc.store(&mut y[i..]);
+        i += LANES;
+    }
+    for (yi, &xi) in y[i..].iter_mut().zip(&x[i..]) {
         *yi += alpha * xi;
     }
 }

@@ -178,4 +178,56 @@ proptest! {
             prop_assert_eq!(x.to_bits(), y.to_bits());
         }
     }
+
+    /// The explicit 8-wide micro-kernel ≡ naive, bitwise — regardless of
+    /// whether dispatch would have picked it (`simd_nn` is called
+    /// directly, so this holds even under `BAFFLE_NO_SIMD=1`).
+    #[test]
+    fn simd_nn_is_bit_identical_to_naive((m, k, n, a, b) in nn_problem()) {
+        let mut got = vec![0.0f32; m * n];
+        gemm::simd_nn(m, k, n, &a, &b, &mut got);
+        let mut want = vec![0.0f32; m * n];
+        gemm::naive_nn(m, k, n, &a, &b, &mut want);
+        for (x, y) in got.iter().zip(&want) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// The 8-wide Aᵀ·B micro-kernel (strided A reads) ≡ naive, bitwise.
+    #[test]
+    fn simd_tn_is_bit_identical_to_naive((m, k, n, a, b) in tn_problem()) {
+        let mut got = vec![0.0f32; k * n];
+        gemm::simd_tn(m, k, n, &a, &b, &mut got);
+        let mut want = vec![0.0f32; k * n];
+        gemm::naive_tn(m, k, n, &a, &b, &mut want);
+        for (x, y) in got.iter().zip(&want) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Wide-N problems exercise the full 64-column accumulator sweep and
+    /// both tails in one shot; dims straddle the 64/8/1 boundaries.
+    #[test]
+    fn simd_wide_rows_are_bit_identical(
+        m in 1usize..=4,
+        k in 1usize..=48,
+        n in 57usize..=97,
+        seed in any::<u64>(),
+    ) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((s >> 33) as i32 % 2001 - 1000) as f32 / 100.0;
+            if v.abs() < 1.0 { 0.0 } else { v }
+        };
+        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let mut got = vec![0.0f32; m * n];
+        gemm::simd_nn(m, k, n, &a, &b, &mut got);
+        let mut want = vec![0.0f32; m * n];
+        gemm::naive_nn(m, k, n, &a, &b, &mut want);
+        for (x, y) in got.iter().zip(&want) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
 }
