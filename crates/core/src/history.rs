@@ -130,6 +130,36 @@ impl ModelHistory {
         let id = self.ids.pop_back().expect("ids parallel to models");
         Some((id, model))
     }
+
+    /// Rebuilds a history from checkpointed `(id, model)` entries,
+    /// oldest first, preserving the original ids. The id counter resumes
+    /// after the newest entry, so post-restore pushes mint exactly the
+    /// ids an uninterrupted run would have.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2`, if more than `capacity` entries are
+    /// given, or if the ids are not consecutive ascending (a gapped
+    /// window is never a valid trusted lineage).
+    pub fn from_entries(capacity: usize, entries: impl IntoIterator<Item = (ModelId, Mlp)>) -> Self {
+        let mut history = Self::new(capacity);
+        for (id, model) in entries {
+            assert!(
+                history.models.len() < capacity,
+                "ModelHistory::from_entries: more entries than capacity {capacity}"
+            );
+            assert!(
+                history.ids.back().is_none_or(|&last| last + 1 == id),
+                "ModelHistory::from_entries: ids must be consecutive ascending"
+            );
+            history.models.push_back(model);
+            history.ids.push_back(id);
+            history.next_id = id + 1;
+        }
+        history.models.make_contiguous();
+        history.ids.make_contiguous();
+        history
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +217,27 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn tiny_capacity_panics() {
         let _ = ModelHistory::new(1);
+    }
+
+    #[test]
+    fn from_entries_resumes_the_id_sequence() {
+        let mut h = ModelHistory::new(3);
+        for i in 0..5 {
+            h.push(model(i));
+        }
+        let entries: Vec<(ModelId, Mlp)> =
+            h.ids().iter().copied().zip(h.models().iter().cloned()).collect();
+        let mut restored = ModelHistory::from_entries(3, entries);
+        assert_eq!(restored.ids(), h.ids());
+        assert_eq!(restored.len(), 3);
+        // The next push mints exactly the id the original would have.
+        assert_eq!(restored.push(model(9)), h.push(model(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive ascending")]
+    fn from_entries_rejects_gapped_ids() {
+        let _ = ModelHistory::from_entries(4, [(0, model(0)), (2, model(2))]);
     }
 
     #[test]

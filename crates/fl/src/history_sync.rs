@@ -1,4 +1,4 @@
-//! Incremental history shipping (paper §VI-D).
+//! Incremental history shipping (paper §VI-D), with acknowledgements.
 //!
 //! The feedback loop requires each validating client to hold the last
 //! `ℓ+1` accepted global models. Shipping the full history every time a
@@ -8,6 +8,26 @@
 //! sync**. The paper estimates this caps steady-state traffic at about
 //! two model-equivalents per selection; [`HistorySync`] implements the
 //! bookkeeping and makes the estimate measurable.
+//!
+//! # Acknowledged advancement
+//!
+//! On a lossy link the server cannot assume a shipped delta arrived: if
+//! it advanced a client's sync point at ship time and the message was
+//! dropped, every later delta would skip the lost models and the client
+//! would hold a **permanently gapped** window. The bookkeeping is
+//! therefore a two-step handshake:
+//!
+//! 1. [`HistorySync::mark_shipped`] records the attempted sync point
+//!    without committing it;
+//! 2. [`HistorySync::ack`] commits it once the server hears back from
+//!    the client for that round (a vote or an abstention both prove the
+//!    request arrived).
+//!
+//! A delta that vanishes in flight is simply re-sent at the client's
+//! next selection, because the committed sync point never moved.
+//! [`HistorySync::reset`] drops a client's sync state entirely — used
+//! when a client declares its window unusable (crash/restart, gapped
+//! cache) so the next selection re-ships the full window.
 
 use std::collections::HashMap;
 
@@ -27,7 +47,8 @@ pub type ModelId = u64;
 /// }
 /// // A fresh client needs the whole window …
 /// assert_eq!(sync.models_to_send(7).count(), 3);
-/// sync.mark_synced(7);
+/// sync.mark_shipped(7);
+/// sync.ack(7); // the client answered: the delta arrived
 /// // … but after one more accepted round, only the newest model.
 /// sync.push_accepted();
 /// assert_eq!(sync.models_to_send(7).count(), 1);
@@ -36,7 +57,14 @@ pub type ModelId = u64;
 pub struct HistorySync {
     window: usize,
     next_id: ModelId,
+    /// Committed sync points: the client is known to hold everything
+    /// below this id (within the window).
     synced_up_to: HashMap<usize, ModelId>,
+    /// Shipped-but-unacknowledged sync points. An entry here is
+    /// committed by [`HistorySync::ack`] and discarded by
+    /// [`HistorySync::reset`]; a stale entry (the client never answered)
+    /// is simply overwritten at its next shipment.
+    in_flight: HashMap<usize, ModelId>,
 }
 
 impl HistorySync {
@@ -48,7 +76,7 @@ impl HistorySync {
     /// Panics if `window == 0`.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "HistorySync: window must be positive");
-        Self { window, next_id: 0, synced_up_to: HashMap::new() }
+        Self { window, next_id: 0, synced_up_to: HashMap::new(), in_flight: HashMap::new() }
     }
 
     /// Records that a new global model was accepted, returning its id.
@@ -63,6 +91,11 @@ impl HistorySync {
         self.next_id
     }
 
+    /// The history window size (`ℓ + 1`).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
     /// The current history window as model ids (oldest first).
     pub fn window_ids(&self) -> std::ops::Range<ModelId> {
         let lo = self.next_id.saturating_sub(self.window as u64);
@@ -70,23 +103,80 @@ impl HistorySync {
     }
 
     /// The model ids that must be sent to `client` so it holds the full
-    /// current window: the part of the window it has not seen since its
-    /// last sync.
+    /// current window: the part of the window it is not **confirmed** to
+    /// have seen. Unacknowledged shipments do not shrink this — a delta
+    /// that may have been lost is re-sent.
     pub fn models_to_send(&self, client: usize) -> std::ops::Range<ModelId> {
         let window = self.window_ids();
         let seen = self.synced_up_to.get(&client).copied().unwrap_or(0);
         seen.max(window.start)..window.end
     }
 
-    /// Marks `client` as holding the entire current window.
+    /// Records that the full current window was just shipped to
+    /// `client`, without committing the sync point. Call
+    /// [`HistorySync::ack`] once the client proves receipt.
+    pub fn mark_shipped(&mut self, client: usize) {
+        self.in_flight.insert(client, self.next_id);
+    }
+
+    /// Commits `client`'s most recent shipment: the client answered, so
+    /// the delta arrived. Returns `true` if a shipment was pending.
+    pub fn ack(&mut self, client: usize) -> bool {
+        match self.in_flight.remove(&client) {
+            Some(id) => {
+                self.synced_up_to.insert(client, id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Forgets everything about `client`'s sync state, so its next
+    /// selection re-ships the full window. Used when the client declares
+    /// its cached window unusable (it crashed and restarted, or its
+    /// cache is gapped after losses).
+    pub fn reset(&mut self, client: usize) {
+        self.synced_up_to.remove(&client);
+        self.in_flight.remove(&client);
+    }
+
+    /// Ship-and-commit in one step — for loss-free simulation paths
+    /// where delivery is guaranteed and no acknowledgement exists.
     pub fn mark_synced(&mut self, client: usize) {
-        self.synced_up_to.insert(client, self.next_id);
+        self.mark_shipped(client);
+        self.ack(client);
     }
 
     /// Bytes needed to bring `client` up to date, given a serialized
     /// model size.
     pub fn bytes_to_send(&self, client: usize, model_bytes: usize) -> usize {
         self.models_to_send(client).count() * model_bytes
+    }
+
+    /// The committed sync points, sorted by client — for checkpointing.
+    /// In-flight shipments are deliberately excluded: an unacknowledged
+    /// delta must be treated as lost across a restore, which the
+    /// re-shipping logic already handles.
+    pub fn committed(&self) -> Vec<(usize, ModelId)> {
+        let mut out: Vec<(usize, ModelId)> =
+            self.synced_up_to.iter().map(|(&c, &id)| (c, id)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Rebuilds the bookkeeping from checkpointed state (see
+    /// [`HistorySync::committed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn restore(
+        window: usize,
+        next_id: ModelId,
+        committed: impl IntoIterator<Item = (usize, ModelId)>,
+    ) -> Self {
+        assert!(window > 0, "HistorySync: window must be positive");
+        Self { window, next_id, synced_up_to: committed.into_iter().collect(), in_flight: HashMap::new() }
     }
 }
 
@@ -135,6 +225,86 @@ mod tests {
         }
         // 500 models passed, but only the current window matters.
         assert_eq!(sync.models_to_send(1).count(), 10);
+    }
+
+    #[test]
+    fn unacknowledged_shipment_is_resent() {
+        let mut sync = HistorySync::new(8);
+        for _ in 0..5 {
+            sync.push_accepted();
+        }
+        let first = sync.models_to_send(4);
+        sync.mark_shipped(4);
+        // The delta vanished in flight: the client never answered, so
+        // the next selection must re-ship exactly the same models (plus
+        // anything accepted since).
+        assert_eq!(sync.models_to_send(4), first.clone());
+        sync.push_accepted();
+        assert_eq!(sync.models_to_send(4), first.start..6);
+    }
+
+    #[test]
+    fn ack_commits_the_latest_shipment() {
+        let mut sync = HistorySync::new(8);
+        for _ in 0..5 {
+            sync.push_accepted();
+        }
+        sync.mark_shipped(2);
+        assert!(sync.ack(2), "a pending shipment must acknowledge");
+        assert_eq!(sync.models_to_send(2).count(), 0);
+        assert!(!sync.ack(2), "double-ack has nothing to commit");
+        // An ack with no shipment at all is a no-op.
+        assert!(!sync.ack(7));
+        assert_eq!(sync.models_to_send(7).count(), 5);
+    }
+
+    #[test]
+    fn reset_forces_a_full_window_reship() {
+        let mut sync = HistorySync::new(4);
+        for _ in 0..10 {
+            sync.push_accepted();
+        }
+        sync.mark_synced(3);
+        assert_eq!(sync.models_to_send(3).count(), 0);
+        // The client restarted (or reported a gapped cache): everything
+        // it held is gone, so the full window must go out again.
+        sync.reset(3);
+        assert_eq!(sync.models_to_send(3), sync.window_ids());
+        assert_eq!(sync.models_to_send(3).count(), 4);
+    }
+
+    #[test]
+    fn reset_discards_in_flight_shipments_too() {
+        let mut sync = HistorySync::new(4);
+        for _ in 0..6 {
+            sync.push_accepted();
+        }
+        sync.mark_shipped(1);
+        sync.reset(1);
+        // A late ack for the pre-reset shipment must not resurrect it.
+        assert!(!sync.ack(1));
+        assert_eq!(sync.models_to_send(1), sync.window_ids());
+    }
+
+    #[test]
+    fn restore_round_trips_committed_state() {
+        let mut sync = HistorySync::new(5);
+        for _ in 0..9 {
+            sync.push_accepted();
+        }
+        sync.mark_synced(0);
+        sync.push_accepted();
+        sync.mark_synced(4);
+        sync.mark_shipped(6); // unacked: must NOT survive the round trip
+        let restored = HistorySync::restore(sync.window(), sync.accepted(), sync.committed());
+        for c in [0, 4, 6, 9] {
+            assert_eq!(
+                restored.models_to_send(c),
+                sync.models_to_send(c),
+                "client {c} diverged after restore"
+            );
+        }
+        assert!(!restored.ack(6), "in-flight state is dropped across restore");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Client actors: honest participants and the attacker.
 
-use crate::message::{AbstainReason, Message, NodeId};
+use crate::message::{AbstainReason, HistoryEntry, Message, NodeId};
 use crate::transport::Endpoint;
 use baffle_attack::voting::VoterBehavior;
 use baffle_attack::ModelReplacement;
@@ -30,6 +30,28 @@ pub enum ClientRole {
     },
 }
 
+/// What a client actor observed over its lifetime, returned by
+/// [`Client::run`] when the actor exits (shutdown or transport loss).
+/// Chaos tests use it to check client-side invariants the server cannot
+/// see — above all that the cached history window never ends up gapped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientReport {
+    /// The client's node id.
+    pub id: NodeId,
+    /// Rounds this client was asked to train or validate in.
+    pub rounds_participated: u64,
+    /// Votes cast (either role).
+    pub votes_cast: u64,
+    /// Explicit abstentions sent (both phases).
+    pub abstentions: u64,
+    /// Times a corruption- or loss-induced gap in the cached history was
+    /// repaired by discarding the models before the gap.
+    pub gap_repairs: u64,
+    /// Whether the cached history ids formed a contiguous run at exit
+    /// (always true if the gap-repair invariant held).
+    pub window_contiguous: bool,
+}
+
 /// One federated client actor: local data, a cached slice of the
 /// accepted-model history (filled incrementally by the server), the
 /// validation function, and a role.
@@ -43,6 +65,7 @@ pub struct Client {
     /// Cached history ids, oldest first — parallel to `history_models`.
     /// The ids double as the validation engine's cache keys, so a model
     /// shipped once is never re-evaluated on this client's data.
+    /// Invariant: always a contiguous ascending run (see `repair_window`).
     history_ids: Vec<ModelId>,
     /// Cached history models, oldest first.
     history_models: Vec<Mlp>,
@@ -50,6 +73,9 @@ pub struct Client {
     template: Mlp,
     rng: StdRng,
     rounds_participated: u64,
+    votes_cast: u64,
+    abstentions: u64,
+    gap_repairs: u64,
 }
 
 impl Client {
@@ -78,6 +104,9 @@ impl Client {
             template,
             rng: StdRng::seed_from_u64(seed),
             rounds_participated: 0,
+            votes_cast: 0,
+            abstentions: 0,
+            gap_repairs: 0,
         }
     }
 
@@ -86,9 +115,10 @@ impl Client {
         self.rounds_participated
     }
 
-    /// Runs the actor loop until a [`Message::Shutdown`] arrives (or the
-    /// network disconnects).
-    pub fn run(&mut self) {
+    /// Runs the actor loop until a [`Message::Shutdown`] arrives or the
+    /// network disconnects (a crash-stop), and reports what the actor
+    /// observed.
+    pub fn run(&mut self) -> ClientReport {
         while let Ok(env) = self.endpoint.recv() {
             match env.message {
                 Message::TrainRequest { round, global } => {
@@ -97,25 +127,7 @@ impl Client {
                 }
                 Message::ValidateRequest { round, candidate, history_delta } => {
                     self.rounds_participated += 1;
-                    for entry in history_delta {
-                        if let Ok(params) = wire::decode_f32(&entry.params) {
-                            // Ids arrive mostly in order; insert sorted and
-                            // skip duplicates (a re-shipped delta after loss).
-                            if let Err(pos) = self.history_ids.binary_search(&entry.id) {
-                                let mut m = self.template.clone();
-                                m.set_params(&params);
-                                self.history_ids.insert(pos, entry.id);
-                                self.history_models.insert(pos, m);
-                            }
-                        }
-                    }
-                    let excess = self.history_ids.len().saturating_sub(self.history_window);
-                    if excess > 0 {
-                        for id in self.history_ids.drain(..excess) {
-                            self.engine.invalidate(id);
-                        }
-                        self.history_models.drain(..excess);
-                    }
+                    self.merge_history_delta(history_delta);
                     self.handle_validate(round, &candidate);
                 }
                 Message::RoundResult { .. } => {
@@ -130,13 +142,71 @@ impl Client {
                 Message::Shutdown => break,
             }
         }
+        let window_contiguous = self.history_ids.windows(2).all(|w| w[0] + 1 == w[1]);
+        ClientReport {
+            id: self.endpoint.id(),
+            rounds_participated: self.rounds_participated,
+            votes_cast: self.votes_cast,
+            abstentions: self.abstentions,
+            gap_repairs: self.gap_repairs,
+            window_contiguous,
+        }
+    }
+
+    /// Merges a shipped history delta into the cached window, then
+    /// repairs any damage: the cache keeps at most `history_window`
+    /// models and, crucially, only the **maximal contiguous suffix** of
+    /// ids. A gap appears when an entry is skipped (its payload arrived
+    /// corrupted) while a newer one lands; validating against a gapped
+    /// window would silently change Algorithm 2's variation vectors, so
+    /// everything before the gap is discarded instead. If the surviving
+    /// window is then too short, the next validation abstains with
+    /// [`AbstainReason::HistoryTooShort`] — which makes the server reset
+    /// this client's sync state and re-ship the full window.
+    fn merge_history_delta(&mut self, history_delta: Vec<HistoryEntry>) {
+        for entry in history_delta {
+            if let Ok(params) = wire::decode_f32(&entry.params) {
+                // Ids arrive mostly in order; insert sorted and
+                // skip duplicates (a re-shipped delta after loss).
+                if let Err(pos) = self.history_ids.binary_search(&entry.id) {
+                    let mut m = self.template.clone();
+                    m.set_params(&params);
+                    self.history_ids.insert(pos, entry.id);
+                    self.history_models.insert(pos, m);
+                }
+            }
+        }
+        let excess = self.history_ids.len().saturating_sub(self.history_window);
+        if excess > 0 {
+            for id in self.history_ids.drain(..excess) {
+                self.engine.invalidate(id);
+            }
+            self.history_models.drain(..excess);
+        }
+        // Find the start of the maximal contiguous id suffix.
+        let mut start = self.history_ids.len().saturating_sub(1);
+        while start > 0 && self.history_ids[start - 1] + 1 == self.history_ids[start] {
+            start -= 1;
+        }
+        if start > 0 {
+            self.gap_repairs += 1;
+            for id in self.history_ids.drain(..start) {
+                self.engine.invalidate(id);
+            }
+            self.history_models.drain(..start);
+        }
+        debug_assert!(
+            self.history_ids.windows(2).all(|w| w[0] + 1 == w[1]),
+            "cached history window must stay contiguous"
+        );
     }
 
     /// Declares that this client cannot act on the current request, so
     /// the server's phase ledger stops waiting for it instead of burning
     /// the phase timeout. In the vote phase this is the paper's
     /// footnote-1 implicit accept made explicit.
-    fn abstain(&self, round: u64, reason: AbstainReason) {
+    fn abstain(&mut self, round: u64, reason: AbstainReason) {
+        self.abstentions += 1;
         self.endpoint
             .send(NodeId::SERVER, Message::Abstain { round, from: self.endpoint.id(), reason });
     }
@@ -194,6 +264,7 @@ impl Client {
             ClientRole::Honest => honest_vote,
             ClientRole::Malicious { voting, .. } => voting.cast(honest_vote),
         };
+        self.votes_cast += 1;
         self.endpoint.send(
             NodeId::SERVER,
             Message::VoteSubmission { round, from: self.endpoint.id(), vote },

@@ -1,15 +1,24 @@
 //! End-to-end threaded deployment harness.
+//!
+//! [`Deployment::build`] materialises data, models and the network and
+//! returns [`DeploymentParts`] — the pieces a test can drive by hand
+//! (run rounds, checkpoint the server, crash and restart clients).
+//! [`Deployment::run`] is the turnkey path: it builds the parts, spawns
+//! every client actor, executes the configured rounds **including the
+//! fault plan's scripted crash/restart events**, and reports.
 
-use crate::client::{Client, ClientRole};
+use crate::client::{Client, ClientReport, ClientRole};
+use crate::fault::FaultPlan;
 use crate::message::NodeId;
 use crate::server::{Server, ServerConfig, ServerRound};
 use crate::transport::Network;
 use baffle_attack::voting::VoterBehavior;
 use baffle_attack::{BackdoorSpec, ModelReplacement};
 use baffle_core::{ValidationConfig, Validator};
-use baffle_data::{partition, SyntheticVision, VisionSpec};
+use baffle_data::{partition, Dataset, SyntheticVision, VisionSpec};
 use baffle_fl::{FlConfig, LocalTrainer};
 use baffle_nn::{eval, Mlp, MlpSpec, Sgd};
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
@@ -44,8 +53,13 @@ pub struct DeploymentConfig {
     pub hidden: Vec<usize>,
     /// Central warm-up epochs before the protocol starts.
     pub warmup_central_epochs: usize,
-    /// Per-message drop probability of the simulated network.
+    /// Per-message drop probability of the simulated network. Ignored
+    /// when `faults` is set.
     pub drop_prob: f64,
+    /// Full chaos configuration: per-link fault policies plus scripted
+    /// partitions and crash/restart events. `None` derives a plain
+    /// uniform-loss plan from `drop_prob`.
+    pub faults: Option<FaultPlan>,
     /// Per-phase server timeout.
     pub phase_timeout: Duration,
     /// Trust-bootstrapping rounds: contributors are drawn from the
@@ -72,6 +86,7 @@ impl DeploymentConfig {
             hidden: vec![16],
             warmup_central_epochs: 10,
             drop_prob: 0.0,
+            faults: None,
             phase_timeout: Duration::from_secs(20),
             bootstrap_rounds: 5,
         }
@@ -91,6 +106,148 @@ pub struct DeploymentOutcome {
     pub messages_sent: u64,
     /// Messages lost to the simulated network.
     pub messages_dropped: u64,
+    /// Messages the link delivered twice.
+    pub messages_duplicated: u64,
+    /// Messages whose payload the link damaged.
+    pub messages_corrupted: u64,
+    /// Per-client lifetime reports, sorted by node id. A client that
+    /// crashed and restarted contributes one report per incarnation.
+    pub client_reports: Vec<ClientReport>,
+}
+
+/// Everything needed to (re)create one client actor — kept around so
+/// scripted restarts can respawn a crashed client from scratch (a real
+/// restart loses in-memory state; the history cache starts empty and the
+/// acknowledged-sync protocol refills it).
+#[derive(Debug, Clone)]
+pub struct ClientSpec {
+    /// The client's id (also its [`NodeId`]).
+    pub id: usize,
+    /// Its local shard.
+    pub data: Dataset,
+    /// Honest or malicious.
+    pub role: ClientRole,
+    /// The actor's RNG seed.
+    pub seed: u64,
+}
+
+/// The materialised pieces of a deployment, before any actor runs.
+pub struct DeploymentParts {
+    /// The shared transport.
+    pub network: Network,
+    /// The server actor (already registered on the network).
+    pub server: Server,
+    /// One spec per client, by id. Clients are **not** yet registered —
+    /// [`DeploymentParts::client_actor`] does that when spawning.
+    pub specs: Vec<ClientSpec>,
+    /// The validation function every actor uses.
+    pub validator: Validator,
+    /// Architecture template for building actors.
+    pub template: Mlp,
+    /// Server-side config (kept for [`Server::restore`] after a crash).
+    pub server_config: ServerConfig,
+    /// Server-side validation data (kept for [`Server::restore`]).
+    pub server_data: Dataset,
+    /// History window `ℓ + 1`.
+    pub history_window: usize,
+    /// Main-task test set.
+    pub test: Dataset,
+    /// Backdoor test set.
+    pub backdoor_test: Dataset,
+    /// The attacker's backdoor.
+    pub backdoor: BackdoorSpec,
+    /// The originating config.
+    pub config: DeploymentConfig,
+    fl: FlConfig,
+}
+
+impl std::fmt::Debug for DeploymentParts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeploymentParts")
+            .field("clients", &self.specs.len())
+            .field("history_window", &self.history_window)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DeploymentParts {
+    /// Registers client `id` on the network and builds its actor —
+    /// used both for the initial spawn and for scripted restarts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` has no spec or is currently registered.
+    pub fn client_actor(&self, id: usize) -> Client {
+        let spec = &self.specs[id];
+        assert_eq!(spec.id, id, "specs must be indexed by id");
+        let endpoint = self.network.register(NodeId(id as u32));
+        Client::new(
+            endpoint,
+            spec.data.clone(),
+            LocalTrainer::from_config(&self.fl),
+            self.validator,
+            spec.role.clone(),
+            self.history_window,
+            self.template.clone(),
+            spec.seed,
+        )
+    }
+
+    /// Spawns every client, runs the configured rounds while executing
+    /// the fault plan's scripted crash/restart events, shuts down and
+    /// reports.
+    pub fn run(mut self) -> DeploymentOutcome {
+        let events: FaultPlan =
+            self.config.faults.clone().unwrap_or_else(|| FaultPlan::lossless(0));
+        let mut rounds = Vec::with_capacity(self.config.rounds as usize);
+        let reports: Mutex<Vec<ClientReport>> = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|scope| {
+            for spec in &self.specs {
+                let mut client = self.client_actor(spec.id);
+                let reports = &reports;
+                scope.spawn(move |_| reports.lock().push(client.run()));
+            }
+
+            for r in 1..=self.config.rounds {
+                self.network.begin_round(r);
+                for node in events.crashes_at(r) {
+                    // Crash-stop: the route disappears, the actor's
+                    // blocking recv errors out and the thread exits.
+                    self.network.disconnect(node);
+                }
+                for node in events.restarts_at(r) {
+                    // A restarted client is a fresh process: empty
+                    // history cache, fresh RNG — only its shard survives.
+                    let mut client = self.client_actor(node.0 as usize);
+                    let reports = &reports;
+                    scope.spawn(move |_| reports.lock().push(client.run()));
+                }
+                rounds.push(self.server.run_round());
+            }
+            self.server.shutdown();
+        })
+        .expect("client actor panicked");
+
+        let mut client_reports = reports.into_inner();
+        client_reports.sort_by_key(|r| r.id);
+        DeploymentOutcome {
+            final_main_accuracy: self
+                .server
+                .global_model()
+                .accuracy(self.test.features(), self.test.labels()),
+            final_backdoor_accuracy: eval::backdoor_accuracy(
+                self.server.global_model(),
+                self.backdoor_test.features(),
+                self.backdoor.target_class(),
+            ),
+            rounds,
+            messages_sent: self.network.messages_sent(),
+            messages_dropped: self.network.messages_dropped(),
+            messages_duplicated: self.network.messages_duplicated(),
+            messages_corrupted: self.network.messages_corrupted(),
+            client_reports,
+        }
+    }
 }
 
 /// Runs a full threaded deployment: one server thread (the caller's) and
@@ -102,6 +259,13 @@ impl Deployment {
     /// Materialises data and models, spawns the actors, runs the
     /// configured number of rounds, shuts down and reports.
     pub fn run(config: DeploymentConfig) -> DeploymentOutcome {
+        Self::build(config).run()
+    }
+
+    /// Materialises data, models, the network and the server actor —
+    /// without running anything. Tests drive the returned parts by hand
+    /// to interleave rounds with checkpoints, crashes and restarts.
+    pub fn build(config: DeploymentConfig) -> DeploymentParts {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let spec = VisionSpec::cifar_like();
         let generator = SyntheticVision::new(&spec, &mut rng);
@@ -136,7 +300,10 @@ impl Deployment {
         let fl = FlConfig::new(config.num_clients, config.clients_per_round);
         let boost = fl.replacement_boost();
         let validator = Validator::new(ValidationConfig::new(config.lookback).with_margin(1.2));
-        let network = Network::with_loss(config.drop_prob, config.seed ^ 0x4E45_5400);
+        let network = match &config.faults {
+            Some(plan) => Network::with_faults(plan.clone()),
+            None => Network::with_loss(config.drop_prob, config.seed ^ 0x4E45_5400),
+        };
 
         let server_endpoint = network.register(NodeId::SERVER);
         let server_config = ServerConfig {
@@ -149,19 +316,19 @@ impl Deployment {
             bootstrap_rounds: config.bootstrap_rounds,
             bootstrap_trusted: (config.malicious_clients..config.num_clients).collect(),
         };
-        let mut server = Server::new(
+        let server = Server::new(
             server_endpoint,
-            server_config,
+            server_config.clone(),
             initial.clone(),
             config.lookback + 1,
             validator,
-            server_data,
+            server_data.clone(),
         );
 
-        let mut rounds = Vec::with_capacity(config.rounds as usize);
-        crossbeam::thread::scope(|scope| {
-            for (i, shard) in shards.iter().enumerate() {
-                let endpoint = network.register(NodeId(i as u32));
+        let specs: Vec<ClientSpec> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
                 let role = if i < config.malicious_clients {
                     ClientRole::Malicious {
                         attack: ModelReplacement::new(backdoor, boost),
@@ -171,36 +338,29 @@ impl Deployment {
                 } else {
                     ClientRole::Honest
                 };
-                let mut client = Client::new(
-                    endpoint,
-                    shard.clone(),
-                    LocalTrainer::from_config(&fl),
-                    validator,
+                ClientSpec {
+                    id: i,
+                    data: shard.clone(),
                     role,
-                    config.lookback + 1,
-                    initial.clone(),
-                    config.seed.wrapping_add(1 + i as u64),
-                );
-                scope.spawn(move |_| client.run());
-            }
+                    seed: config.seed.wrapping_add(1 + i as u64),
+                }
+            })
+            .collect();
 
-            for _ in 0..config.rounds {
-                rounds.push(server.run_round());
-            }
-            server.shutdown();
-        })
-        .expect("client actor panicked");
-
-        DeploymentOutcome {
-            final_main_accuracy: server.global_model().accuracy(test.features(), test.labels()),
-            final_backdoor_accuracy: eval::backdoor_accuracy(
-                server.global_model(),
-                backdoor_test.features(),
-                backdoor.target_class(),
-            ),
-            rounds,
-            messages_sent: network.messages_sent(),
-            messages_dropped: network.messages_dropped(),
+        DeploymentParts {
+            network,
+            server,
+            specs,
+            validator,
+            template: initial,
+            server_config,
+            server_data,
+            history_window: config.lookback + 1,
+            test,
+            backdoor_test,
+            backdoor,
+            config,
+            fl,
         }
     }
 }

@@ -20,8 +20,14 @@
 //!   ends as soon as everyone is **accounted for** — a malformed update
 //!   or an explicit [`message::Message::Abstain`] never burns the full
 //!   phase timeout; only genuinely silent nodes do;
-//! - an in-process [`transport`] layer with per-link drop simulation, so
-//!   dropout handling is exercised for real.
+//! - an in-process [`transport`] layer driven by a seeded [`fault`] plan
+//!   — per-link drops, delay/jitter, reordering, duplication, payload
+//!   corruption, plus round-scoped partitions and crash/restart scripts
+//!   — so dropout *and recovery* handling are exercised for real. The
+//!   server checkpoints its trusted state ([`server::Server::checkpoint`])
+//!   and history shipping is acknowledged
+//!   ([`baffle_fl::history_sync::HistorySync`]), so a lost delta is
+//!   re-sent instead of leaving a validator with a gapped window.
 //!
 //! Models and updates travel as [`bytes::Bytes`] in the
 //! [`baffle_nn::wire`] format — nothing crosses an actor boundary except
@@ -41,6 +47,7 @@
 
 pub mod client;
 pub mod deployment;
+pub mod fault;
 pub mod message;
 pub mod phase;
 pub mod server;

@@ -1,6 +1,6 @@
 //! The coordinating server actor (Algorithm 1, server side).
 
-use crate::message::{HistoryEntry, Message, NodeId};
+use crate::message::{AbstainReason, HistoryEntry, Message, NodeId};
 use crate::phase::PhaseLedger;
 use crate::transport::Endpoint;
 use baffle_attack::voting::Vote;
@@ -10,6 +10,7 @@ use baffle_fl::history_sync::HistorySync;
 use baffle_fl::{fedavg, sampling, FlConfig};
 use baffle_nn::{wire, Mlp, Model};
 use bytes::Bytes;
+use crossbeam::channel::RecvTimeoutError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
@@ -29,7 +30,9 @@ pub struct ServerConfig {
     pub phase_timeout: Duration,
     /// Whether the server casts its own vote (BAFFLE vs BAFFLE-C).
     pub server_votes: bool,
-    /// Master seed for client selection.
+    /// Master seed for client selection. Each round's selection RNG is
+    /// derived as `seed ^ round`, so a server restored from a checkpoint
+    /// samples exactly the sets an uninterrupted run would have.
     pub seed: u64,
     /// Trust-bootstrapping phase (paper §IV-B, "bootstrapping trust
     /// across rounds"): for the first `bootstrap_rounds` rounds,
@@ -55,22 +58,37 @@ pub struct ServerRound {
     pub votes_received: usize,
     /// Reject votes among them.
     pub reject_votes: usize,
-    /// Update submissions discarded at intake: sender not in this
-    /// round's sampled contributor set, claimed id not matching the
-    /// transport envelope, undecodable payload, wrong parameter count,
-    /// or a duplicate submission from an already-settled contributor
-    /// (first submission wins). (Stale-round stragglers are silently
-    /// dropped, not counted — losing a race is not an intake violation.)
+    /// Update submissions discarded at intake because the **sender
+    /// misbehaved**: not in this round's sampled contributor set, claimed
+    /// id not matching the transport envelope, undecodable-but-intact
+    /// payload, or wrong parameter count. (Stale-round stragglers are
+    /// silently dropped, not counted — losing a race is not an intake
+    /// violation; link-corrupted payloads and repeat deliveries have
+    /// their own counters below.)
     pub rejected_submissions: usize,
     /// Vote submissions discarded at intake: sender not in this round's
-    /// sampled validator set, claimed id not matching the envelope, or a
-    /// duplicate vote from an already-counted validator.
+    /// sampled validator set, or claimed id not matching the envelope.
     pub rejected_votes: usize,
     /// Explicit [`Message::Abstain`] declarations counted this round
     /// (both phases). An abstaining validator is the paper's footnote-1
     /// implicit accept made explicit: it casts no vote, but the phase
     /// ledger stops waiting for it.
     pub abstentions: usize,
+    /// Payloads that arrived damaged by the link (wire checksum
+    /// mismatch). The *sender* did nothing wrong, so these are counted
+    /// apart from `rejected_submissions` — an honest node must never be
+    /// booked as misbehaving because the network chewed its message.
+    pub corrupted_payloads: usize,
+    /// Deliveries that repeated an already-settled ledger slot: a
+    /// duplicated message (link-level duplication, or a client sending
+    /// twice). First delivery wins; repeats are counted here, not as
+    /// rejections, because the server cannot distinguish a duplicating
+    /// link from a duplicating sender.
+    pub duplicate_deliveries: usize,
+    /// Whether a collection phase ended because the transport itself went
+    /// away (the server's receive channel disconnected) rather than by
+    /// timeout or full accounting.
+    pub transport_lost: bool,
     /// Whether the effective quorum was silently lowered because fewer
     /// voters exist than the configured `q` — a misconfigured deployment
     /// that experiments should be able to detect.
@@ -84,6 +102,56 @@ pub struct ServerRound {
     /// Bytes of history shipped to validators this round (the §VI-D
     /// overhead, measured).
     pub history_bytes_shipped: usize,
+}
+
+/// A malformed or truncated checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointError {
+    message: String,
+}
+
+impl CheckpointError {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid checkpoint: {}", self.message)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+const CHECKPOINT_MAGIC: u32 = 0xBAFF_C4C4;
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// Little-endian cursor over a checkpoint buffer.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CheckpointError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| CheckpointError::new(format!("truncated reading {what}")))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
 }
 
 /// The server actor: owns the global model, the trusted history and the
@@ -101,7 +169,6 @@ pub struct Server {
     sync: HistorySync,
     engine: ValidationEngine,
     server_data: Dataset,
-    rng: StdRng,
     round: u64,
 }
 
@@ -127,7 +194,6 @@ impl Server {
             id: first_id,
             params: wire::encode_f32(&initial_model.params()),
         }]);
-        let rng = StdRng::seed_from_u64(config.seed);
         Self {
             endpoint,
             config,
@@ -138,7 +204,6 @@ impl Server {
             sync,
             engine: ValidationEngine::new(validator),
             server_data,
-            rng,
             round: 0,
         }
     }
@@ -148,23 +213,156 @@ impl Server {
         &self.global
     }
 
+    /// Rounds completed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Consumes the server and returns its endpoint — the handle a
+    /// restored replacement server reuses after a crash.
+    pub fn into_endpoint(self) -> Endpoint {
+        self.endpoint
+    }
+
+    /// Serializes everything a replacement server needs to continue the
+    /// protocol bit-for-bit: the round counter, the trusted history
+    /// window (wire-encoded, newest entry = current global model), and
+    /// the **committed** history-sync points. Unacknowledged shipments
+    /// are deliberately absent — across a restore they must be treated as
+    /// lost, and the acknowledged-sync protocol then re-ships them.
+    ///
+    /// Selection randomness needs no state: each round's RNG is derived
+    /// from `seed ^ round`.
+    pub fn checkpoint(&self) -> Bytes {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.round.to_le_bytes());
+        buf.extend_from_slice(&self.sync.accepted().to_le_bytes());
+        buf.extend_from_slice(&(self.history_entries.len() as u32).to_le_bytes());
+        for entry in &self.history_entries {
+            buf.extend_from_slice(&entry.id.to_le_bytes());
+            buf.extend_from_slice(&(entry.params.len() as u64).to_le_bytes());
+            buf.extend_from_slice(&entry.params);
+        }
+        let committed = self.sync.committed();
+        buf.extend_from_slice(&(committed.len() as u32).to_le_bytes());
+        for (client, id) in committed {
+            buf.extend_from_slice(&(client as u64).to_le_bytes());
+            buf.extend_from_slice(&id.to_le_bytes());
+        }
+        Bytes::from(buf)
+    }
+
+    /// Rebuilds a server from a [`Server::checkpoint`] blob. `template`
+    /// is any model with the right architecture; the global model is
+    /// recovered from the newest checkpointed history entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a truncated or corrupted blob, a version or
+    /// architecture mismatch, an empty or gapped history window, or
+    /// entries exceeding `history_window`.
+    pub fn restore(
+        endpoint: Endpoint,
+        config: ServerConfig,
+        template: Mlp,
+        history_window: usize,
+        validator: Validator,
+        server_data: Dataset,
+        checkpoint: &[u8],
+    ) -> Result<Self, CheckpointError> {
+        let mut r = Reader { buf: checkpoint, pos: 0 };
+        if r.u32("magic")? != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::new("bad magic"));
+        }
+        let version = r.u32("version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::new(format!("unsupported version {version}")));
+        }
+        let round = r.u64("round")?;
+        let accepted = r.u64("accepted count")?;
+        let n_entries = r.u32("history length")? as usize;
+        if n_entries == 0 || n_entries > history_window {
+            return Err(CheckpointError::new(format!(
+                "history length {n_entries} outside 1..={history_window}"
+            )));
+        }
+        let param_len = template.num_params();
+        let mut history_entries = VecDeque::with_capacity(n_entries);
+        let mut models = Vec::with_capacity(n_entries);
+        for i in 0..n_entries {
+            let id = r.u64("entry id")?;
+            let len = r.u64("entry length")? as usize;
+            let params = r.take(len, "entry params")?;
+            let decoded = wire::decode_f32(params)
+                .map_err(|e| CheckpointError::new(format!("entry {i}: {e}")))?;
+            if decoded.len() != param_len {
+                return Err(CheckpointError::new(format!(
+                    "entry {i} has {} params, template has {param_len}",
+                    decoded.len()
+                )));
+            }
+            if let Some((last, _)) = models.last() {
+                if last + 1 != id {
+                    return Err(CheckpointError::new("gapped history ids"));
+                }
+            }
+            let mut model = template.clone();
+            model.set_params(&decoded);
+            history_entries
+                .push_back(HistoryEntry { id, params: Bytes::copy_from_slice(params) });
+            models.push((id, model));
+        }
+        let newest = models.last().expect("n_entries >= 1").0;
+        if newest + 1 != accepted {
+            return Err(CheckpointError::new("history newest id inconsistent with accepted count"));
+        }
+        let n_committed = r.u32("sync map length")? as usize;
+        let mut committed = Vec::with_capacity(n_committed);
+        for _ in 0..n_committed {
+            let client = r.u64("sync client")? as usize;
+            let id = r.u64("sync point")?;
+            committed.push((client, id));
+        }
+        if r.pos != checkpoint.len() {
+            return Err(CheckpointError::new("trailing bytes"));
+        }
+        let global = models.last().expect("n_entries >= 1").1.clone();
+        Ok(Self {
+            endpoint,
+            config,
+            param_len,
+            global,
+            history: ModelHistory::from_entries(history_window, models),
+            history_entries,
+            sync: HistorySync::restore(history_window, accepted, committed),
+            engine: ValidationEngine::new(validator),
+            server_data,
+            round,
+        })
+    }
+
     /// Runs one full protocol round and returns what happened.
     pub fn run_round(&mut self) -> ServerRound {
         self.round += 1;
         let round = self.round;
         let n = self.config.fl.clients_per_round();
+        // Selection randomness is a pure function of (seed, round), so a
+        // restored server replays the uninterrupted run's samples.
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ round);
 
         // --- Training phase ------------------------------------------------
         let contributors: Vec<usize> =
             if round <= self.config.bootstrap_rounds && !self.config.bootstrap_trusted.is_empty() {
                 let pool = &self.config.bootstrap_trusted;
                 let k = n.min(pool.len());
-                sampling::select_clients(&mut self.rng, pool.len(), k)
+                sampling::select_clients(&mut rng, pool.len(), k)
                     .into_iter()
                     .map(|i| pool[i])
                     .collect()
             } else {
-                sampling::select_clients(&mut self.rng, self.config.fl.num_clients(), n)
+                sampling::select_clients(&mut rng, self.config.fl.num_clients(), n)
             };
         let global_bytes = Bytes::from(wire::encode_f32(&self.global.params()));
         for &c in &contributors {
@@ -189,6 +387,9 @@ impl Server {
                 rejected_submissions: update_tally.rejected,
                 rejected_votes: 0,
                 abstentions: update_tally.abstentions,
+                corrupted_payloads: update_tally.corrupted,
+                duplicate_deliveries: update_tally.duplicates,
+                transport_lost: update_tally.lost,
                 quorum_clamped: false,
                 update_phase: update_tally.elapsed,
                 vote_phase: Duration::ZERO,
@@ -212,7 +413,7 @@ impl Server {
 
         // --- Validation phase (Algorithm 1) --------------------------------
         let validators = sampling::select_clients(
-            &mut self.rng,
+            &mut rng,
             self.config.fl.num_clients(),
             self.config.validators_per_round,
         );
@@ -225,7 +426,11 @@ impl Server {
                 .filter_map(|id| self.history_entries.iter().find(|e| e.id == id).cloned())
                 .collect();
             history_bytes_shipped += delta.iter().map(|e| e.params.len()).sum::<usize>();
-            self.sync.mark_synced(v);
+            // Shipped, not yet committed: the sync point only advances
+            // when this validator answers for this round (vote or
+            // abstention). If the request vanishes in flight, the same
+            // delta goes out again at the next selection.
+            self.sync.mark_shipped(v);
             self.endpoint.send(
                 NodeId(v as u32),
                 Message::ValidateRequest {
@@ -235,7 +440,23 @@ impl Server {
                 },
             );
         }
-        let (mut votes, vote_tally) = self.collect_votes(round, &validators);
+        let outcome = self.collect_votes(round, &validators);
+        let VotePhase { mut votes, tally: vote_tally, heard, gapped } = outcome;
+        for &v in &validators {
+            let node = NodeId(v as u32);
+            if gapped.contains(&node) {
+                // The validator declared its cached window unusable
+                // (crash/restart or a corruption-induced gap): forget its
+                // sync state so the next selection re-ships everything.
+                self.sync.reset(v);
+            } else if heard.contains(&node) {
+                // Any answer proves the ValidateRequest — and therefore
+                // the history delta — arrived intact.
+                self.sync.ack(v);
+            }
+            // Silent validators stay unacknowledged: the shipment is
+            // treated as lost and re-sent at their next selection.
+        }
         if self.config.server_votes {
             let outcome = self.engine.validate(
                 &candidate,
@@ -283,6 +504,9 @@ impl Server {
             rejected_submissions: update_tally.rejected,
             rejected_votes: vote_tally.rejected,
             abstentions: update_tally.abstentions + vote_tally.abstentions,
+            corrupted_payloads: update_tally.corrupted + vote_tally.corrupted,
+            duplicate_deliveries: update_tally.duplicates + vote_tally.duplicates,
+            transport_lost: update_tally.lost || vote_tally.lost,
             quorum_clamped,
             update_phase: update_tally.elapsed,
             vote_phase: vote_tally.elapsed,
@@ -310,10 +534,13 @@ impl Server {
     /// - the claimed `from` matches the transport envelope's sender (no
     ///   impersonating a sampled client);
     /// - the sender has not already settled its slot — the **first**
-    ///   submission wins, later duplicates are rejected (mirroring the
-    ///   first-wins rule votes enforce);
+    ///   delivery wins; repeats are counted as duplicate deliveries, not
+    ///   rejections, since a duplicating link is indistinguishable from a
+    ///   duplicating sender;
     /// - the payload decodes to exactly `param_len` floats (a truncated
-    ///   update would panic the aggregation — a remote DoS).
+    ///   update would panic the aggregation — a remote DoS). A payload
+    ///   whose wire **checksum** fails is booked as link corruption, not
+    ///   sender misbehaviour — the honest sender encoded it correctly.
     ///
     /// A misbehaving *sampled* sender settles its ledger slot as
     /// `Rejected`: it has been heard from, so the phase no longer waits
@@ -347,14 +574,22 @@ impl Server {
                             continue;
                         }
                         if !ledger.is_pending(from) {
-                            // Duplicate: the first submission won.
-                            tally.rejected += 1;
+                            // Repeat delivery to a settled slot: the
+                            // first delivery won.
+                            tally.duplicates += 1;
                             continue;
                         }
                         match wire::decode_f32(&update) {
                             Ok(u) if u.len() == self.param_len => {
                                 updates.insert(from, u);
                                 ledger.mark_answered(from);
+                            }
+                            Err(e) if e.is_corruption() => {
+                                // The link damaged an honest payload: the
+                                // slot settles (the client will not
+                                // resend) but the sender is not blamed.
+                                tally.corrupted += 1;
+                                ledger.mark_rejected(from);
                             }
                             _ => {
                                 tally.rejected += 1;
@@ -373,11 +608,20 @@ impl Server {
                         }
                         if ledger.mark_abstained(from) {
                             tally.abstentions += 1;
+                        } else {
+                            tally.duplicates += 1;
                         }
                     }
                     _ => {}
                 },
-                Err(_) => break,
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Not a straggler problem: the transport itself is
+                    // gone. Surface it instead of conflating it with a
+                    // timeout.
+                    tally.lost = true;
+                    break;
+                }
             }
         }
         tally.elapsed = start.elapsed();
@@ -386,19 +630,22 @@ impl Server {
 
     /// Collects vote submissions for `round` until every sampled
     /// validator is accounted for in the phase ledger or the phase
-    /// timeout expires. Returns the counted votes plus the phase tally.
+    /// timeout expires. Returns the counted votes plus the phase tally
+    /// and the acknowledgement evidence: which validators were **heard
+    /// from** (their history shipment arrived) and which of those
+    /// declared a too-short window (their sync state must be reset).
     ///
     /// A vote counts only if the sender is in this round's sampled
     /// validator set, the claimed `from` matches the envelope, and the
-    /// validator's ledger slot is still pending (no double votes, no
-    /// vote after an abstention) — otherwise any node could stuff the
-    /// quorum. An explicit abstention settles the slot without casting a
-    /// vote: per footnote 1 it is an implicit accept, and the phase
-    /// stops waiting for that validator.
-    fn collect_votes(&self, round: u64, validators: &[usize]) -> (Vec<Vote>, PhaseTally) {
+    /// validator's ledger slot is still pending — otherwise any node
+    /// could stuff the quorum. A repeat delivery to a settled slot (a
+    /// duplicated vote, or a vote after an abstention) is counted as a
+    /// duplicate, not a rejection. An explicit abstention settles the
+    /// slot without casting a vote: per footnote 1 it is an implicit
+    /// accept, and the phase stops waiting for that validator.
+    fn collect_votes(&self, round: u64, validators: &[usize]) -> VotePhase {
         let mut ledger = PhaseLedger::new(validators.iter().map(|&v| NodeId(v as u32)));
-        let mut votes = Vec::new();
-        let mut tally = PhaseTally::default();
+        let mut outcome = VotePhase::default();
         let start = std::time::Instant::now();
         let deadline = start + self.config.phase_timeout;
         while !ledger.all_accounted() {
@@ -413,15 +660,16 @@ impl Server {
                             continue;
                         }
                         if from != env.from || !ledger.contains(from) {
-                            tally.rejected += 1;
+                            outcome.tally.rejected += 1;
                             ledger.mark_rejected(env.from);
                             continue;
                         }
                         if ledger.mark_answered(from) {
-                            votes.push(vote);
+                            outcome.votes.push(vote);
+                            outcome.heard.push(from);
                         } else {
                             // Duplicate vote, or a vote after abstaining.
-                            tally.rejected += 1;
+                            outcome.tally.duplicates += 1;
                         }
                     }
                     Message::Abstain { round: r, from, reason } => {
@@ -429,31 +677,60 @@ impl Server {
                             continue;
                         }
                         if from != env.from || !ledger.contains(from) {
-                            tally.rejected += 1;
+                            outcome.tally.rejected += 1;
                             ledger.mark_rejected(env.from);
                             continue;
                         }
                         if ledger.mark_abstained(from) {
-                            tally.abstentions += 1;
+                            outcome.tally.abstentions += 1;
+                            outcome.heard.push(from);
+                            if reason == AbstainReason::HistoryTooShort {
+                                outcome.gapped.push(from);
+                            }
+                        } else {
+                            outcome.tally.duplicates += 1;
                         }
                     }
                     _ => {}
                 },
-                Err(_) => break,
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    outcome.tally.lost = true;
+                    break;
+                }
             }
         }
-        tally.elapsed = start.elapsed();
-        (votes, tally)
+        outcome.tally.elapsed = start.elapsed();
+        outcome
     }
 }
 
 /// What one collection phase observed besides its payloads.
 #[derive(Debug, Default)]
 struct PhaseTally {
-    /// Submissions discarded at intake.
+    /// Submissions discarded at intake because the sender misbehaved.
     rejected: usize,
     /// Explicit abstentions counted.
     abstentions: usize,
+    /// Payloads damaged in flight (wire checksum mismatch).
+    corrupted: usize,
+    /// Repeat deliveries to already-settled ledger slots.
+    duplicates: usize,
+    /// Whether the phase ended because the receive channel disconnected.
+    lost: bool,
     /// Wall-clock the phase took.
     elapsed: Duration,
+}
+
+/// Everything the vote collection phase reports back to the round.
+#[derive(Debug, Default)]
+struct VotePhase {
+    votes: Vec<Vote>,
+    tally: PhaseTally,
+    /// Validators that answered (vote or abstention) — proof their
+    /// ValidateRequest, and therefore their history delta, arrived.
+    heard: Vec<NodeId>,
+    /// The subset of `heard` that abstained with
+    /// [`AbstainReason::HistoryTooShort`].
+    gapped: Vec<NodeId>,
 }

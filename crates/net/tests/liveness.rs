@@ -290,7 +290,9 @@ fn spawn_real_client(
         template.clone(),
         11,
     );
-    move || client.run()
+    move || {
+        client.run();
+    }
 }
 
 fn small_dataset(seed: u64) -> Dataset {

@@ -10,25 +10,76 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+/// How a wire buffer failed to decode.
+///
+/// The distinction matters at the server's intake: a [`Malformed`]
+/// buffer was *built* wrong (the sender is misbehaving — reject and
+/// settle its slot), while a [`Corrupted`] buffer was built correctly
+/// and damaged in flight (the checksum no longer matches — blame the
+/// link, not the node).
+///
+/// [`Malformed`]: DecodeErrorKind::Malformed
+/// [`Corrupted`]: DecodeErrorKind::Corrupted
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeErrorKind {
+    /// Structurally invalid: truncated, wrong magic, wrong codec.
+    Malformed,
+    /// Structurally valid but the payload checksum does not match: the
+    /// bytes were damaged after encoding.
+    Corrupted,
+}
+
 /// Error returned when decoding malformed wire bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecodeError {
     what: &'static str,
+    kind: DecodeErrorKind,
 }
 
 impl DecodeError {
     fn new(what: &'static str) -> Self {
-        Self { what }
+        Self { what, kind: DecodeErrorKind::Malformed }
+    }
+
+    fn corrupted(what: &'static str) -> Self {
+        Self { what, kind: DecodeErrorKind::Corrupted }
+    }
+
+    /// What kind of failure this is.
+    pub fn kind(&self) -> DecodeErrorKind {
+        self.kind
+    }
+
+    /// Whether the buffer was damaged in flight (checksum mismatch)
+    /// rather than built wrong by the sender.
+    pub fn is_corruption(&self) -> bool {
+        self.kind == DecodeErrorKind::Corrupted
     }
 }
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "malformed model wire data: {}", self.what)
+        let adjective = match self.kind {
+            DecodeErrorKind::Malformed => "malformed",
+            DecodeErrorKind::Corrupted => "corrupted",
+        };
+        write!(f, "{adjective} model wire data: {}", self.what)
     }
 }
 
 impl std::error::Error for DecodeError {}
+
+/// FNV-1a over the payload bytes — cheap, dependency-free, and plenty to
+/// catch the bit flips the chaos transport injects (this is an integrity
+/// check against line noise, not an authenticator).
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811C_9DC5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
 
 const MAGIC_F32: u32 = 0xBAFF_1E32;
 const MAGIC_Q8: u32 = 0xBAFF_1E08;
@@ -46,31 +97,45 @@ const MAGIC_Q4: u32 = 0xBAFF_1E04;
 /// # Ok::<(), baffle_nn::wire::DecodeError>(())
 /// ```
 pub fn encode_f32(params: &[f32]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(8 + params.len() * 4);
+    let mut buf = BytesMut::with_capacity(F32_HEADER + params.len() * 4);
     buf.put_u32_le(MAGIC_F32);
     buf.put_u32_le(params.len() as u32);
+    buf.put_u32_le(0); // checksum placeholder
     for &p in params {
         buf.put_f32_le(p);
     }
+    let sum = fnv1a(&buf[F32_HEADER..]);
+    buf[8..12].copy_from_slice(&sum.to_le_bytes());
     buf.freeze()
 }
+
+/// Byte offset where the `f32` codec's payload starts (magic + length +
+/// checksum). Public so the fault injector can corrupt payload bytes
+/// without touching the framing.
+pub const F32_HEADER: usize = 12;
 
 /// Decodes a vector produced by [`encode_f32`].
 ///
 /// # Errors
 ///
 /// Returns [`DecodeError`] if the buffer is truncated or has the wrong
-/// magic number.
+/// magic number ([`DecodeErrorKind::Malformed`]), or if the payload
+/// checksum does not match ([`DecodeErrorKind::Corrupted`] — the buffer
+/// was damaged after encoding).
 pub fn decode_f32(mut bytes: &[u8]) -> Result<Vec<f32>, DecodeError> {
-    if bytes.remaining() < 8 {
+    if bytes.remaining() < F32_HEADER {
         return Err(DecodeError::new("header truncated"));
     }
     if bytes.get_u32_le() != MAGIC_F32 {
         return Err(DecodeError::new("bad magic for f32 codec"));
     }
     let n = bytes.get_u32_le() as usize;
+    let expected_sum = bytes.get_u32_le();
     if bytes.remaining() < n * 4 {
         return Err(DecodeError::new("payload truncated"));
+    }
+    if fnv1a(&bytes[..n * 4]) != expected_sum {
+        return Err(DecodeError::corrupted("payload checksum mismatch"));
     }
     Ok((0..n).map(|_| bytes.get_f32_le()).collect())
 }
@@ -241,6 +306,23 @@ mod tests {
         for &b in &back {
             assert!((b - 0.5).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn payload_bit_flip_is_reported_as_corruption() {
+        let p = sample_params(64);
+        let enc = encode_f32(&p);
+        let mut damaged = enc.to_vec();
+        damaged[F32_HEADER + 17] ^= 0x40;
+        let err = decode_f32(&damaged).unwrap_err();
+        assert!(err.is_corruption(), "bit flip must be detected as corruption: {err}");
+        assert_eq!(err.kind(), DecodeErrorKind::Corrupted);
+        // Structural damage is *not* corruption: a truncated buffer and a
+        // wrong-codec buffer are the sender's fault.
+        let err = decode_f32(&enc[..enc.len() - 1]).unwrap_err();
+        assert!(!err.is_corruption());
+        let err = decode_f32(&encode_q8(&p)).unwrap_err();
+        assert!(!err.is_corruption());
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Chaos soak suite: the full threaded deployment under combined
+//! transport faults — i.i.d. drop, delay+jitter, reordering,
+//! duplication, payload corruption — plus scripted crash/restart and
+//! partition events.
+//!
+//! The standing invariants these runs must uphold, per DESIGN.md §14:
+//!
+//! - the server completes every configured round (faults cost wall-clock
+//!   and participation, never liveness);
+//! - phase-ledger counts stay bounded by the sampled sets;
+//! - **zero** intake rejections: every fault an honest deployment
+//!   suffers is booked as loss, corruption or duplication — never as
+//!   sender misbehaviour;
+//! - no client ever ends up holding a gapped history window (corrupted
+//!   or lost deltas are repaired by truncation + acknowledged re-ship);
+//! - with an attacker in the population, poisoned rounds are still
+//!   rejected — the defense survives a faulty wire.
+
+use baffle::net::deployment::{Deployment, DeploymentConfig, DeploymentOutcome};
+use baffle::net::fault::{FaultEvent, FaultPlan, LinkPolicy};
+use baffle::net::message::NodeId;
+use std::time::Duration;
+
+/// Every probabilistic fault at once, plus one crash/restart and one
+/// round-long partition. Node 3 crashes at round 3 and rejoins with an
+/// empty history cache at round 5; node 5 is unreachable during round 4.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::uniform(
+        LinkPolicy::lossless()
+            .with_drop(0.03)
+            .with_delay(Duration::from_millis(1), Duration::from_millis(2))
+            .with_duplicate(0.05)
+            .with_reorder(0.08, Duration::from_millis(4))
+            .with_corrupt(0.03),
+        seed ^ 0xC4A0_5EED,
+    )
+    .event(FaultEvent::Crash { node: NodeId(3), at_round: 3, restart_round: Some(5) })
+    .event(FaultEvent::Partition { node: NodeId(5), rounds: 4..=4 })
+}
+
+/// An all-honest deployment under the chaos plan. The short phase
+/// timeout keeps lost-message rounds cheap; everything else matches the
+/// stock small deployment.
+fn chaos_config(seed: u64) -> DeploymentConfig {
+    let mut config = DeploymentConfig::small(seed);
+    config.malicious_clients = 0;
+    config.rounds = 7;
+    config.phase_timeout = Duration::from_millis(1200);
+    config.faults = Some(chaos_plan(seed));
+    config
+}
+
+fn assert_invariants(seed: u64, config: &DeploymentConfig, outcome: &DeploymentOutcome) {
+    // Liveness: every round completes, in order.
+    assert_eq!(outcome.rounds.len(), config.rounds as usize, "seed {seed}: rounds missing");
+    for (i, r) in outcome.rounds.iter().enumerate() {
+        assert_eq!(r.round, i as u64 + 1, "seed {seed}: round sequence gapped");
+        assert!(!r.transport_lost, "seed {seed}: the in-process transport never dies");
+
+        // Ledger bounds: nothing is ever counted twice, so each phase's
+        // tallies fit inside its sampled set.
+        assert!(
+            r.updates_received <= config.clients_per_round,
+            "seed {seed} round {}: {} updates from {} contributors",
+            r.round,
+            r.updates_received,
+            config.clients_per_round,
+        );
+        assert!(
+            r.votes_received <= config.validators_per_round,
+            "seed {seed} round {}: {} votes from {} validators",
+            r.round,
+            r.votes_received,
+            config.validators_per_round,
+        );
+        assert!(
+            r.abstentions + r.votes_received
+                <= config.clients_per_round + config.validators_per_round,
+            "seed {seed} round {}: ledger over-counted",
+            r.round,
+        );
+
+        // The core taxonomy invariant: an all-honest deployment suffers
+        // drops, corruption and duplication — but never an intake
+        // rejection. An honest node must not be booked as misbehaving
+        // because the network chewed its message.
+        assert_eq!(
+            r.rejected_submissions, 0,
+            "seed {seed} round {}: honest contributor booked as rejected",
+            r.round
+        );
+        assert_eq!(
+            r.rejected_votes, 0,
+            "seed {seed} round {}: honest validator booked as rejected",
+            r.round
+        );
+    }
+
+    // Every client incarnation — including the crashed one and its
+    // restarted replacement — exits holding a contiguous history window.
+    assert_eq!(
+        outcome.client_reports.len(),
+        config.num_clients + 1,
+        "seed {seed}: one report per incarnation (8 clients + 1 restart)"
+    );
+    let crashed = outcome.client_reports.iter().filter(|r| r.id == NodeId(3)).count();
+    assert_eq!(crashed, 2, "seed {seed}: node 3 must report twice (crash + restart)");
+    for report in &outcome.client_reports {
+        assert!(
+            report.window_contiguous,
+            "seed {seed}: client {:?} exited with a gapped history window: {report:?}",
+            report.id
+        );
+    }
+}
+
+/// The main soak: three fixed seeds, all faults at once. Any invariant
+/// violation names its seed so a failure reproduces deterministically.
+#[test]
+fn soak_all_faults_uphold_invariants_across_seeds() {
+    let mut total_dropped = 0u64;
+    let mut total_duplicated = 0u64;
+    let mut total_corrupted = 0u64;
+    for seed in [5u64, 6, 7] {
+        let config = chaos_config(seed);
+        let outcome = Deployment::run(config.clone());
+        assert_invariants(seed, &config, &outcome);
+        total_dropped += outcome.messages_dropped;
+        total_duplicated += outcome.messages_duplicated;
+        total_corrupted += outcome.messages_corrupted;
+    }
+    // The chaos must actually have happened — a plan that injects
+    // nothing would make the invariants above vacuous.
+    assert!(total_dropped > 0, "drop faults never fired");
+    assert!(total_duplicated > 0, "duplication faults never fired");
+    assert!(total_corrupted > 0, "corruption faults never fired");
+}
+
+/// The defense keeps working on a faulty wire: with an attacker in the
+/// population and the transport delaying, reordering and duplicating
+/// (but not losing) messages, poisoned rounds are still rejected and the
+/// backdoor does not survive. Mirrors the lossless
+/// `attacker_rounds_are_rejected_once_history_matures` test.
+#[test]
+fn poisoned_rounds_are_still_rejected_under_chaos() {
+    let mut config = DeploymentConfig::small(2);
+    config.rounds = 14;
+    config.faults = Some(FaultPlan::uniform(
+        LinkPolicy::lossless()
+            .with_delay(Duration::from_millis(1), Duration::from_millis(2))
+            .with_duplicate(0.05)
+            .with_reorder(0.1, Duration::from_millis(4)),
+        0xFEED,
+    ));
+    let outcome = Deployment::run(config);
+    assert_eq!(outcome.rounds.len(), 14);
+    let rejected = outcome.rounds.iter().filter(|r| !r.accepted).count();
+    assert!(rejected >= 1, "no poisoned round was rejected under chaos");
+    assert!(
+        outcome.final_backdoor_accuracy < 0.5,
+        "backdoor persisted under chaos: {}",
+        outcome.final_backdoor_accuracy
+    );
+    // No message was ever dropped or damaged, so rejections can only be
+    // the defense's verdicts — and the intake must stay clean.
+    assert_eq!(outcome.messages_dropped, 0);
+    assert_eq!(outcome.messages_corrupted, 0);
+    for r in &outcome.rounds {
+        assert_eq!(r.rejected_submissions, 0, "round {}", r.round);
+        assert_eq!(r.rejected_votes, 0, "round {}", r.round);
+    }
+}
+
+/// A total blackout towards one node is expressible (`drop_prob = 1.0`,
+/// the closed-interval fix) and costs participation, not liveness.
+#[test]
+fn total_blackout_to_one_node_only_costs_participation() {
+    use baffle::net::fault::LinkSelector;
+    let mut config = DeploymentConfig::small(9);
+    config.malicious_clients = 0;
+    config.rounds = 5;
+    config.phase_timeout = Duration::from_millis(1200);
+    config.faults = Some(
+        FaultPlan::lossless(9)
+            .link(LinkSelector::to(NodeId(6)), LinkPolicy::lossless().with_drop(1.0)),
+    );
+    let outcome = Deployment::run(config.clone());
+    assert_eq!(outcome.rounds.len(), 5, "a blackholed client must not stall the server");
+    for r in &outcome.rounds {
+        assert_eq!(r.rejected_submissions, 0, "round {}", r.round);
+        assert_eq!(r.rejected_votes, 0, "round {}", r.round);
+    }
+    // Node 6 heard no protocol traffic at all (only the fault-exempt
+    // shutdown control message, which lets its actor exit cleanly).
+    let report = outcome.client_reports.iter().find(|r| r.id == NodeId(6)).expect("report");
+    assert_eq!(report.rounds_participated, 0, "a blackholed node cannot participate");
+    assert!(report.window_contiguous);
+}
