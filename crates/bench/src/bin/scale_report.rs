@@ -1,0 +1,66 @@
+//! Emits a machine-readable deployment-scale summary (`BENCH_scale.json`
+//! on CI): wall-clock rounds/sec and peak RSS of an at-scale BaFFLe
+//! deployment — tens of thousands of *registered* clients with only a
+//! few hundred sampled per round, the regime the event-driven scheduler
+//! exists for (thread-per-client tops out around a few hundred nodes).
+//!
+//! Uses plain `std::time` rather than Criterion so it runs as a normal
+//! release binary:
+//! `cargo run --release -p baffle-bench --bin scale_report [-- <clients>]`
+//! (default 10 000 registered clients; CI smoke uses 2 000).
+
+use baffle_net::deployment::{Deployment, DeploymentConfig};
+use baffle_tensor::pool;
+use std::time::Instant;
+
+/// Peak resident set size in kilobytes, read from `/proc/self/status`
+/// (`VmHWM`). `None` off Linux or when the field is absent.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn main() {
+    let clients: usize = std::env::args()
+        .nth(1)
+        .map(|arg| arg.parse().expect("clients must be a positive integer"))
+        .unwrap_or(10_000);
+
+    let config = DeploymentConfig::at_scale(77, clients);
+    let contributors = config.clients_per_round;
+    let validators = config.validators_per_round;
+    let rounds = config.rounds;
+
+    let build_start = Instant::now();
+    let parts = Deployment::build(config);
+    let build_s = build_start.elapsed().as_secs_f64();
+
+    let run_start = Instant::now();
+    let outcome = parts.run();
+    let run_s = run_start.elapsed().as_secs_f64();
+
+    assert_eq!(outcome.rounds.len(), rounds as usize, "deployment must finish every round");
+    assert!(
+        outcome.rounds.iter().all(|r| !r.transport_lost),
+        "the in-process transport must survive the run"
+    );
+
+    let peak_rss_mb = peak_rss_kb().map(|kb| kb as f64 / 1024.0);
+    println!("{{");
+    println!("  \"bench\": \"scale\",");
+    println!("  \"threads\": {},", pool::threads());
+    println!("  \"registered_clients\": {clients},");
+    println!("  \"contributors_per_round\": {contributors},");
+    println!("  \"validators_per_round\": {validators},");
+    println!("  \"rounds\": {rounds},");
+    println!("  \"build_seconds\": {build_s:.3},");
+    println!("  \"run_seconds\": {run_s:.3},");
+    println!("  \"rounds_per_sec\": {:.3},", rounds as f64 / run_s);
+    println!("  \"messages_sent\": {},", outcome.messages_sent);
+    match peak_rss_mb {
+        Some(mb) => println!("  \"peak_rss_mb\": {mb:.1}"),
+        None => println!("  \"peak_rss_mb\": null"),
+    }
+    println!("}}");
+}

@@ -112,6 +112,16 @@ impl HistorySync {
         seen.max(window.start)..window.end
     }
 
+    /// The committed sync point for `client`, if any: the id below which
+    /// the client is confirmed to hold everything (within the window).
+    /// A committed point below [`HistorySync::window_ids`]`.start` means
+    /// the client has been absent so long that models it never saw were
+    /// evicted — the server should [`HistorySync::reset`] it and ship
+    /// the full window instead of a delta.
+    pub fn sync_point(&self, client: usize) -> Option<ModelId> {
+        self.synced_up_to.get(&client).copied()
+    }
+
     /// Records that the full current window was just shipped to
     /// `client`, without committing the sync point. Call
     /// [`HistorySync::ack`] once the client proves receipt.
@@ -284,6 +294,25 @@ mod tests {
         // A late ack for the pre-reset shipment must not resurrect it.
         assert!(!sync.ack(1));
         assert_eq!(sync.models_to_send(1), sync.window_ids());
+    }
+
+    #[test]
+    fn sync_point_reports_eviction_lag() {
+        let mut sync = HistorySync::new(4);
+        for _ in 0..4 {
+            sync.push_accepted();
+        }
+        assert_eq!(sync.sync_point(2), None, "never-synced client has no point");
+        sync.mark_synced(2);
+        assert_eq!(sync.sync_point(2), Some(4));
+        // 6 more accepted models push the window past the sync point.
+        for _ in 0..6 {
+            sync.push_accepted();
+        }
+        let point = sync.sync_point(2).unwrap();
+        assert!(point < sync.window_ids().start, "point {point} must predate the window");
+        sync.reset(2);
+        assert_eq!(sync.sync_point(2), None);
     }
 
     #[test]

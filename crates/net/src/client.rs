@@ -1,7 +1,14 @@
 //! Client actors: honest participants and the attacker.
+//!
+//! A [`Client`] is a *state machine*: [`Client::handle`] consumes one
+//! [`Envelope`] and sends any replies through its [`Outbox`], never
+//! blocking on a receiver. The scheduler (see [`crate::scheduler`])
+//! multiplexes thousands of these machines over one shared inbox; the
+//! retained thread-per-client path simply wraps [`Client::handle`] in a
+//! blocking [`Client::run`] loop over a dedicated [`Endpoint`].
 
 use crate::message::{AbstainReason, HistoryEntry, Message, NodeId};
-use crate::transport::Endpoint;
+use crate::transport::{Endpoint, Envelope, Outbox};
 use baffle_attack::voting::VoterBehavior;
 use baffle_attack::ModelReplacement;
 use baffle_core::{ValidateError, ValidationEngine, Validator};
@@ -9,9 +16,12 @@ use baffle_data::Dataset;
 use baffle_fl::history_sync::ModelId;
 use baffle_fl::LocalTrainer;
 use baffle_nn::{wire, Mlp, Model};
+use baffle_tensor::rng::derive_stream;
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::ops::ControlFlow;
+use std::sync::Arc;
 
 /// A client's role in the protocol.
 #[derive(Debug, Clone)]
@@ -23,17 +33,18 @@ pub enum ClientRole {
     Malicious {
         /// The attack used to craft poisoned updates.
         attack: ModelReplacement,
-        /// The attacker's backdoor training set.
-        backdoor_data: Dataset,
+        /// The attacker's backdoor training set (shared, read-only).
+        backdoor_data: Arc<Dataset>,
         /// How the client votes when selected as a validator.
         voting: VoterBehavior,
     },
 }
 
 /// What a client actor observed over its lifetime, returned by
-/// [`Client::run`] when the actor exits (shutdown or transport loss).
-/// Chaos tests use it to check client-side invariants the server cannot
-/// see — above all that the cached history window never ends up gapped.
+/// [`Client::run`] / [`Client::report`] when the actor exits (shutdown
+/// or transport loss). Chaos tests use it to check client-side
+/// invariants the server cannot see — above all that the cached history
+/// window never ends up gapped.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClientReport {
     /// The client's node id.
@@ -55,10 +66,13 @@ pub struct ClientReport {
 /// One federated client actor: local data, a cached slice of the
 /// accepted-model history (filled incrementally by the server), the
 /// validation function, and a role.
+///
+/// Datasets and the architecture template are `Arc`-shared: at 10k+
+/// registered clients, deep-cloning per client would dominate peak RSS.
 #[derive(Debug)]
 pub struct Client {
-    endpoint: Endpoint,
-    data: Dataset,
+    outbox: Outbox,
+    data: Arc<Dataset>,
     trainer: LocalTrainer,
     engine: ValidationEngine,
     role: ClientRole,
@@ -70,7 +84,7 @@ pub struct Client {
     /// Cached history models, oldest first.
     history_models: Vec<Mlp>,
     history_window: usize,
-    template: Mlp,
+    template: Arc<Mlp>,
     rng: StdRng,
     rounds_participated: u64,
     votes_cast: u64,
@@ -79,21 +93,22 @@ pub struct Client {
 }
 
 impl Client {
-    /// Creates a client actor. `template` is any model with the right
-    /// architecture (used to decode incoming parameter vectors).
+    /// Creates a client actor sending as `outbox`'s node id. `template`
+    /// is any model with the right architecture (used to decode incoming
+    /// parameter vectors).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
-        endpoint: Endpoint,
-        data: Dataset,
+        outbox: Outbox,
+        data: Arc<Dataset>,
         trainer: LocalTrainer,
         validator: Validator,
         role: ClientRole,
         history_window: usize,
-        template: Mlp,
+        template: Arc<Mlp>,
         seed: u64,
     ) -> Self {
         Self {
-            endpoint,
+            outbox,
             data,
             trainer,
             engine: ValidationEngine::new(validator),
@@ -110,47 +125,73 @@ impl Client {
         }
     }
 
+    /// This client's node id.
+    pub fn id(&self) -> NodeId {
+        self.outbox.id()
+    }
+
     /// Number of rounds this client was asked to train or validate in.
     pub fn rounds_participated(&self) -> u64 {
         self.rounds_participated
     }
 
-    /// Runs the actor loop until a [`Message::Shutdown`] arrives or the
-    /// network disconnects (a crash-stop), and reports what the actor
-    /// observed.
-    pub fn run(&mut self) -> ClientReport {
-        while let Ok(env) = self.endpoint.recv() {
-            match env.message {
-                Message::TrainRequest { round, global } => {
-                    self.rounds_participated += 1;
-                    self.handle_train(round, &global);
-                }
-                Message::ValidateRequest { round, candidate, history_delta } => {
-                    self.rounds_participated += 1;
-                    self.merge_history_delta(history_delta);
-                    self.handle_validate(round, &candidate);
-                }
-                Message::RoundResult { .. } => {
-                    // Nothing to do: history updates arrive with the next
-                    // ValidateRequest delta.
-                }
-                Message::UpdateSubmission { .. }
-                | Message::VoteSubmission { .. }
-                | Message::Abstain { .. } => {
-                    // Client-to-server messages; ignore if misrouted.
-                }
-                Message::Shutdown => break,
+    /// Processes one inbound envelope, sending any reply through the
+    /// outbox. Returns [`ControlFlow::Break`] when the actor should stop
+    /// (a [`Message::Shutdown`] arrived). Never blocks — this is the
+    /// step function the event-driven scheduler dispatches as pool
+    /// tasks.
+    pub fn handle(&mut self, env: Envelope) -> ControlFlow<()> {
+        match env.message {
+            Message::TrainRequest { round, global } => {
+                self.rounds_participated += 1;
+                self.handle_train(round, &global);
             }
+            Message::ValidateRequest { round, candidate, history_delta } => {
+                self.rounds_participated += 1;
+                self.merge_history_delta(history_delta);
+                self.handle_validate(round, &candidate);
+            }
+            Message::RoundResult { .. } => {
+                // Nothing to do: history updates arrive with the next
+                // ValidateRequest delta.
+            }
+            Message::UpdateSubmission { .. }
+            | Message::VoteSubmission { .. }
+            | Message::Abstain { .. } => {
+                // Client-to-server messages; ignore if misrouted.
+            }
+            Message::Shutdown => return ControlFlow::Break(()),
         }
+        ControlFlow::Continue(())
+    }
+
+    /// What this actor has observed so far — the exit report once
+    /// [`Client::handle`] broke (or the endpoint disconnected).
+    pub fn report(&self) -> ClientReport {
         let window_contiguous = self.history_ids.windows(2).all(|w| w[0] + 1 == w[1]);
         ClientReport {
-            id: self.endpoint.id(),
+            id: self.outbox.id(),
             rounds_participated: self.rounds_participated,
             votes_cast: self.votes_cast,
             abstentions: self.abstentions,
             gap_repairs: self.gap_repairs,
             window_contiguous,
         }
+    }
+
+    /// Runs the blocking actor loop over a dedicated endpoint until a
+    /// [`Message::Shutdown`] arrives or the network disconnects (a
+    /// crash-stop), and reports what the actor observed. This is the
+    /// thread-per-client path; `endpoint` must be the registration for
+    /// this client's id.
+    pub fn run(&mut self, endpoint: &Endpoint) -> ClientReport {
+        debug_assert_eq!(endpoint.id(), self.outbox.id());
+        while let Ok(env) = endpoint.recv() {
+            if self.handle(env).is_break() {
+                break;
+            }
+        }
+        self.report()
     }
 
     /// Merges a shipped history delta into the cached window, then
@@ -169,7 +210,7 @@ impl Client {
                 // Ids arrive mostly in order; insert sorted and
                 // skip duplicates (a re-shipped delta after loss).
                 if let Err(pos) = self.history_ids.binary_search(&entry.id) {
-                    let mut m = self.template.clone();
+                    let mut m = self.template.as_ref().clone();
                     m.set_params(&params);
                     self.history_ids.insert(pos, entry.id);
                     self.history_models.insert(pos, m);
@@ -207,8 +248,8 @@ impl Client {
     /// footnote-1 implicit accept made explicit.
     fn abstain(&mut self, round: u64, reason: AbstainReason) {
         self.abstentions += 1;
-        self.endpoint
-            .send(NodeId::SERVER, Message::Abstain { round, from: self.endpoint.id(), reason });
+        self.outbox
+            .send(NodeId::SERVER, Message::Abstain { round, from: self.outbox.id(), reason });
     }
 
     fn handle_train(&mut self, round: u64, global_bytes: &Bytes) {
@@ -220,20 +261,27 @@ impl Client {
             // aggregate; declare the inability instead.
             return self.abstain(round, AbstainReason::EmptyShard);
         }
-        let mut global = self.template.clone();
+        let mut global = self.template.as_ref().clone();
         global.set_params(&params);
         let update = match &self.role {
             ClientRole::Honest => self.trainer.train_update(&global, &self.data, &mut self.rng),
             ClientRole::Malicious { attack, backdoor_data, .. } => {
-                let mut atk_rng = StdRng::seed_from_u64(0xBAD ^ round);
+                // Mixed per (base, round, node): a plain `0xBAD ^ round`
+                // would hand every attacker the identical stream, making
+                // multi-attacker runs submit duplicate poisoned updates.
+                let mut atk_rng = StdRng::seed_from_u64(derive_stream(
+                    0xBAD,
+                    round,
+                    self.outbox.id().0 as u64,
+                ));
                 attack.poisoned_update(&global, &self.data, backdoor_data, &mut atk_rng)
             }
         };
-        self.endpoint.send(
+        self.outbox.send(
             NodeId::SERVER,
             Message::UpdateSubmission {
                 round,
-                from: self.endpoint.id(),
+                from: self.outbox.id(),
                 update: Bytes::from(wire::encode_f32(&update)),
             },
         );
@@ -243,7 +291,7 @@ impl Client {
         let Ok(params) = wire::decode_f32(candidate_bytes) else {
             return self.abstain(round, AbstainReason::UndecodableCandidate);
         };
-        let mut candidate = self.template.clone();
+        let mut candidate = self.template.as_ref().clone();
         candidate.set_params(&params);
         let outcome =
             self.engine.validate(&candidate, &self.history_ids, &self.history_models, &self.data);
@@ -265,9 +313,9 @@ impl Client {
             ClientRole::Malicious { voting, .. } => voting.cast(honest_vote),
         };
         self.votes_cast += 1;
-        self.endpoint.send(
+        self.outbox.send(
             NodeId::SERVER,
-            Message::VoteSubmission { round, from: self.endpoint.id(), vote },
+            Message::VoteSubmission { round, from: self.outbox.id(), vote },
         );
     }
 }

@@ -1,17 +1,23 @@
-//! End-to-end threaded deployment harness.
+//! End-to-end deployment harness.
 //!
 //! [`Deployment::build`] materialises data, models and the network and
 //! returns [`DeploymentParts`] — the pieces a test can drive by hand
 //! (run rounds, checkpoint the server, crash and restart clients).
-//! [`Deployment::run`] is the turnkey path: it builds the parts, spawns
-//! every client actor, executes the configured rounds **including the
-//! fault plan's scripted crash/restart events**, and reports.
+//! [`Deployment::run`] is the turnkey path: it builds the parts, runs
+//! every client as a state machine on the event-driven
+//! [`crate::scheduler`] (one scheduler thread + the shared worker pool,
+//! so 10k+ registered clients are cheap), executes the configured
+//! rounds **including the fault plan's scripted crash/restart events**,
+//! and reports. [`DeploymentParts::run_threaded`] retains the
+//! thread-per-client path; the two are bit-identical on identical
+//! configs (see `crates/net/tests/scheduler.rs`).
 
 use crate::client::{Client, ClientReport, ClientRole};
 use crate::fault::FaultPlan;
 use crate::message::NodeId;
+use crate::scheduler::{ClientFactory, SchedulerHandle};
 use crate::server::{Server, ServerConfig, ServerRound};
-use crate::transport::Network;
+use crate::transport::{Endpoint, Network};
 use baffle_attack::voting::VoterBehavior;
 use baffle_attack::{BackdoorSpec, ModelReplacement};
 use baffle_core::{ValidationConfig, Validator};
@@ -21,9 +27,10 @@ use baffle_nn::{eval, Mlp, MlpSpec, Sgd};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Configuration of a threaded protocol deployment (CIFAR-like semantic
+/// Configuration of a protocol deployment (CIFAR-like semantic
 /// backdoor scenario).
 #[derive(Debug, Clone)]
 pub struct DeploymentConfig {
@@ -91,6 +98,33 @@ impl DeploymentConfig {
             bootstrap_rounds: 5,
         }
     }
+
+    /// A registered-population scale benchmark: `num_clients` clients
+    /// (10k+ intended) of which only a few hundred are sampled per round
+    /// — the paper's FEMNIST regime, and the shape the event-driven
+    /// scheduler exists for. All-honest, no warm-up, thin shards (most
+    /// of the population is enrolled, not busy).
+    pub fn at_scale(seed: u64, num_clients: usize) -> Self {
+        let validators_per_round = (num_clients / 80).clamp(4, 128);
+        Self {
+            seed,
+            num_clients,
+            clients_per_round: (num_clients / 40).clamp(4, 256),
+            validators_per_round,
+            quorum: (validators_per_round / 2).max(1),
+            lookback: 4,
+            rounds: 3,
+            malicious_clients: 0,
+            total_train: 2 * num_clients,
+            server_share: 0.02,
+            hidden: vec![16],
+            warmup_central_epochs: 0,
+            drop_prob: 0.0,
+            faults: None,
+            phase_timeout: Duration::from_secs(60),
+            bootstrap_rounds: 0,
+        }
+    }
 }
 
 /// Outcome of a deployment run.
@@ -110,6 +144,10 @@ pub struct DeploymentOutcome {
     pub messages_duplicated: u64,
     /// Messages whose payload the link damaged.
     pub messages_corrupted: u64,
+    /// Sends whose destination had no route (shutdown notices to
+    /// crashed nodes, mid-round sends racing a crash). Kept apart from
+    /// `messages_dropped` so loss assertions stay exact.
+    pub messages_unroutable: u64,
     /// Per-client lifetime reports, sorted by node id. A client that
     /// crashed and restarted contributes one report per incarnation.
     pub client_reports: Vec<ClientReport>,
@@ -123,8 +161,8 @@ pub struct DeploymentOutcome {
 pub struct ClientSpec {
     /// The client's id (also its [`NodeId`]).
     pub id: usize,
-    /// Its local shard.
-    pub data: Dataset,
+    /// Its local shard, shared read-only across incarnations.
+    pub data: Arc<Dataset>,
     /// Honest or malicious.
     pub role: ClientRole,
     /// The actor's RNG seed.
@@ -138,12 +176,13 @@ pub struct DeploymentParts {
     /// The server actor (already registered on the network).
     pub server: Server,
     /// One spec per client, by id. Clients are **not** yet registered —
-    /// [`DeploymentParts::client_actor`] does that when spawning.
+    /// [`DeploymentParts::client_actor`] and the scheduler factory do
+    /// that when spawning.
     pub specs: Vec<ClientSpec>,
     /// The validation function every actor uses.
     pub validator: Validator,
-    /// Architecture template for building actors.
-    pub template: Mlp,
+    /// Architecture template for building actors, shared read-only.
+    pub template: Arc<Mlp>,
     /// Server-side config (kept for [`Server::restore`] after a crash).
     pub server_config: ServerConfig,
     /// Server-side validation data (kept for [`Server::restore`]).
@@ -171,41 +210,104 @@ impl std::fmt::Debug for DeploymentParts {
 }
 
 impl DeploymentParts {
-    /// Registers client `id` on the network and builds its actor —
-    /// used both for the initial spawn and for scripted restarts.
+    /// Registers client `id` on the network and builds its actor plus
+    /// the dedicated endpoint its blocking loop drains — used by the
+    /// thread-per-client path and by tests that drive one actor by hand.
     ///
     /// # Panics
     ///
     /// Panics if `id` has no spec or is currently registered.
-    pub fn client_actor(&self, id: usize) -> Client {
+    pub fn client_actor(&self, id: usize) -> (Endpoint, Client) {
         let spec = &self.specs[id];
         assert_eq!(spec.id, id, "specs must be indexed by id");
         let endpoint = self.network.register(NodeId(id as u32));
-        Client::new(
-            endpoint,
-            spec.data.clone(),
+        let outbox = endpoint.outbox();
+        let client = Client::new(
+            outbox,
+            Arc::clone(&spec.data),
             LocalTrainer::from_config(&self.fl),
             self.validator,
             spec.role.clone(),
             self.history_window,
-            self.template.clone(),
+            Arc::clone(&self.template),
             spec.seed,
-        )
+        );
+        (endpoint, client)
     }
 
-    /// Spawns every client, runs the configured rounds while executing
-    /// the fault plan's scripted crash/restart events, shuts down and
-    /// reports.
+    /// The state-machine factory the scheduler uses for the initial
+    /// population and for every scripted restart. Owns clones of the
+    /// (Arc-shared) specs so it can outlive `self` on the scheduler
+    /// thread.
+    fn client_factory(&self) -> ClientFactory {
+        let specs = self.specs.clone();
+        let trainer = LocalTrainer::from_config(&self.fl);
+        let validator = self.validator;
+        let history_window = self.history_window;
+        let template = Arc::clone(&self.template);
+        Box::new(move |id, outbox| {
+            let spec = &specs[id.0 as usize];
+            Client::new(
+                outbox,
+                Arc::clone(&spec.data),
+                trainer.clone(),
+                validator,
+                spec.role.clone(),
+                history_window,
+                Arc::clone(&template),
+                spec.seed,
+            )
+        })
+    }
+
+    /// Runs the deployment on the event-driven scheduler: every client
+    /// is a state machine multiplexed over one inbound queue, stepped on
+    /// the shared worker pool. Scripted crash/restart events map to
+    /// [`SchedulerHandle::crash`] / [`SchedulerHandle::restart`]. This
+    /// is the default path; outcomes are bit-identical to
+    /// [`DeploymentParts::run_threaded`].
     pub fn run(mut self) -> DeploymentOutcome {
+        let events: FaultPlan =
+            self.config.faults.clone().unwrap_or_else(|| FaultPlan::lossless(0));
+        let ids: Vec<NodeId> = self.specs.iter().map(|s| NodeId(s.id as u32)).collect();
+        let scheduler = SchedulerHandle::launch(&self.network, ids, self.client_factory());
+
+        let mut rounds = Vec::with_capacity(self.config.rounds as usize);
+        for r in 1..=self.config.rounds {
+            self.network.begin_round(r);
+            for node in events.crashes_at(r) {
+                // Crash-stop: the machine is dropped after draining what
+                // was already delivered, and the route disappears.
+                scheduler.crash(node);
+            }
+            for node in events.restarts_at(r) {
+                // A restarted client is a fresh process: empty history
+                // cache, fresh RNG — only its shard survives.
+                scheduler.restart(node);
+            }
+            rounds.push(self.server.run_round());
+        }
+        self.server.shutdown();
+        let mut client_reports = scheduler.join();
+        client_reports.sort_by_key(|r| r.id);
+        self.outcome(rounds, client_reports)
+    }
+
+    /// Spawns every client on its own OS thread, runs the configured
+    /// rounds while executing the fault plan's scripted crash/restart
+    /// events, shuts down and reports. Retained as the reference
+    /// implementation the scheduler is checked against; practical up to
+    /// a few hundred clients.
+    pub fn run_threaded(mut self) -> DeploymentOutcome {
         let events: FaultPlan =
             self.config.faults.clone().unwrap_or_else(|| FaultPlan::lossless(0));
         let mut rounds = Vec::with_capacity(self.config.rounds as usize);
         let reports: Mutex<Vec<ClientReport>> = Mutex::new(Vec::new());
         crossbeam::thread::scope(|scope| {
             for spec in &self.specs {
-                let mut client = self.client_actor(spec.id);
+                let (endpoint, mut client) = self.client_actor(spec.id);
                 let reports = &reports;
-                scope.spawn(move |_| reports.lock().push(client.run()));
+                scope.spawn(move |_| reports.lock().push(client.run(&endpoint)));
             }
 
             for r in 1..=self.config.rounds {
@@ -216,11 +318,9 @@ impl DeploymentParts {
                     self.network.disconnect(node);
                 }
                 for node in events.restarts_at(r) {
-                    // A restarted client is a fresh process: empty
-                    // history cache, fresh RNG — only its shard survives.
-                    let mut client = self.client_actor(node.0 as usize);
+                    let (endpoint, mut client) = self.client_actor(node.0 as usize);
                     let reports = &reports;
-                    scope.spawn(move |_| reports.lock().push(client.run()));
+                    scope.spawn(move |_| reports.lock().push(client.run(&endpoint)));
                 }
                 rounds.push(self.server.run_round());
             }
@@ -230,6 +330,10 @@ impl DeploymentParts {
 
         let mut client_reports = reports.into_inner();
         client_reports.sort_by_key(|r| r.id);
+        self.outcome(rounds, client_reports)
+    }
+
+    fn outcome(self, rounds: Vec<ServerRound>, client_reports: Vec<ClientReport>) -> DeploymentOutcome {
         DeploymentOutcome {
             final_main_accuracy: self
                 .server
@@ -245,18 +349,20 @@ impl DeploymentParts {
             messages_dropped: self.network.messages_dropped(),
             messages_duplicated: self.network.messages_duplicated(),
             messages_corrupted: self.network.messages_corrupted(),
+            messages_unroutable: self.network.messages_unroutable(),
             client_reports,
         }
     }
 }
 
-/// Runs a full threaded deployment: one server thread (the caller's) and
-/// `num_clients` client threads exchanging wire-encoded messages.
+/// Runs a full deployment: one server thread (the caller's), the
+/// scheduler thread, and the shared worker pool stepping client state
+/// machines.
 #[derive(Debug)]
 pub struct Deployment;
 
 impl Deployment {
-    /// Materialises data and models, spawns the actors, runs the
+    /// Materialises data and models, launches the scheduler, runs the
     /// configured number of rounds, shuts down and reports.
     pub fn run(config: DeploymentConfig) -> DeploymentOutcome {
         Self::build(config).run()
@@ -280,7 +386,7 @@ impl Deployment {
         );
         let test = generator.generate_excluding(&mut rng, 400, 1, 0);
         let backdoor_test = generator.generate_subgroup(&mut rng, 150, 1, 0);
-        let attacker_backdoor = generator.generate_subgroup(&mut rng, 120, 1, 0);
+        let attacker_backdoor = Arc::new(generator.generate_subgroup(&mut rng, 120, 1, 0));
 
         let mlp_spec = MlpSpec::new(spec.input_dim(), &config.hidden, spec.num_classes());
         let mut initial = Mlp::new(&mlp_spec, &mut rng);
@@ -326,13 +432,13 @@ impl Deployment {
         );
 
         let specs: Vec<ClientSpec> = shards
-            .iter()
+            .into_iter()
             .enumerate()
             .map(|(i, shard)| {
                 let role = if i < config.malicious_clients {
                     ClientRole::Malicious {
                         attack: ModelReplacement::new(backdoor, boost),
-                        backdoor_data: attacker_backdoor.clone(),
+                        backdoor_data: Arc::clone(&attacker_backdoor),
                         voting: VoterBehavior::StealthAccept,
                     }
                 } else {
@@ -340,7 +446,7 @@ impl Deployment {
                 };
                 ClientSpec {
                     id: i,
-                    data: shard.clone(),
+                    data: Arc::new(shard),
                     role,
                     seed: config.seed.wrapping_add(1 + i as u64),
                 }
@@ -352,7 +458,7 @@ impl Deployment {
             server,
             specs,
             validator,
-            template: initial,
+            template: Arc::new(initial),
             server_config,
             server_data,
             history_window: config.lookback + 1,

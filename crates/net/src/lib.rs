@@ -3,7 +3,7 @@
 //! The [`baffle_core::Simulation`] driver executes the protocol as a
 //! single-process loop — ideal for experiments, but it hides the
 //! distributed-systems concerns a real deployment faces. This crate runs
-//! **Algorithm 1 as an actual protocol** between threaded actors:
+//! **Algorithm 1 as an actual protocol** between actors:
 //!
 //! - a [`server::Server`] actor orchestrating rounds: broadcasting the
 //!   wire-encoded global model, collecting updates **with timeouts**,
@@ -11,10 +11,13 @@
 //!   the paper's footnote-1 semantics (non-responding validators count
 //!   as implicit accepts), and shipping **incremental history** (§VI-D,
 //!   via [`baffle_fl::history_sync::HistorySync`]);
-//! - [`client::Client`] actors that train on their local shard, maintain
-//!   a local cache of the accepted-model history, run the VALIDATE
-//!   function (Algorithm 2) and vote — or, if malicious, inject
-//!   model-replacement updates and lie in votes;
+//! - [`client::Client`] state machines that train on their local shard,
+//!   maintain a local cache of the accepted-model history, run the
+//!   VALIDATE function (Algorithm 2) and vote — or, if malicious,
+//!   inject model-replacement updates and lie in votes. By default all
+//!   clients are multiplexed on the event-driven [`scheduler`] (one
+//!   thread + the shared worker pool, so 10k+ registered clients are
+//!   cheap); a thread-per-client path is retained and bit-identical;
 //! - a per-phase [`phase::PhaseLedger`] tracking every sampled responder
 //!   as pending / answered / rejected / abstained, so a collection phase
 //!   ends as soon as everyone is **accounted for** — a malformed update
@@ -50,5 +53,6 @@ pub mod deployment;
 pub mod fault;
 pub mod message;
 pub mod phase;
+pub mod scheduler;
 pub mod server;
 pub mod transport;

@@ -1,0 +1,259 @@
+//! Event-driven client scheduler: thousands of client state machines
+//! multiplexed over one inbound queue and the shared worker pool.
+//!
+//! The thread-per-client deployment path caps out at a few hundred
+//! nodes — every registered client costs an OS thread and a channel,
+//! even though only the sampled few-hundred do any work in a given
+//! round. The scheduler inverts that: all clients are plain
+//! [`Client`] state machines owned by **one** scheduler thread, their
+//! inbound traffic arrives on a single [`MuxEndpoint`] channel, and
+//! each drained batch is dispatched to [`baffle_tensor::pool`] workers
+//! — one task per client with pending events. Idle clients cost a few
+//! hundred bytes of state, nothing else.
+//!
+//! # Determinism
+//!
+//! Results are bit-identical to the threaded path because nothing a
+//! client computes depends on scheduling: every machine owns its RNG
+//! stream and history cache, [`baffle_tensor::pool::parallel_map`]
+//! preserves input order, batches preserve per-client delivery order,
+//! and the server sorts updates by client id before aggregating (votes
+//! are order-free counts). The equivalence test in
+//! `crates/net/tests/scheduler.rs` pins this down.
+//!
+//! # Crash / restart mapping
+//!
+//! The fault plan's scripted events keep their thread-path semantics:
+//!
+//! - **crash** — [`SchedulerHandle::crash`] detaches the id (subsequent
+//!   sends become unroutable, as after `Network::disconnect`), drains
+//!   and dispatches whatever was already delivered (a threaded actor
+//!   likewise drains its buffered channel before its `recv` errors),
+//!   then drops the state machine and banks its [`ClientReport`];
+//! - **restart** — [`SchedulerHandle::restart`] attaches the id afresh
+//!   and builds a **new** machine via the factory, with an empty
+//!   history cache, exactly like a rejoining process.
+//!
+//! Both commands are synchronous (the call returns only after the
+//! scheduler has applied them), so a round driver can order them
+//! against round boundaries the way the threaded path orders
+//! `disconnect`/`register` calls.
+
+use crate::client::{Client, ClientReport};
+use crate::message::NodeId;
+use crate::transport::{Network, Outbox};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+
+/// Builds a fresh state machine for a node id — called at launch for
+/// every initial id and again on every restart.
+pub type ClientFactory = Box<dyn FnMut(NodeId, Outbox) -> Client + Send>;
+
+enum Command {
+    Crash { id: NodeId, ack: Sender<bool> },
+    Restart { id: NodeId, ack: Sender<()> },
+    Finish,
+}
+
+/// Control handle for a running scheduler. Dropping it without
+/// [`SchedulerHandle::join`] detaches the scheduler thread (it exits
+/// once every machine has shut down).
+pub struct SchedulerHandle {
+    commands: Sender<Command>,
+    thread: std::thread::JoinHandle<Vec<ClientReport>>,
+}
+
+impl SchedulerHandle {
+    /// Spawns the scheduler thread: attaches every id in `ids` to a
+    /// fresh [`MuxEndpoint`] on `network`, builds its machine via
+    /// `factory`, and starts draining events.
+    pub fn launch(
+        network: &Network,
+        ids: Vec<NodeId>,
+        mut factory: ClientFactory,
+    ) -> SchedulerHandle {
+        let mux = network.register_mux();
+        let (cmd_tx, cmd_rx) = unbounded();
+        let thread = std::thread::Builder::new()
+            .name("baffle-scheduler".into())
+            .spawn(move || {
+                let mut machines: HashMap<NodeId, Client> = ids
+                    .into_iter()
+                    .map(|id| (id, factory(id, mux.attach(id))))
+                    .collect();
+                let mut reports = Vec::new();
+                run_loop(&mux, &cmd_rx, &mut factory, &mut machines, &mut reports);
+                reports
+            })
+            .expect("spawn baffle scheduler");
+        SchedulerHandle { commands: cmd_tx, thread }
+    }
+
+    /// Crash-stops `id`: already-delivered events are still processed
+    /// (threaded actors drain their buffered channel too), then the
+    /// machine is dropped and its report banked. Returns whether the id
+    /// had a live machine. Blocks until applied.
+    pub fn crash(&self, id: NodeId) -> bool {
+        let (ack, done) = unbounded();
+        self.commands.send(Command::Crash { id, ack }).expect("scheduler alive");
+        done.recv().expect("scheduler alive")
+    }
+
+    /// Restarts `id` as a fresh machine (empty history cache), exactly
+    /// like a rejoining process. Blocks until applied.
+    ///
+    /// # Panics
+    ///
+    /// The scheduler panics if `id` is still attached (crash it first).
+    pub fn restart(&self, id: NodeId) {
+        let (ack, done) = unbounded();
+        self.commands.send(Command::Restart { id, ack }).expect("scheduler alive");
+        done.recv().expect("scheduler alive");
+    }
+
+    /// Waits for every remaining machine to shut down (each breaks on
+    /// its [`crate::message::Message::Shutdown`]) and returns all banked
+    /// reports — one per machine incarnation, in exit order.
+    pub fn join(self) -> Vec<ClientReport> {
+        let _ = self.commands.send(Command::Finish);
+        self.thread.join().expect("scheduler thread panicked")
+    }
+}
+
+fn run_loop(
+    mux: &crate::transport::MuxEndpoint,
+    commands: &Receiver<Command>,
+    factory: &mut ClientFactory,
+    machines: &mut HashMap<NodeId, Client>,
+    reports: &mut Vec<ClientReport>,
+) {
+    let mut finishing = false;
+    loop {
+        // Apply queued commands first: the round driver issues them at
+        // round boundaries and blocks on the ack, so there is never a
+        // command racing protocol traffic for the same id.
+        while let Ok(cmd) = commands.try_recv() {
+            apply(cmd, mux, factory, machines, reports, &mut finishing);
+        }
+        if finishing && machines.is_empty() {
+            return;
+        }
+
+        // Batch-drain the shared inbox, then dispatch. Draining
+        // everything queued before dispatching maximises the fan-out:
+        // one pool task per client with pending events.
+        let mut batch = Vec::new();
+        while let Some(env) = mux.try_recv() {
+            batch.push(env);
+        }
+        if batch.is_empty() {
+            // Nothing ready: block until an envelope or a command
+            // arrives. The mux channel can never disconnect (the mux
+            // holds a sender), so no error arm is needed for it.
+            crossbeam::select! {
+                recv(mux.raw_receiver()) -> env => {
+                    if let Ok(env) = env {
+                        batch.push(env);
+                    }
+                }
+                recv(commands) -> cmd => match cmd {
+                    Ok(cmd) => apply(cmd, mux, factory, machines, reports, &mut finishing),
+                    // Handle dropped without join: finish when drained.
+                    Err(_) => finishing = true,
+                }
+            }
+        }
+        dispatch(batch, machines, reports);
+    }
+}
+
+fn apply(
+    cmd: Command,
+    mux: &crate::transport::MuxEndpoint,
+    factory: &mut ClientFactory,
+    machines: &mut HashMap<NodeId, Client>,
+    reports: &mut Vec<ClientReport>,
+    finishing: &mut bool,
+) {
+    match cmd {
+        Command::Crash { id, ack } => {
+            mux.detach(id);
+            // Process everything already delivered before tearing the
+            // machine down — a threaded actor's `recv` loop drains its
+            // buffered channel after `disconnect` the same way.
+            let mut pending = Vec::new();
+            while let Some(env) = mux.try_recv() {
+                pending.push(env);
+            }
+            dispatch(pending, machines, reports);
+            let crashed = match machines.remove(&id) {
+                Some(client) => {
+                    reports.push(client.report());
+                    true
+                }
+                None => false,
+            };
+            let _ = ack.send(crashed);
+        }
+        Command::Restart { id, ack } => {
+            let outbox = mux.attach(id);
+            machines.insert(id, factory(id, outbox));
+            let _ = ack.send(());
+        }
+        Command::Finish => *finishing = true,
+    }
+}
+
+/// Groups a drained batch by destination (preserving per-client
+/// delivery order), steps every addressed machine as one pool task
+/// each, and banks reports for machines that hit shutdown. Envelopes
+/// for ids without a live machine — crashed, shut down, or never
+/// attached — are discarded, mirroring sends into a dead actor's
+/// channel on the threaded path.
+fn dispatch(
+    batch: Vec<crate::transport::Envelope>,
+    machines: &mut HashMap<NodeId, Client>,
+    reports: &mut Vec<ClientReport>,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let mut order: Vec<NodeId> = Vec::new();
+    let mut grouped: HashMap<NodeId, Vec<crate::transport::Envelope>> = HashMap::new();
+    for env in batch {
+        if !machines.contains_key(&env.to) {
+            continue;
+        }
+        grouped.entry(env.to).or_insert_with(|| {
+            order.push(env.to);
+            Vec::new()
+        });
+        grouped.get_mut(&env.to).expect("group present").push(env);
+    }
+    let items: Vec<(Client, Vec<crate::transport::Envelope>)> = order
+        .into_iter()
+        .map(|id| {
+            let envs = grouped.remove(&id).expect("group present");
+            (machines.remove(&id).expect("machine present"), envs)
+        })
+        .collect();
+    let stepped = baffle_tensor::pool::parallel_map(items, |_, (mut client, envs)| {
+        let mut stopped = false;
+        for env in envs {
+            if client.handle(env).is_break() {
+                // Drop any later events, like a threaded actor breaking
+                // out of its recv loop on Shutdown.
+                stopped = true;
+                break;
+            }
+        }
+        (client, stopped)
+    });
+    for (client, stopped) in stepped {
+        if stopped {
+            reports.push(client.report());
+        } else {
+            machines.insert(client.id(), client);
+        }
+    }
+}

@@ -9,6 +9,7 @@ use baffle_data::Dataset;
 use baffle_fl::history_sync::HistorySync;
 use baffle_fl::{fedavg, sampling, FlConfig};
 use baffle_nn::{wire, Mlp, Model};
+use baffle_tensor::rng::derive_stream;
 use bytes::Bytes;
 use crossbeam::channel::RecvTimeoutError;
 use rand::rngs::StdRng;
@@ -31,8 +32,10 @@ pub struct ServerConfig {
     /// Whether the server casts its own vote (BAFFLE vs BAFFLE-C).
     pub server_votes: bool,
     /// Master seed for client selection. Each round's selection RNG is
-    /// derived as `seed ^ round`, so a server restored from a checkpoint
-    /// samples exactly the sets an uninterrupted run would have.
+    /// derived via [`baffle_tensor::rng::derive_stream`] over
+    /// `(seed, round, server-id)` — a pure function, so a server
+    /// restored from a checkpoint samples exactly the sets an
+    /// uninterrupted run would have.
     pub seed: u64,
     /// Trust-bootstrapping phase (paper §IV-B, "bootstrapping trust
     /// across rounds"): for the first `bootstrap_rounds` rounds,
@@ -85,6 +88,14 @@ pub struct ServerRound {
     /// rejections, because the server cannot distinguish a duplicating
     /// link from a duplicating sender.
     pub duplicate_deliveries: usize,
+    /// Validators whose committed sync point predated the retained
+    /// history window this round (unsampled for more than a full window
+    /// of accepted models). The server starts their sync state over and
+    /// ships the full contiguous window in one go — without this, a
+    /// delta spanning evicted ids would arrive gapped and cost the
+    /// validator its round on a `HistoryTooShort` abstain + reset
+    /// round-trip.
+    pub evicted_resyncs: usize,
     /// Whether a collection phase ended because the transport itself went
     /// away (the server's receive channel disconnected) rather than by
     /// timeout or full accounting.
@@ -231,8 +242,8 @@ impl Server {
     /// are deliberately absent — across a restore they must be treated as
     /// lost, and the acknowledged-sync protocol then re-ships them.
     ///
-    /// Selection randomness needs no state: each round's RNG is derived
-    /// from `seed ^ round`.
+    /// Selection randomness needs no state: each round's RNG is
+    /// re-derived as a pure function of `(seed, round, server-id)`.
     pub fn checkpoint(&self) -> Bytes {
         let mut buf = Vec::new();
         buf.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
@@ -348,9 +359,15 @@ impl Server {
         self.round += 1;
         let round = self.round;
         let n = self.config.fl.clients_per_round();
-        // Selection randomness is a pure function of (seed, round), so a
-        // restored server replays the uninterrupted run's samples.
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ round);
+        // Selection randomness is a pure function of (seed, round, id),
+        // so a restored server replays the uninterrupted run's samples.
+        // The splitmix64 mixer (not `seed ^ round`) keeps adjacent seeds
+        // from colliding across rounds.
+        let mut rng = StdRng::seed_from_u64(derive_stream(
+            self.config.seed,
+            round,
+            NodeId::SERVER.0 as u64,
+        ));
 
         // --- Training phase ------------------------------------------------
         let contributors: Vec<usize> =
@@ -389,6 +406,7 @@ impl Server {
                 abstentions: update_tally.abstentions,
                 corrupted_payloads: update_tally.corrupted,
                 duplicate_deliveries: update_tally.duplicates,
+                evicted_resyncs: 0,
                 transport_lost: update_tally.lost,
                 quorum_clamped: false,
                 update_phase: update_tally.elapsed,
@@ -419,12 +437,10 @@ impl Server {
         );
         let candidate_bytes = Bytes::from(wire::encode_f32(&candidate_params));
         let mut history_bytes_shipped = 0usize;
+        let mut evicted_resyncs = 0usize;
         for &v in &validators {
-            let delta: Vec<HistoryEntry> = self
-                .sync
-                .models_to_send(v)
-                .filter_map(|id| self.history_entries.iter().find(|e| e.id == id).cloned())
-                .collect();
+            let (delta, resynced) = self.validator_delta(v);
+            evicted_resyncs += usize::from(resynced);
             history_bytes_shipped += delta.iter().map(|e| e.params.len()).sum::<usize>();
             // Shipped, not yet committed: the sync point only advances
             // when this validator answers for this round (vote or
@@ -506,6 +522,7 @@ impl Server {
             abstentions: update_tally.abstentions + vote_tally.abstentions,
             corrupted_payloads: update_tally.corrupted + vote_tally.corrupted,
             duplicate_deliveries: update_tally.duplicates + vote_tally.duplicates,
+            evicted_resyncs,
             transport_lost: update_tally.lost || vote_tally.lost,
             quorum_clamped,
             update_phase: update_tally.elapsed,
@@ -514,7 +531,37 @@ impl Server {
         }
     }
 
-    /// Tells every client to exit.
+    /// Builds validator `v`'s outgoing history delta, handling the
+    /// long-absent case: a committed sync point that predates the
+    /// retained window means models the validator never saw were already
+    /// evicted, so its cached window is entirely stale. The server then
+    /// resets `v`'s sync state and ships the full contiguous window in
+    /// one go — never a gapped delta that would waste the validator's
+    /// round on a client-side gap repair + `HistoryTooShort` abstain +
+    /// reset round-trip. Returns the delta and whether an evicted sync
+    /// point was detected.
+    fn validator_delta(&mut self, v: usize) -> (Vec<HistoryEntry>, bool) {
+        let window = self.sync.window_ids();
+        let evicted = self.sync.sync_point(v).is_some_and(|p| p < window.start);
+        if evicted {
+            self.sync.reset(v);
+        }
+        let wanted = self.sync.models_to_send(v);
+        let delta: Vec<HistoryEntry> = wanted
+            .clone()
+            .filter_map(|id| self.history_entries.iter().find(|e| e.id == id).cloned())
+            .collect();
+        debug_assert_eq!(
+            delta.len(),
+            wanted.count(),
+            "retained history must cover the whole outgoing delta"
+        );
+        (delta, evicted)
+    }
+
+    /// Tells every client to exit. Notices to crashed, never-restarted
+    /// nodes have no route left; the transport books those under
+    /// [`crate::transport::Network::messages_unroutable`], not as drops.
     pub fn shutdown(&self) {
         for c in 0..self.config.fl.num_clients() {
             self.endpoint.send(NodeId(c as u32), Message::Shutdown);

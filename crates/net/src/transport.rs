@@ -97,6 +97,10 @@ struct NetworkInner {
     duplicated: AtomicU64,
     corrupted: AtomicU64,
     deferred: AtomicU64,
+    /// Sends whose destination had no registered route at delivery time
+    /// (crashed node, shutdown after disconnect). Booked separately from
+    /// `dropped` so fault-injection assertions on link loss stay exact.
+    unroutable: AtomicU64,
     /// Monotone sequence for FIFO tie-breaking in the delay queue.
     seq: AtomicU64,
     delay_queue: Arc<DelayQueue>,
@@ -104,11 +108,18 @@ struct NetworkInner {
 
 impl NetworkInner {
     /// Hands an envelope to its destination, if registered. No fault is
-    /// ever applied here — faults are decided once, at send time.
+    /// ever applied here — faults are decided once, at send time. A
+    /// missing route (the destination crashed or never registered) is
+    /// booked as unroutable, not as a network drop.
     fn deliver(&self, envelope: Envelope) {
         let routes = self.routes.lock();
-        if let Some(tx) = routes.get(&envelope.to) {
-            let _ = tx.send(envelope);
+        match routes.get(&envelope.to) {
+            Some(tx) => {
+                let _ = tx.send(envelope);
+            }
+            None => {
+                self.unroutable.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -202,6 +213,7 @@ impl Network {
             duplicated: AtomicU64::new(0),
             corrupted: AtomicU64::new(0),
             deferred: AtomicU64::new(0),
+            unroutable: AtomicU64::new(0),
             seq: AtomicU64::new(0),
             delay_queue: Arc::clone(&delay_queue),
         });
@@ -229,6 +241,16 @@ impl Network {
         Endpoint { id, network: self.clone(), receiver: rx }
     }
 
+    /// Creates a multiplexed endpoint: one shared inbound channel that
+    /// any number of node ids can be attached to via
+    /// [`MuxEndpoint::attach`]. This is the transport half of the
+    /// event-driven scheduler — 10k+ clients share a single queue
+    /// instead of 10k channels and 10k blocked receiver threads.
+    pub fn register_mux(&self) -> MuxEndpoint {
+        let (tx, rx) = unbounded();
+        MuxEndpoint { network: self.clone(), sender: tx, receiver: rx }
+    }
+
     /// Removes `id`'s route, modelling a crash-stop: undelivered and
     /// future messages to it vanish, and its actor's blocking `recv`
     /// returns an error (all senders gone) so the actor loop exits.
@@ -250,9 +272,10 @@ impl Network {
     }
 
     /// Sends a message, subject to the fault plan: it may be dropped
-    /// (link loss, partition, scripted filter, unknown destination —
-    /// UDP-like fire-and-forget semantics), delayed, reordered,
-    /// duplicated, or have its wire payload corrupted in flight.
+    /// (link loss, partition, scripted filter), delayed, reordered,
+    /// duplicated, or have its wire payload corrupted in flight. A send
+    /// to an unknown destination is fire-and-forget (UDP-like) and is
+    /// booked under [`Network::messages_unroutable`], not as a drop.
     ///
     /// [`Message::Shutdown`] is exempt from every fault: it is a control
     /// message delivered out of band (a real deployment would retry it),
@@ -357,6 +380,14 @@ impl Network {
     pub fn messages_deferred(&self) -> u64 {
         self.inner.deferred.load(Ordering::Relaxed)
     }
+
+    /// Sends that reached delivery with no registered route — shutdown
+    /// notices to crashed nodes, mid-round sends racing a disconnect.
+    /// Disjoint from [`Network::messages_dropped`], which counts only
+    /// messages the simulated link itself lost.
+    pub fn messages_unroutable(&self) -> u64 {
+        self.inner.unroutable.load(Ordering::Relaxed)
+    }
 }
 
 impl Default for Network {
@@ -404,6 +435,99 @@ impl Endpoint {
     ) -> Result<Envelope, crossbeam::channel::RecvTimeoutError> {
         self.receiver.recv_timeout(timeout)
     }
+
+    /// A send-only handle for this endpoint's node id — what a state
+    /// machine keeps when its inbox is owned by a [`MuxEndpoint`].
+    pub fn outbox(&self) -> Outbox {
+        Outbox { id: self.id, network: self.network.clone() }
+    }
+}
+
+/// A send-only network handle bound to one node id. State machines hold
+/// an `Outbox` instead of a full [`Endpoint`]: their inbound traffic is
+/// delivered by the scheduler, so they never block on a receiver.
+#[derive(Debug, Clone)]
+pub struct Outbox {
+    id: NodeId,
+    network: Network,
+}
+
+impl Outbox {
+    /// The node id this outbox sends as.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Sends `message` to `to` as this node.
+    pub fn send(&self, to: NodeId, message: Message) {
+        self.network.send(self.id, to, message);
+    }
+}
+
+/// A multiplexed inbox: many node ids, one channel. Created by
+/// [`Network::register_mux`]; ids are attached and detached dynamically
+/// as clients join, crash and restart. Messages for every attached id
+/// arrive interleaved on the shared receiver in delivery order, tagged
+/// with their destination (`Envelope::to`), so a scheduler can demux
+/// them without per-node threads.
+#[derive(Debug)]
+pub struct MuxEndpoint {
+    network: Network,
+    sender: Sender<Envelope>,
+    receiver: Receiver<Envelope>,
+}
+
+impl MuxEndpoint {
+    /// Routes `id`'s traffic into this shared inbox and returns the
+    /// node's send-only handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is currently registered (same contract as
+    /// [`Network::register`]). A node removed by [`MuxEndpoint::detach`]
+    /// or [`Network::disconnect`] may attach again.
+    pub fn attach(&self, id: NodeId) -> Outbox {
+        let previous = self.network.inner.routes.lock().insert(id, self.sender.clone());
+        assert!(previous.is_none(), "node {id} registered twice");
+        Outbox { id, network: self.network.clone() }
+    }
+
+    /// Removes `id`'s route (crash-stop semantics, like
+    /// [`Network::disconnect`]). Messages for `id` already queued in the
+    /// shared inbox are *not* purged — the scheduler discards envelopes
+    /// addressed to detached ids as it drains. Returns whether the node
+    /// was registered.
+    pub fn detach(&self, id: NodeId) -> bool {
+        self.network.disconnect(id)
+    }
+
+    /// The underlying network handle.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The raw shared receiver — lets the scheduler `select!` over
+    /// envelopes and its command channel in one blocking wait.
+    pub(crate) fn raw_receiver(&self) -> &Receiver<Envelope> {
+        &self.receiver
+    }
+
+    /// Takes the next queued envelope without blocking.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// Waits up to `timeout` for the next envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on timeout or disconnection.
+    pub fn recv_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Envelope, crossbeam::channel::RecvTimeoutError> {
+        self.receiver.recv_timeout(timeout)
+    }
 }
 
 #[cfg(test)]
@@ -424,11 +548,58 @@ mod tests {
     }
 
     #[test]
-    fn unknown_destination_is_dropped_silently() {
+    fn unknown_destination_is_booked_as_unroutable_not_dropped() {
         let net = Network::new();
         let a = net.register(NodeId(0));
         a.send(NodeId(99), Message::Shutdown); // must not panic
-        assert_eq!(net.messages_sent(), 1);
+        a.send(NodeId(99), Message::RoundResult { round: 1, accepted: true });
+        assert_eq!(net.messages_sent(), 2);
+        assert_eq!(net.messages_unroutable(), 2);
+        assert_eq!(net.messages_dropped(), 0, "no-route sends are not link loss");
+    }
+
+    #[test]
+    fn mux_endpoint_demuxes_many_ids_over_one_channel() {
+        let net = Network::new();
+        let server = net.register(NodeId(0));
+        let mux = net.register_mux();
+        let out1 = mux.attach(NodeId(1));
+        let _out2 = mux.attach(NodeId(2));
+        server.send(NodeId(1), Message::RoundResult { round: 1, accepted: true });
+        server.send(NodeId(2), Message::RoundResult { round: 2, accepted: true });
+        let first = mux.recv_timeout(Duration::from_millis(200)).unwrap();
+        let second = mux.recv_timeout(Duration::from_millis(200)).unwrap();
+        assert_eq!(first.to, NodeId(1));
+        assert_eq!(second.to, NodeId(2));
+        // The outbox sends as its attached id.
+        out1.send(NodeId(0), Message::RoundResult { round: 3, accepted: false });
+        assert_eq!(server.recv_timeout(Duration::from_millis(200)).unwrap().from, NodeId(1));
+    }
+
+    #[test]
+    fn mux_detach_makes_the_id_unroutable_and_reattachable() {
+        let net = Network::new();
+        let server = net.register(NodeId(0));
+        let mux = net.register_mux();
+        let _out = mux.attach(NodeId(1));
+        assert!(mux.detach(NodeId(1)));
+        assert!(!mux.detach(NodeId(1)), "double detach reports absence");
+        server.send(NodeId(1), Message::RoundResult { round: 1, accepted: true });
+        assert!(mux.try_recv().is_none());
+        assert_eq!(net.messages_unroutable(), 1);
+        // Restart: the id attaches again and traffic flows.
+        let _out = mux.attach(NodeId(1));
+        server.send(NodeId(1), Message::RoundResult { round: 2, accepted: true });
+        assert!(mux.recv_timeout(Duration::from_millis(200)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn mux_attach_of_a_registered_id_panics() {
+        let net = Network::new();
+        let _a = net.register(NodeId(3));
+        let mux = net.register_mux();
+        let _ = mux.attach(NodeId(3));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use baffle_nn::{wire, Mlp, MlpSpec, Model};
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const NUM_CLIENTS: usize = 3;
@@ -281,17 +282,17 @@ fn spawn_real_client(
 ) -> impl FnOnce() + Send {
     let endpoint = network.register(id);
     let mut client = Client::new(
-        endpoint,
-        data,
+        endpoint.outbox(),
+        Arc::new(data),
         LocalTrainer::new(1, 0.1, 16),
         Validator::new(ValidationConfig::new(3)),
         ClientRole::Honest,
         5,
-        template.clone(),
+        Arc::new(template.clone()),
         11,
     );
     move || {
-        client.run();
+        client.run(&endpoint);
     }
 }
 

@@ -8,19 +8,24 @@
 //!   window goes out again.
 //! - **Server checkpoint/restore**: an interrupted-and-restored server
 //!   replays the exact `ServerRound` sequence of an uninterrupted run
-//!   (selection randomness is a pure function of `seed ^ round`).
+//!   (selection randomness is a pure function of `(seed, round)` via
+//!   the splitmix64 stream derivation).
+//! - **Evicted sync points**: a validator unsampled for longer than the
+//!   retained window gets one full contiguous window re-ship — never a
+//!   gapped delta that would cost it a `HistoryTooShort` round-trip.
 //! - **Transport loss**: a dead receive channel is surfaced as
 //!   `transport_lost`, not mistaken for harmless stragglers.
 
 use baffle_core::{ValidationConfig, Validator, Vote};
 use baffle_data::Dataset;
-use baffle_fl::FlConfig;
+use baffle_fl::{sampling, FlConfig};
 use baffle_net::deployment::{Deployment, DeploymentConfig, DeploymentParts};
 use baffle_net::fault::{FaultEvent, FaultPlan};
 use baffle_net::message::{AbstainReason, Message, NodeId};
 use baffle_net::server::{Server, ServerConfig, ServerRound};
 use baffle_net::transport::{Endpoint, Network};
 use baffle_nn::{wire, Mlp, MlpSpec, Model};
+use baffle_tensor::rng::derive_stream;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Mutex;
@@ -214,6 +219,108 @@ fn history_too_short_abstention_forces_a_full_window_reship() {
     assert_eq!(rounds[2].votes_received, NUM_CLIENTS);
 }
 
+/// Replicates the server's per-round sampling so a test can search for
+/// a seed producing a specific validator schedule without running the
+/// protocol: the selection RNG is a pure function of
+/// `(seed, round, server-id)`, and contributors are drawn from the same
+/// stream before validators.
+fn validators_for(seed: u64, round: u64, n_val: usize) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(derive_stream(seed, round, NodeId::SERVER.0 as u64));
+    let _contributors = sampling::select_clients(&mut rng, NUM_CLIENTS, NUM_CLIENTS);
+    sampling::select_clients(&mut rng, NUM_CLIENTS, n_val)
+}
+
+/// A validator left unsampled for longer than the retained history
+/// window has a committed sync point that predates everything the
+/// server still holds. The server must notice the eviction at
+/// re-selection, start that validator's sync state over, and ship the
+/// full contiguous window in one go — one full-window re-ship, zero
+/// wasted `HistoryTooShort` round-trips.
+#[test]
+fn evicted_sync_point_gets_one_full_window_reship() {
+    const WINDOW: usize = 2;
+    const ROUNDS: u64 = 4;
+    // Find a seed whose schedule makes some client a validator in
+    // round 1, unsampled in every round in between, and re-selected in
+    // round ROUNDS — by then the retained window has slid past its
+    // committed sync point.
+    let (seed, lagger) = (0u64..10_000)
+        .find_map(|seed| {
+            (0..NUM_CLIENTS).find_map(|c| {
+                let sampled = |r| validators_for(seed, r, 2).contains(&c);
+                (sampled(1) && (2..ROUNDS).all(|r| !sampled(r)) && sampled(ROUNDS))
+                    .then_some((seed, c as u32))
+            })
+        })
+        .expect("some seed under 10k must produce the lagging schedule");
+
+    let network = Network::new();
+    let initial = tiny_model(5);
+    let config = ServerConfig {
+        fl: FlConfig::new(NUM_CLIENTS, NUM_CLIENTS),
+        validators_per_round: 2,
+        quorum: 1,
+        phase_timeout: Duration::from_millis(2_000),
+        server_votes: false,
+        seed,
+        bootstrap_rounds: 0,
+        bootstrap_trusted: Vec::new(),
+    };
+    let mut server = Server::new(
+        network.register(NodeId::SERVER),
+        config,
+        initial.clone(),
+        WINDOW,
+        Validator::new(ValidationConfig::new(3)),
+        Dataset::empty(2, 2),
+    );
+    let deltas = Mutex::new(Vec::new());
+
+    let rounds = crossbeam::thread::scope(|scope| {
+        for c in 0..NUM_CLIENTS {
+            let endpoint = network.register(NodeId(c as u32));
+            let n_params = initial.num_params();
+            let deltas = &deltas;
+            scope.spawn(move |_| run_recording_client(endpoint, n_params, deltas, accept_vote));
+        }
+        let mut rounds = Vec::new();
+        for r in 1..=ROUNDS {
+            network.begin_round(r);
+            rounds.push(server.run_round());
+        }
+        server.shutdown();
+        rounds
+    })
+    .expect("client thread panicked");
+
+    let log = deltas.into_inner().unwrap();
+    // Round 1: first contact ships the (one-entry) window; the ack
+    // commits the lagger's sync point at id 1.
+    assert_eq!(delta_of(&log, lagger, 1), Some(vec![0]));
+    // Unsampled in between: no validate requests reach it at all.
+    for r in 2..ROUNDS {
+        assert_eq!(delta_of(&log, lagger, r), None, "round {r} must not sample the lagger");
+    }
+    // Re-selection: the retained window is now (ROUNDS-2)..ROUNDS, past
+    // the committed point — the full window arrives contiguous, in one
+    // shipment.
+    assert_eq!(
+        delta_of(&log, lagger, ROUNDS),
+        Some(vec![ROUNDS - 2, ROUNDS - 1]),
+        "an evicted validator must receive the full retained window in one go"
+    );
+    // The eviction is detected exactly once, at re-selection time.
+    let resyncs: Vec<usize> = rounds.iter().map(|r| r.evicted_resyncs).collect();
+    let mut expected = vec![0; ROUNDS as usize];
+    expected[ROUNDS as usize - 1] = 1;
+    assert_eq!(resyncs, expected, "exactly one eviction repair, in the re-selection round");
+    // Zero wasted round-trips: no HistoryTooShort abstentions anywhere,
+    // and the repaired validator votes in the round it is re-selected.
+    assert!(rounds.iter().all(|r| r.abstentions == 0), "no HistoryTooShort round-trips");
+    assert!(rounds.iter().all(|r| r.votes_received == 2));
+    assert!(rounds.iter().all(|r| r.accepted));
+}
+
 /// Zeroes the wall-clock fields so two runs can be compared bit-for-bit
 /// on everything the protocol actually decided.
 fn normalized(r: &ServerRound) -> ServerRound {
@@ -230,9 +337,9 @@ fn drive(parts: DeploymentParts, interrupt_before: Option<u64>) -> Vec<ServerRou
     let mut server = parts.server;
     let mut rounds = Vec::new();
     crossbeam::thread::scope(|scope| {
-        for mut client in clients {
+        for (endpoint, mut client) in clients {
             scope.spawn(move |_| {
-                client.run();
+                client.run(&endpoint);
             });
         }
         for r in 1..=total {
@@ -242,7 +349,7 @@ fn drive(parts: DeploymentParts, interrupt_before: Option<u64>) -> Vec<ServerRou
                 server = Server::restore(
                     endpoint,
                     parts.server_config.clone(),
-                    parts.template.clone(),
+                    parts.template.as_ref().clone(),
                     parts.history_window,
                     parts.validator,
                     parts.server_data.clone(),

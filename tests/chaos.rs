@@ -1,7 +1,7 @@
-//! Chaos soak suite: the full threaded deployment under combined
-//! transport faults — i.i.d. drop, delay+jitter, reordering,
-//! duplication, payload corruption — plus scripted crash/restart and
-//! partition events.
+//! Chaos soak suite: the full deployment (clients multiplexed on the
+//! event-driven scheduler) under combined transport faults — i.i.d.
+//! drop, delay+jitter, reordering, duplication, payload corruption —
+//! plus scripted crash/restart and partition events.
 //!
 //! The standing invariants these runs must uphold, per DESIGN.md §14:
 //!
@@ -169,6 +169,33 @@ fn poisoned_rounds_are_still_rejected_under_chaos() {
         assert_eq!(r.rejected_submissions, 0, "round {}", r.round);
         assert_eq!(r.rejected_votes, 0, "round {}", r.round);
     }
+}
+
+/// A crash without restart leaves the node's route gone for good: every
+/// later send to it — protocol traffic while it is still sampled, the
+/// final shutdown notice — is booked as **unroutable**, never as link
+/// loss, so loss assertions on a lossless plan stay exact.
+#[test]
+fn crash_without_restart_books_unroutable_sends_not_drops() {
+    let mut config = DeploymentConfig::small(12);
+    config.malicious_clients = 0;
+    config.rounds = 5;
+    config.phase_timeout = Duration::from_millis(1200);
+    config.faults = Some(
+        FaultPlan::lossless(12)
+            .event(FaultEvent::Crash { node: NodeId(2), at_round: 2, restart_round: None }),
+    );
+    let outcome = Deployment::run(config.clone());
+    assert_eq!(outcome.rounds.len(), 5, "a crashed client must not stall the server");
+    // At minimum the shutdown notice to the dead node has no route.
+    assert!(outcome.messages_unroutable > 0, "no-route sends must be booked");
+    assert_eq!(outcome.messages_dropped, 0, "a lossless link loses nothing");
+    assert_eq!(outcome.messages_corrupted, 0);
+    // The crashed incarnation still exits with a (banked) report, and
+    // nothing doubles it up.
+    assert_eq!(outcome.client_reports.len(), config.num_clients);
+    let crashed = outcome.client_reports.iter().filter(|r| r.id == NodeId(2)).count();
+    assert_eq!(crashed, 1, "a never-restarted node reports exactly once");
 }
 
 /// A total blackout towards one node is expressible (`drop_prob = 1.0`,
