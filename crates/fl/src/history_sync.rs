@@ -116,8 +116,10 @@ impl HistorySync {
     /// the client is confirmed to hold everything (within the window).
     /// A committed point below [`HistorySync::window_ids`]`.start` means
     /// the client has been absent so long that models it never saw were
-    /// evicted — the server should [`HistorySync::reset`] it and ship
-    /// the full window instead of a delta.
+    /// evicted. No repair is needed — [`HistorySync::models_to_send`]
+    /// clamps to the window start, so such a client is simply shipped
+    /// the full window — but the condition is worth counting: it marks
+    /// a full-window re-ship caused by long absence.
     pub fn sync_point(&self, client: usize) -> Option<ModelId> {
         self.synced_up_to.get(&client).copied()
     }

@@ -66,20 +66,31 @@ pub struct SchedulerHandle {
 impl SchedulerHandle {
     /// Spawns the scheduler thread: attaches every id in `ids` to a
     /// fresh [`MuxEndpoint`] on `network`, builds its machine via
-    /// `factory`, and starts draining events.
+    /// `factory`, and starts draining events. Every id is routable
+    /// before this returns — same guarantee as the thread-per-client
+    /// path, which registers all endpoints before round 1.
     pub fn launch(
         network: &Network,
         ids: Vec<NodeId>,
         mut factory: ClientFactory,
     ) -> SchedulerHandle {
         let mux = network.register_mux();
+        // Attach on the caller thread: the round driver starts sending
+        // the moment `launch` returns, and a route created later inside
+        // the scheduler thread would race those sends into the
+        // unroutable count. Machines are built on the scheduler thread
+        // (construction is the slow part at 10k+ clients); traffic for
+        // a routed-but-not-yet-built id just queues in the mux until
+        // the run loop drains it.
+        let attached: Vec<(NodeId, Outbox)> =
+            ids.into_iter().map(|id| (id, mux.attach(id))).collect();
         let (cmd_tx, cmd_rx) = unbounded();
         let thread = std::thread::Builder::new()
             .name("baffle-scheduler".into())
             .spawn(move || {
-                let mut machines: HashMap<NodeId, Client> = ids
+                let mut machines: HashMap<NodeId, Client> = attached
                     .into_iter()
-                    .map(|id| (id, factory(id, mux.attach(id))))
+                    .map(|(id, outbox)| (id, factory(id, outbox)))
                     .collect();
                 let mut reports = Vec::new();
                 run_loop(&mux, &cmd_rx, &mut factory, &mut machines, &mut reports);
@@ -95,8 +106,15 @@ impl SchedulerHandle {
     /// had a live machine. Blocks until applied.
     pub fn crash(&self, id: NodeId) -> bool {
         let (ack, done) = unbounded();
-        self.commands.send(Command::Crash { id, ack }).expect("scheduler alive");
-        done.recv().expect("scheduler alive")
+        if self.commands.send(Command::Crash { id, ack }).is_err() {
+            panic!("scheduler thread gone before crash({id}) was sent");
+        }
+        done.recv().unwrap_or_else(|_| {
+            panic!(
+                "scheduler thread panicked while applying crash({id}) — \
+                 join() resurfaces its panic payload"
+            )
+        })
     }
 
     /// Restarts `id` as a fresh machine (empty history cache), exactly
@@ -107,8 +125,15 @@ impl SchedulerHandle {
     /// The scheduler panics if `id` is still attached (crash it first).
     pub fn restart(&self, id: NodeId) {
         let (ack, done) = unbounded();
-        self.commands.send(Command::Restart { id, ack }).expect("scheduler alive");
-        done.recv().expect("scheduler alive");
+        if self.commands.send(Command::Restart { id, ack }).is_err() {
+            panic!("scheduler thread gone before restart({id}) was sent");
+        }
+        done.recv().unwrap_or_else(|_| {
+            panic!(
+                "scheduler thread panicked while applying restart({id}) — \
+                 join() resurfaces its panic payload"
+            )
+        });
     }
 
     /// Waits for every remaining machine to shut down (each breaks on

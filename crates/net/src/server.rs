@@ -90,11 +90,11 @@ pub struct ServerRound {
     pub duplicate_deliveries: usize,
     /// Validators whose committed sync point predated the retained
     /// history window this round (unsampled for more than a full window
-    /// of accepted models). The server starts their sync state over and
-    /// ships the full contiguous window in one go — without this, a
-    /// delta spanning evicted ids would arrive gapped and cost the
-    /// validator its round on a `HistoryTooShort` abstain + reset
-    /// round-trip.
+    /// of accepted models). Each such validator is shipped the full
+    /// contiguous window in one go — the sync bookkeeping clamps deltas
+    /// to the window, so the absence costs bandwidth, never a
+    /// `HistoryTooShort` round-trip. This counter makes those
+    /// full-window re-ships observable in chaos runs.
     pub evicted_resyncs: usize,
     /// Whether a collection phase ended because the transport itself went
     /// away (the server's receive channel disconnected) rather than by
@@ -531,21 +531,19 @@ impl Server {
         }
     }
 
-    /// Builds validator `v`'s outgoing history delta, handling the
-    /// long-absent case: a committed sync point that predates the
-    /// retained window means models the validator never saw were already
-    /// evicted, so its cached window is entirely stale. The server then
-    /// resets `v`'s sync state and ships the full contiguous window in
-    /// one go — never a gapped delta that would waste the validator's
-    /// round on a client-side gap repair + `HistoryTooShort` abstain +
-    /// reset round-trip. Returns the delta and whether an evicted sync
-    /// point was detected.
-    fn validator_delta(&mut self, v: usize) -> (Vec<HistoryEntry>, bool) {
+    /// Builds validator `v`'s outgoing history delta. A committed sync
+    /// point that predates the retained window means the validator has
+    /// been absent so long that models it never saw were already
+    /// evicted; `HistorySync::models_to_send` clamps to the window
+    /// start, so such a validator is shipped the full contiguous window
+    /// in one go — never a gapped delta. The eviction is detected here
+    /// purely for observability ([`ServerRound::evicted_resyncs`]): a
+    /// chaos run can assert that long absences cost one full-window
+    /// re-ship and zero `HistoryTooShort` round-trips. The stale sync
+    /// point needs no repair — the next ack overwrites it.
+    fn validator_delta(&self, v: usize) -> (Vec<HistoryEntry>, bool) {
         let window = self.sync.window_ids();
         let evicted = self.sync.sync_point(v).is_some_and(|p| p < window.start);
-        if evicted {
-            self.sync.reset(v);
-        }
         let wanted = self.sync.models_to_send(v);
         let delta: Vec<HistoryEntry> = wanted
             .clone()

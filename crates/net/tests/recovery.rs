@@ -232,10 +232,9 @@ fn validators_for(seed: u64, round: u64, n_val: usize) -> Vec<usize> {
 
 /// A validator left unsampled for longer than the retained history
 /// window has a committed sync point that predates everything the
-/// server still holds. The server must notice the eviction at
-/// re-selection, start that validator's sync state over, and ship the
-/// full contiguous window in one go — one full-window re-ship, zero
-/// wasted `HistoryTooShort` round-trips.
+/// server still holds. At re-selection the server must count the
+/// eviction and ship the full contiguous window in one go — one
+/// full-window re-ship, zero wasted `HistoryTooShort` round-trips.
 #[test]
 fn evicted_sync_point_gets_one_full_window_reship() {
     const WINDOW: usize = 2;
