@@ -31,8 +31,8 @@ fn bench_decode(c: &mut Criterion) {
         group.throughput(Throughput::Elements(len as u64));
         let p = params(len, 22);
         let f = wire::encode_f32(&p);
-        let q8 = wire::encode_q8(&p);
-        let q4 = wire::encode_q4(&p);
+        let q8 = wire::encode_q8(&p).unwrap();
+        let q4 = wire::encode_q4(&p).unwrap();
         group.bench_function(BenchmarkId::new("f32", len), |b| {
             b.iter(|| wire::decode_f32(black_box(&f)).unwrap());
         });

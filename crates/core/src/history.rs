@@ -141,7 +141,10 @@ impl ModelHistory {
     /// Panics if `capacity < 2`, if more than `capacity` entries are
     /// given, or if the ids are not consecutive ascending (a gapped
     /// window is never a valid trusted lineage).
-    pub fn from_entries(capacity: usize, entries: impl IntoIterator<Item = (ModelId, Mlp)>) -> Self {
+    pub fn from_entries(
+        capacity: usize,
+        entries: impl IntoIterator<Item = (ModelId, Mlp)>,
+    ) -> Self {
         let mut history = Self::new(capacity);
         for (id, model) in entries {
             assert!(

@@ -188,7 +188,12 @@ impl HistorySync {
         committed: impl IntoIterator<Item = (usize, ModelId)>,
     ) -> Self {
         assert!(window > 0, "HistorySync: window must be positive");
-        Self { window, next_id, synced_up_to: committed.into_iter().collect(), in_flight: HashMap::new() }
+        Self {
+            window,
+            next_id,
+            synced_up_to: committed.into_iter().collect(),
+            in_flight: HashMap::new(),
+        }
     }
 }
 

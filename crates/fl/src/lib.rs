@@ -37,7 +37,9 @@ pub mod history_sync;
 pub mod sampling;
 pub mod secagg;
 mod trainer;
+mod wire_profile;
 
 pub use aggregate::fedavg;
 pub use config::FlConfig;
 pub use trainer::{train_clients_parallel, LocalTrainer};
+pub use wire_profile::{HistoryCodec, WireProfile};

@@ -1,0 +1,96 @@
+//! Secure aggregation under wire quantisation.
+//!
+//! BaFFLe's compatibility claim (§VIII) needs the pairwise masks to
+//! cancel in the *transmitted* sum, not the in-memory one. Quantising a
+//! masked update perturbs every element by at most half a quantisation
+//! step, and those perturbations add — they do not interact with the
+//! masks — so the aggregate of quantise-then-decode updates must stay
+//! within the summed step sizes of the plaintext total. These property
+//! tests pin that down for the q8 and q4 codecs across random sessions.
+
+use baffle_fl::secagg::SecAggSession;
+use baffle_nn::wire::{self, Codec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_updates(seed: u64, n: usize, len: usize, scale: f32) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..len).map(|_| rng.gen_range(-scale..scale)).collect()).collect()
+}
+
+/// One quantisation step of `codec` for the value range of `values`.
+fn step(codec: Codec, values: &[f32]) -> f32 {
+    let lo = values.iter().cloned().fold(f32::INFINITY, f32::min);
+    let hi = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let levels = match codec {
+        Codec::F32 => return 0.0,
+        Codec::Q8 => 254.0,
+        Codec::Q4 => 15.0,
+    };
+    ((hi - lo) / levels).max(f32::MIN_POSITIVE)
+}
+
+fn masks_cancel_under(codec: Codec, seed: u64, n: usize, len: usize, scale: f32) {
+    let ups = random_updates(seed, n, len, scale);
+    let session = SecAggSession::new(seed ^ 0xABCD_EF01, n, len);
+
+    // Mask, ship through the codec, decode at the server, aggregate.
+    let mut sum_steps = 0.0_f32;
+    let received: Vec<Vec<f32>> = (0..n)
+        .map(|i| {
+            let masked = session.mask(i, &ups[i]);
+            sum_steps += step(codec, &masked);
+            wire::decode_any(&codec.encode(&masked)).expect("finite masked update decodes")
+        })
+        .collect();
+    let sum = session.aggregate(&received);
+
+    let mut expected = vec![0.0_f32; len];
+    for u in &ups {
+        for (e, &v) in expected.iter_mut().zip(u) {
+            *e += v;
+        }
+    }
+
+    // Per element: n quantisation errors of at most one step each, plus
+    // the mask-cancellation float slop the lossless path already allows.
+    let tolerance = sum_steps + 1e-2 * n as f32;
+    for (i, (a, b)) in sum.iter().zip(&expected).enumerate() {
+        assert!(
+            (a - b).abs() <= tolerance,
+            "element {i}: {a} vs {b} exceeds tolerance {tolerance} ({} codec, n={n}, len={len})",
+            codec.label()
+        );
+    }
+}
+
+proptest! {
+    /// Pairwise masks cancel in the aggregate after q8 transmission.
+    #[test]
+    fn masks_cancel_under_q8(seed in any::<u64>(), n in 1usize..6, len in 1usize..48, scale in 0.1_f32..4.0) {
+        masks_cancel_under(Codec::Q8, seed, n, len, scale);
+    }
+
+    /// Same under the coarser q4 codec — the bound widens with the step
+    /// size but the masks still cancel.
+    #[test]
+    fn masks_cancel_under_q4(seed in any::<u64>(), n in 1usize..6, len in 1usize..48, scale in 0.1_f32..4.0) {
+        masks_cancel_under(Codec::Q4, seed, n, len, scale);
+    }
+
+    /// Quantisation must not undo the hiding: a quantised masked update
+    /// still does not resemble its plaintext (more than one participant,
+    /// long enough vectors for the distance to be meaningful).
+    #[test]
+    fn quantisation_preserves_hiding(seed in any::<u64>(), n in 2usize..6) {
+        let len = 64;
+        let ups = random_updates(seed, n, len, 1.0);
+        let session = SecAggSession::new(seed.rotate_left(17), n, len);
+        for (i, u) in ups.iter().enumerate() {
+            let shipped = wire::decode_any(&Codec::Q8.encode(&session.mask(i, u))).unwrap();
+            let dist = baffle_tensor::ops::distance(&shipped, u);
+            prop_assert!(dist > 0.5, "client {}'s quantised masked update is too close: {}", i, dist);
+        }
+    }
+}

@@ -14,7 +14,7 @@ use baffle_attack::ModelReplacement;
 use baffle_core::{ValidateError, ValidationEngine, Validator};
 use baffle_data::Dataset;
 use baffle_fl::history_sync::ModelId;
-use baffle_fl::LocalTrainer;
+use baffle_fl::{LocalTrainer, WireProfile};
 use baffle_nn::{wire, Mlp, Model};
 use baffle_tensor::rng::derive_stream;
 use bytes::Bytes;
@@ -85,6 +85,9 @@ pub struct Client {
     history_models: Vec<Mlp>,
     history_window: usize,
     template: Arc<Mlp>,
+    /// Wire codecs for outgoing payloads (must match the server's
+    /// profile for bandwidth accounting; decoding is self-describing).
+    wire: WireProfile,
     rng: StdRng,
     rounds_participated: u64,
     votes_cast: u64,
@@ -105,6 +108,7 @@ impl Client {
         role: ClientRole,
         history_window: usize,
         template: Arc<Mlp>,
+        wire: WireProfile,
         seed: u64,
     ) -> Self {
         Self {
@@ -117,6 +121,7 @@ impl Client {
             history_models: Vec::new(),
             history_window,
             template,
+            wire,
             rng: StdRng::seed_from_u64(seed),
             rounds_participated: 0,
             votes_cast: 0,
@@ -204,18 +209,55 @@ impl Client {
     /// window is then too short, the next validation abstains with
     /// [`AbstainReason::HistoryTooShort`] — which makes the server reset
     /// this client's sync state and re-ship the full window.
+    ///
+    /// Dense entries are self-describing (`f32`/`q8`/`q4`). A top-k
+    /// entry is a sparse delta against model `id − 1`, which must be in
+    /// the cache (or earlier in this shipment). A delta that cannot be
+    /// applied — predecessor missing, payload damaged — breaks the whole
+    /// chain, and a broken chain cannot self-heal the way dense shipping
+    /// does: every later delta would keep missing its base while the
+    /// server keeps advancing the sync point. The cached window is
+    /// discarded wholesale instead, forcing the `HistoryTooShort` →
+    /// sync-reset → dense-re-ship path.
     fn merge_history_delta(&mut self, history_delta: Vec<HistoryEntry>) {
+        let mut chain_broken = false;
         for entry in history_delta {
-            if let Ok(params) = wire::decode_f32(&entry.params) {
-                // Ids arrive mostly in order; insert sorted and
-                // skip duplicates (a re-shipped delta after loss).
-                if let Err(pos) = self.history_ids.binary_search(&entry.id) {
-                    let mut m = self.template.as_ref().clone();
-                    m.set_params(&params);
-                    self.history_ids.insert(pos, entry.id);
-                    self.history_models.insert(pos, m);
+            // Ids arrive mostly in order; insert sorted and skip
+            // duplicates (a re-shipped delta after loss).
+            let Err(pos) = self.history_ids.binary_search(&entry.id) else {
+                continue;
+            };
+            let decoded = if wire::is_topk(&entry.params) {
+                let base = entry.id.checked_sub(1).and_then(|prev| {
+                    self.history_ids
+                        .binary_search(&prev)
+                        .ok()
+                        .map(|at| self.history_models[at].params())
+                });
+                let applied = base.and_then(|base| {
+                    wire::decode_topk(&entry.params).and_then(|d| d.apply(&base)).ok()
+                });
+                if applied.is_none() {
+                    chain_broken = true;
                 }
+                applied
+            } else {
+                wire::decode_any(&entry.params).ok()
+            };
+            if let Some(params) = decoded {
+                let mut m = self.template.as_ref().clone();
+                m.set_params(&params);
+                self.history_ids.insert(pos, entry.id);
+                self.history_models.insert(pos, m);
             }
+        }
+        if chain_broken && !self.history_ids.is_empty() {
+            self.gap_repairs += 1;
+            for id in self.history_ids.drain(..) {
+                self.engine.invalidate(id);
+            }
+            self.history_models.clear();
+            return;
         }
         let excess = self.history_ids.len().saturating_sub(self.history_window);
         if excess > 0 {
@@ -253,7 +295,7 @@ impl Client {
     }
 
     fn handle_train(&mut self, round: u64, global_bytes: &Bytes) {
-        let Ok(params) = wire::decode_f32(global_bytes) else {
+        let Ok(params) = wire::decode_any(global_bytes) else {
             return self.abstain(round, AbstainReason::UndecodableGlobal);
         };
         if self.data.is_empty() {
@@ -269,11 +311,8 @@ impl Client {
                 // Mixed per (base, round, node): a plain `0xBAD ^ round`
                 // would hand every attacker the identical stream, making
                 // multi-attacker runs submit duplicate poisoned updates.
-                let mut atk_rng = StdRng::seed_from_u64(derive_stream(
-                    0xBAD,
-                    round,
-                    self.outbox.id().0 as u64,
-                ));
+                let mut atk_rng =
+                    StdRng::seed_from_u64(derive_stream(0xBAD, round, self.outbox.id().0 as u64));
                 attack.poisoned_update(&global, &self.data, backdoor_data, &mut atk_rng)
             }
         };
@@ -282,13 +321,16 @@ impl Client {
             Message::UpdateSubmission {
                 round,
                 from: self.outbox.id(),
-                update: Bytes::from(wire::encode_f32(&update)),
+                // `encode` falls back to lossless `f32` for non-finite
+                // updates (a poisoned payload must survive transit
+                // bit-exactly, not be masked by quantisation).
+                update: self.wire.update.encode(&update),
             },
         );
     }
 
     fn handle_validate(&mut self, round: u64, candidate_bytes: &Bytes) {
-        let Ok(params) = wire::decode_f32(candidate_bytes) else {
+        let Ok(params) = wire::decode_any(candidate_bytes) else {
             return self.abstain(round, AbstainReason::UndecodableCandidate);
         };
         let mut candidate = self.template.as_ref().clone();
@@ -313,9 +355,7 @@ impl Client {
             ClientRole::Malicious { voting, .. } => voting.cast(honest_vote),
         };
         self.votes_cast += 1;
-        self.outbox.send(
-            NodeId::SERVER,
-            Message::VoteSubmission { round, from: self.outbox.id(), vote },
-        );
+        self.outbox
+            .send(NodeId::SERVER, Message::VoteSubmission { round, from: self.outbox.id(), vote });
     }
 }

@@ -13,16 +13,17 @@
 //! configs (see `crates/net/tests/scheduler.rs`).
 
 use crate::client::{Client, ClientReport, ClientRole};
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, LinkPolicy};
 use crate::message::NodeId;
 use crate::scheduler::{ClientFactory, SchedulerHandle};
 use crate::server::{Server, ServerConfig, ServerRound};
+use crate::socket::TransportMode;
 use crate::transport::{Endpoint, Network};
 use baffle_attack::voting::VoterBehavior;
 use baffle_attack::{BackdoorSpec, ModelReplacement};
 use baffle_core::{ValidationConfig, Validator};
 use baffle_data::{partition, Dataset, SyntheticVision, VisionSpec};
-use baffle_fl::{FlConfig, LocalTrainer};
+use baffle_fl::{FlConfig, LocalTrainer, WireProfile};
 use baffle_nn::{eval, Mlp, MlpSpec, Sgd};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -73,6 +74,13 @@ pub struct DeploymentConfig {
     /// honest (operator-vetted) clients until the accepted-model history
     /// is deep enough for validation (paper §IV-B).
     pub bootstrap_rounds: u64,
+    /// How envelopes reach endpoints: in-process channels or
+    /// frame-encoded bytes over loopback sockets. Presets read
+    /// `BAFFLE_TRANSPORT` (see [`TransportMode::from_env`]).
+    pub transport: TransportMode,
+    /// Wire codecs for models, updates and history shipping. Presets
+    /// read `BAFFLE_WIRE_PROFILE` (see [`WireProfile::from_env`]).
+    pub wire_profile: WireProfile,
 }
 
 impl DeploymentConfig {
@@ -96,6 +104,8 @@ impl DeploymentConfig {
             faults: None,
             phase_timeout: Duration::from_secs(20),
             bootstrap_rounds: 5,
+            transport: TransportMode::from_env(),
+            wire_profile: WireProfile::from_env(),
         }
     }
 
@@ -123,6 +133,8 @@ impl DeploymentConfig {
             faults: None,
             phase_timeout: Duration::from_secs(60),
             bootstrap_rounds: 0,
+            transport: TransportMode::from_env(),
+            wire_profile: WireProfile::from_env(),
         }
     }
 }
@@ -148,6 +160,12 @@ pub struct DeploymentOutcome {
     /// crashed nodes, mid-round sends racing a crash). Kept apart from
     /// `messages_dropped` so loss assertions stay exact.
     pub messages_unroutable: u64,
+    /// Frame bytes written to sockets (zero under the in-process
+    /// transport). Equivalence comparisons across transports must
+    /// normalise this along with the phase durations.
+    pub wire_bytes: u64,
+    /// Frames written to sockets (zero under the in-process transport).
+    pub wire_frames: u64,
     /// Per-client lifetime reports, sorted by node id. A client that
     /// crashed and restarted contributes one report per incarnation.
     pub client_reports: Vec<ClientReport>,
@@ -230,6 +248,7 @@ impl DeploymentParts {
             spec.role.clone(),
             self.history_window,
             Arc::clone(&self.template),
+            self.server_config.wire,
             spec.seed,
         );
         (endpoint, client)
@@ -245,6 +264,7 @@ impl DeploymentParts {
         let validator = self.validator;
         let history_window = self.history_window;
         let template = Arc::clone(&self.template);
+        let wire = self.server_config.wire;
         Box::new(move |id, outbox| {
             let spec = &specs[id.0 as usize];
             Client::new(
@@ -255,6 +275,7 @@ impl DeploymentParts {
                 spec.role.clone(),
                 history_window,
                 Arc::clone(&template),
+                wire,
                 spec.seed,
             )
         })
@@ -333,7 +354,11 @@ impl DeploymentParts {
         self.outcome(rounds, client_reports)
     }
 
-    fn outcome(self, rounds: Vec<ServerRound>, client_reports: Vec<ClientReport>) -> DeploymentOutcome {
+    fn outcome(
+        self,
+        rounds: Vec<ServerRound>,
+        client_reports: Vec<ClientReport>,
+    ) -> DeploymentOutcome {
         DeploymentOutcome {
             final_main_accuracy: self
                 .server
@@ -350,6 +375,8 @@ impl DeploymentParts {
             messages_duplicated: self.network.messages_duplicated(),
             messages_corrupted: self.network.messages_corrupted(),
             messages_unroutable: self.network.messages_unroutable(),
+            wire_bytes: self.network.wire_bytes(),
+            wire_frames: self.network.wire_frames(),
             client_reports,
         }
     }
@@ -406,10 +433,14 @@ impl Deployment {
         let fl = FlConfig::new(config.num_clients, config.clients_per_round);
         let boost = fl.replacement_boost();
         let validator = Validator::new(ValidationConfig::new(config.lookback).with_margin(1.2));
-        let network = match &config.faults {
-            Some(plan) => Network::with_faults(plan.clone()),
-            None => Network::with_loss(config.drop_prob, config.seed ^ 0x4E45_5400),
+        let plan = match &config.faults {
+            Some(plan) => plan.clone(),
+            None => FaultPlan::uniform(
+                LinkPolicy::lossless().with_drop(config.drop_prob),
+                config.seed ^ 0x4E45_5400,
+            ),
         };
+        let network = Network::with_transport(plan, config.transport);
 
         let server_endpoint = network.register(NodeId::SERVER);
         let server_config = ServerConfig {
@@ -421,6 +452,7 @@ impl Deployment {
             seed: config.seed,
             bootstrap_rounds: config.bootstrap_rounds,
             bootstrap_trusted: (config.malicious_clients..config.num_clients).collect(),
+            wire: config.wire_profile,
         };
         let server = Server::new(
             server_endpoint,

@@ -313,12 +313,12 @@ pub(crate) fn corrupt_message(message: &mut Message, rng: &mut StdRng) -> bool {
         }
         _ => return false,
     };
-    if payload.len() <= wire::F32_HEADER {
+    if payload.len() <= wire::HEADER {
         return false;
     }
     let mut buf = BytesMut::from(payload.as_ref());
     for _ in 0..rng.gen_range(1..=4u32) {
-        let at = rng.gen_range(wire::F32_HEADER..buf.len());
+        let at = rng.gen_range(wire::HEADER..buf.len());
         buf[at] ^= 1 << rng.gen_range(0..8u32);
     }
     *payload = buf.freeze();
@@ -374,10 +374,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let params = vec![0.5f32; 100];
         for _ in 0..50 {
-            let mut msg = Message::TrainRequest {
-                round: 1,
-                global: wire::encode_f32(&params),
-            };
+            let mut msg = Message::TrainRequest { round: 1, global: wire::encode_f32(&params) };
             assert!(corrupt_message(&mut msg, &mut rng));
             let Message::TrainRequest { global, .. } = &msg else { unreachable!() };
             let err = wire::decode_f32(global).expect_err("corruption must not decode cleanly");

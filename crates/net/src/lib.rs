@@ -51,8 +51,10 @@
 pub mod client;
 pub mod deployment;
 pub mod fault;
+pub mod frame;
 pub mod message;
 pub mod phase;
 pub mod scheduler;
 pub mod server;
+pub mod socket;
 pub mod transport;

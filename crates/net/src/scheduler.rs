@@ -88,10 +88,8 @@ impl SchedulerHandle {
         let thread = std::thread::Builder::new()
             .name("baffle-scheduler".into())
             .spawn(move || {
-                let mut machines: HashMap<NodeId, Client> = attached
-                    .into_iter()
-                    .map(|(id, outbox)| (id, factory(id, outbox)))
-                    .collect();
+                let mut machines: HashMap<NodeId, Client> =
+                    attached.into_iter().map(|(id, outbox)| (id, factory(id, outbox))).collect();
                 let mut reports = Vec::new();
                 run_loop(&mux, &cmd_rx, &mut factory, &mut machines, &mut reports);
                 reports

@@ -6,8 +6,8 @@ use crate::transport::Endpoint;
 use baffle_attack::voting::Vote;
 use baffle_core::{Decision, ModelHistory, QuorumRule, ValidationEngine, Validator};
 use baffle_data::Dataset;
-use baffle_fl::history_sync::HistorySync;
-use baffle_fl::{fedavg, sampling, FlConfig};
+use baffle_fl::history_sync::{HistorySync, ModelId};
+use baffle_fl::{fedavg, sampling, FlConfig, HistoryCodec, WireProfile};
 use baffle_nn::{wire, Mlp, Model};
 use baffle_tensor::rng::derive_stream;
 use bytes::Bytes;
@@ -45,6 +45,11 @@ pub struct ServerConfig {
     pub bootstrap_rounds: u64,
     /// The vetted participant set used during bootstrapping.
     pub bootstrap_trusted: Vec<usize>,
+    /// Which codec each payload class uses on the wire (models, updates,
+    /// history shipping). The trusted state — checkpoints, the in-memory
+    /// history — always stays lossless `f32`; the profile only shapes
+    /// what crosses the network.
+    pub wire: WireProfile,
 }
 
 /// What happened in one protocol round, as observed by the server.
@@ -138,6 +143,44 @@ impl std::error::Error for CheckpointError {}
 const CHECKPOINT_MAGIC: u32 = 0xBAFF_C4C4;
 const CHECKPOINT_VERSION: u32 = 1;
 
+/// One accepted model as it goes out to validators: its dense encoding
+/// under the profile's history codec, plus — under a top-k profile — the
+/// sparse delta against its predecessor. Cached per accepted model so
+/// shipping the same entry to many validators encodes it once.
+#[derive(Debug, Clone)]
+struct ShipEntry {
+    id: ModelId,
+    /// Self-contained encoding (chain heads, full re-ships).
+    full: Bytes,
+    /// Sparse delta against model `id - 1`, when the profile chains and
+    /// the delta was encodable.
+    delta: Option<Bytes>,
+}
+
+/// Builds the wire cache entry for an accepted model. `prev` is the
+/// previous global model's parameters (`None` for the very first entry).
+fn build_ship_entry(
+    wire_profile: &WireProfile,
+    id: ModelId,
+    prev: Option<&[f32]>,
+    params: &[f32],
+) -> ShipEntry {
+    let codec = match wire_profile.history {
+        HistoryCodec::Dense(codec) => codec,
+        HistoryCodec::TopKChain { codec, .. } => codec,
+    };
+    let delta = match (wire_profile.history, prev) {
+        (HistoryCodec::TopKChain { .. }, Some(prev)) => {
+            let k = wire_profile.history_keep(params.len()).expect("top-k profile keeps some");
+            // A non-finite model (a poisoned candidate that slipped
+            // through) cannot ride the chain; it ships dense instead.
+            wire::encode_topk(prev, params, k).ok()
+        }
+        _ => None,
+    };
+    ShipEntry { id, full: codec.encode(params), delta }
+}
+
 /// Little-endian cursor over a checkpoint buffer.
 struct Reader<'a> {
     buf: &'a [u8],
@@ -176,7 +219,11 @@ pub struct Server {
     /// accepted at intake (anything else would panic `fedavg`).
     param_len: usize,
     history: ModelHistory,
+    /// Trusted lossless (`f32`) window — the checkpoint format.
     history_entries: VecDeque<HistoryEntry>,
+    /// Wire encodings of the same window under the configured profile,
+    /// kept in lockstep with `history_entries`.
+    ship_cache: VecDeque<ShipEntry>,
     sync: HistorySync,
     engine: ValidationEngine,
     server_data: Dataset,
@@ -201,10 +248,13 @@ impl Server {
         // The history's cache ids and the sync protocol's wire ids are
         // assigned in lockstep: both count acceptances from zero.
         debug_assert_eq!(hist_id, first_id);
+        let initial_params = initial_model.params();
         let history_entries = VecDeque::from(vec![HistoryEntry {
             id: first_id,
-            params: wire::encode_f32(&initial_model.params()),
+            params: wire::encode_f32(&initial_params),
         }]);
+        let ship_cache =
+            VecDeque::from(vec![build_ship_entry(&config.wire, first_id, None, &initial_params)]);
         Self {
             endpoint,
             config,
@@ -212,6 +262,7 @@ impl Server {
             global: initial_model,
             history,
             history_entries,
+            ship_cache,
             sync,
             engine: ValidationEngine::new(validator),
             server_data,
@@ -301,7 +352,9 @@ impl Server {
         }
         let param_len = template.num_params();
         let mut history_entries = VecDeque::with_capacity(n_entries);
+        let mut ship_cache = VecDeque::with_capacity(n_entries);
         let mut models = Vec::with_capacity(n_entries);
+        let mut prev_decoded: Option<Vec<f32>> = None;
         for i in 0..n_entries {
             let id = r.u64("entry id")?;
             let len = r.u64("entry length")? as usize;
@@ -321,8 +374,14 @@ impl Server {
             }
             let mut model = template.clone();
             model.set_params(&decoded);
-            history_entries
-                .push_back(HistoryEntry { id, params: Bytes::copy_from_slice(params) });
+            history_entries.push_back(HistoryEntry { id, params: Bytes::copy_from_slice(params) });
+            ship_cache.push_back(build_ship_entry(
+                &config.wire,
+                id,
+                prev_decoded.as_deref(),
+                &decoded,
+            ));
+            prev_decoded = Some(decoded);
             models.push((id, model));
         }
         let newest = models.last().expect("n_entries >= 1").0;
@@ -347,6 +406,7 @@ impl Server {
             global,
             history: ModelHistory::from_entries(history_window, models),
             history_entries,
+            ship_cache,
             sync: HistorySync::restore(history_window, accepted, committed),
             engine: ValidationEngine::new(validator),
             server_data,
@@ -363,25 +423,20 @@ impl Server {
         // so a restored server replays the uninterrupted run's samples.
         // The splitmix64 mixer (not `seed ^ round`) keeps adjacent seeds
         // from colliding across rounds.
-        let mut rng = StdRng::seed_from_u64(derive_stream(
-            self.config.seed,
-            round,
-            NodeId::SERVER.0 as u64,
-        ));
+        let mut rng =
+            StdRng::seed_from_u64(derive_stream(self.config.seed, round, NodeId::SERVER.0 as u64));
 
         // --- Training phase ------------------------------------------------
-        let contributors: Vec<usize> =
-            if round <= self.config.bootstrap_rounds && !self.config.bootstrap_trusted.is_empty() {
-                let pool = &self.config.bootstrap_trusted;
-                let k = n.min(pool.len());
-                sampling::select_clients(&mut rng, pool.len(), k)
-                    .into_iter()
-                    .map(|i| pool[i])
-                    .collect()
-            } else {
-                sampling::select_clients(&mut rng, self.config.fl.num_clients(), n)
-            };
-        let global_bytes = Bytes::from(wire::encode_f32(&self.global.params()));
+        let contributors: Vec<usize> = if round <= self.config.bootstrap_rounds
+            && !self.config.bootstrap_trusted.is_empty()
+        {
+            let pool = &self.config.bootstrap_trusted;
+            let k = n.min(pool.len());
+            sampling::select_clients(&mut rng, pool.len(), k).into_iter().map(|i| pool[i]).collect()
+        } else {
+            sampling::select_clients(&mut rng, self.config.fl.num_clients(), n)
+        };
+        let global_bytes = self.config.wire.model.encode(&self.global.params());
         for &c in &contributors {
             self.endpoint.send(
                 NodeId(c as u32),
@@ -435,7 +490,7 @@ impl Server {
             self.config.fl.num_clients(),
             self.config.validators_per_round,
         );
-        let candidate_bytes = Bytes::from(wire::encode_f32(&candidate_params));
+        let candidate_bytes = self.config.wire.model.encode(&candidate_params);
         let mut history_bytes_shipped = 0usize;
         let mut evicted_resyncs = 0usize;
         for &v in &validators {
@@ -495,13 +550,24 @@ impl Server {
 
         // --- Integration ----------------------------------------------------
         if decision == Decision::Accepted {
+            let prev_params = self.global.params();
             self.global = candidate;
             let hist_id = self.history.push(self.global.clone());
             let id = self.sync.push_accepted();
             debug_assert_eq!(hist_id, id, "history and sync ids must stay in lockstep");
-            self.history_entries.push_back(HistoryEntry { id, params: candidate_bytes.clone() });
+            // Trusted state stays lossless regardless of the wire
+            // profile — the checkpoint format never quantises.
+            self.history_entries
+                .push_back(HistoryEntry { id, params: wire::encode_f32(&candidate_params) });
+            self.ship_cache.push_back(build_ship_entry(
+                &self.config.wire,
+                id,
+                Some(&prev_params),
+                &candidate_params,
+            ));
             if self.history_entries.len() > self.history.capacity() {
                 self.history_entries.pop_front();
+                self.ship_cache.pop_front();
             }
         }
         for &c in contributors.iter().chain(&validators) {
@@ -541,13 +607,31 @@ impl Server {
     /// chaos run can assert that long absences cost one full-window
     /// re-ship and zero `HistoryTooShort` round-trips. The stale sync
     /// point needs no repair — the next ack overwrites it.
+    ///
+    /// Under a top-k profile each shipped entry is the sparse delta
+    /// against its predecessor whenever that predecessor is available to
+    /// the receiving validator: either confirmed held (the committed
+    /// sync point sits exactly at the start of the outgoing range) or
+    /// earlier in this same shipment. Anything else — a fresh validator,
+    /// a reset one, a range clamped by eviction — starts the chain with
+    /// a dense entry, so every shipment is applicable exactly as sent.
     fn validator_delta(&self, v: usize) -> (Vec<HistoryEntry>, bool) {
         let window = self.sync.window_ids();
         let evicted = self.sync.sync_point(v).is_some_and(|p| p < window.start);
         let wanted = self.sync.models_to_send(v);
+        let mut on_chain = wanted.start > 0 && self.sync.sync_point(v) == Some(wanted.start);
         let delta: Vec<HistoryEntry> = wanted
             .clone()
-            .filter_map(|id| self.history_entries.iter().find(|e| e.id == id).cloned())
+            .filter_map(|id| self.ship_cache.iter().find(|e| e.id == id))
+            .map(|e| {
+                let params = if on_chain {
+                    e.delta.clone().unwrap_or_else(|| e.full.clone())
+                } else {
+                    e.full.clone()
+                };
+                on_chain = true;
+                HistoryEntry { id: e.id, params }
+            })
             .collect();
         debug_assert_eq!(
             delta.len(),
@@ -624,7 +708,7 @@ impl Server {
                             tally.duplicates += 1;
                             continue;
                         }
-                        match wire::decode_f32(&update) {
+                        match wire::decode_any(&update) {
                             Ok(u) if u.len() == self.param_len => {
                                 updates.insert(from, u);
                                 ledger.mark_answered(from);

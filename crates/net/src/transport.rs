@@ -11,9 +11,26 @@
 //! Deferred delivery (delay, jitter, reordering) runs on a single lazy
 //! **pump thread** draining a monotonic-deadline queue; it exits on its
 //! own when the last [`Network`] handle is dropped.
+//!
+//! # Transport modes
+//!
+//! Routing, fault injection and the ledger counters live in the shared
+//! [`Network`] regardless of mode; what varies is the last hop from the
+//! delivery step into a node's inbox. Under
+//! [`TransportMode::InProcess`] (the default) envelopes cross a
+//! crossbeam channel untouched. Under [`TransportMode::Socket`] every
+//! route is a loopback TCP or Unix-socket connection: delivery encodes
+//! the envelope with the [`crate::frame`] codec and writes the bytes,
+//! and a per-connection reader thread on the endpoint side decodes
+//! frames back into the same channel the in-process mode uses. Both
+//! directions of every exchange cross a real socket, endpoints and
+//! schedulers are byte-for-byte unaware of the mode, and
+//! [`Network::wire_bytes`] / [`Network::wire_frames`] meter the traffic.
 
 use crate::fault::{self, FaultPlan, LinkPolicy};
+use crate::frame::{self, FrameReader};
 use crate::message::{Message, NodeId};
+use crate::socket::{self, TransportMode};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
@@ -69,7 +86,11 @@ struct DelayQueue {
 
 impl DelayQueue {
     fn new() -> Self {
-        Self { heap: Mutex::new(BinaryHeap::new()), wakeup: Condvar::new(), closed: AtomicBool::new(false) }
+        Self {
+            heap: Mutex::new(BinaryHeap::new()),
+            wakeup: Condvar::new(),
+            closed: AtomicBool::new(false),
+        }
     }
 
     fn push(&self, item: Delayed) {
@@ -83,8 +104,21 @@ impl DelayQueue {
     }
 }
 
+/// The last hop from delivery into a node's inbox.
+#[derive(Clone)]
+enum Route {
+    /// In-process mode: straight into the endpoint's channel.
+    Local(Sender<Envelope>),
+    /// Socket mode: frame-encoded over the node's loopback connection; a
+    /// reader thread on the far side feeds the endpoint's channel.
+    Remote(Arc<socket::Conn>),
+}
+
 struct NetworkInner {
-    routes: Mutex<HashMap<NodeId, Sender<Envelope>>>,
+    routes: Mutex<HashMap<NodeId, Route>>,
+    mode: TransportMode,
+    /// Socket factory, present only in socket mode.
+    hub: Option<socket::Hub>,
     plan: FaultPlan,
     /// Fault RNG — locked only when a link policy actually draws
     /// randomness; lossless sends never touch it.
@@ -104,6 +138,10 @@ struct NetworkInner {
     /// Monotone sequence for FIFO tie-breaking in the delay queue.
     seq: AtomicU64,
     delay_queue: Arc<DelayQueue>,
+    /// Frame bytes written to sockets (zero in in-process mode).
+    wire_bytes: AtomicU64,
+    /// Frames written to sockets (zero in in-process mode).
+    wire_frames: AtomicU64,
 }
 
 impl NetworkInner {
@@ -111,11 +149,23 @@ impl NetworkInner {
     /// ever applied here — faults are decided once, at send time. A
     /// missing route (the destination crashed or never registered) is
     /// booked as unroutable, not as a network drop.
+    ///
+    /// The route is cloned out so the socket write happens outside the
+    /// routing lock; per-connection write order is serialised by the
+    /// connection's own writer lock instead.
     fn deliver(&self, envelope: Envelope) {
-        let routes = self.routes.lock();
-        match routes.get(&envelope.to) {
-            Some(tx) => {
+        let route = self.routes.lock().get(&envelope.to).cloned();
+        match route {
+            Some(Route::Local(tx)) => {
                 let _ = tx.send(envelope);
+            }
+            Some(Route::Remote(conn)) => {
+                let bytes = frame::encode_frame(&envelope);
+                self.wire_frames.fetch_add(1, Ordering::Relaxed);
+                self.wire_bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                // A failed write means the endpoint side is gone — same
+                // outcome as sending into a dropped channel.
+                let _ = conn.write_frame(&bytes);
             }
             None => {
                 self.unroutable.fetch_add(1, Ordering::Relaxed);
@@ -127,6 +177,13 @@ impl NetworkInner {
 impl Drop for NetworkInner {
     fn drop(&mut self) {
         self.delay_queue.close();
+        // Close every socket route so the endpoint-side reader threads
+        // see EOF and exit instead of lingering in a blocked read.
+        for route in self.routes.get_mut().values() {
+            if let Route::Remote(conn) = route {
+                conn.close();
+            }
+        }
     }
 }
 
@@ -139,6 +196,7 @@ pub struct Network {
 impl std::fmt::Debug for Network {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Network")
+            .field("transport", &self.inner.mode.label())
             .field("nodes", &self.inner.routes.lock().len())
             .field("round", &self.inner.round.load(Ordering::Relaxed))
             .field("plan", &self.inner.plan)
@@ -197,14 +255,35 @@ impl Network {
         Self::with_faults(FaultPlan::uniform(LinkPolicy::lossless().with_drop(drop_prob), seed))
     }
 
-    /// Creates a network governed by the given fault plan. The delivery
-    /// pump thread is spawned only when the plan can defer messages.
+    /// Creates a network governed by the given fault plan, in the
+    /// transport mode selected by `BAFFLE_TRANSPORT` (see
+    /// [`TransportMode::from_env`]). The delivery pump thread is spawned
+    /// only when the plan can defer messages.
     pub fn with_faults(plan: FaultPlan) -> Self {
+        Self::with_transport(plan, TransportMode::from_env())
+    }
+
+    /// Creates a network governed by the given fault plan over an
+    /// explicit transport. In socket mode a loopback hub is bound and
+    /// every subsequent registration gets its own connection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket hub cannot bind its loopback listener.
+    pub fn with_transport(plan: FaultPlan, mode: TransportMode) -> Self {
+        let hub = match mode {
+            TransportMode::InProcess => None,
+            TransportMode::Socket(kind) => {
+                Some(socket::Hub::bind(kind).expect("socket transport: bind loopback hub"))
+            }
+        };
         let needs_pump = plan.needs_pump();
         let seed = plan.seed;
         let delay_queue = Arc::new(DelayQueue::new());
         let inner = Arc::new(NetworkInner {
             routes: Mutex::new(HashMap::new()),
+            mode,
+            hub,
             plan,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             round: AtomicU64::new(0),
@@ -216,6 +295,8 @@ impl Network {
             unroutable: AtomicU64::new(0),
             seq: AtomicU64::new(0),
             delay_queue: Arc::clone(&delay_queue),
+            wire_bytes: AtomicU64::new(0),
+            wire_frames: AtomicU64::new(0),
         });
         if needs_pump {
             let weak = Arc::downgrade(&inner);
@@ -236,8 +317,24 @@ impl Network {
     /// crashed client rejoins.
     pub fn register(&self, id: NodeId) -> Endpoint {
         let (tx, rx) = unbounded();
-        let previous = self.inner.routes.lock().insert(id, tx);
-        assert!(previous.is_none(), "node {id} registered twice");
+        {
+            let mut routes = self.inner.routes.lock();
+            assert!(!routes.contains_key(&id), "node {id} registered twice");
+            let route = match &self.inner.hub {
+                None => Route::Local(tx),
+                Some(hub) => {
+                    // Pair creation happens under the routing lock, so
+                    // connect/accept pairs can never interleave.
+                    let (peer, net_side) =
+                        hub.connect_pair().expect("socket transport: connect endpoint");
+                    let conn =
+                        socket::Conn::new(net_side, false).expect("socket transport: clone stream");
+                    spawn_wire_reader(format!("baffle-wire-rx-{id}"), peer, tx);
+                    Route::Remote(Arc::new(conn))
+                }
+            };
+            routes.insert(id, route);
+        }
         Endpoint { id, network: self.clone(), receiver: rx }
     }
 
@@ -245,18 +342,44 @@ impl Network {
     /// any number of node ids can be attached to via
     /// [`MuxEndpoint::attach`]. This is the transport half of the
     /// event-driven scheduler — 10k+ clients share a single queue
-    /// instead of 10k channels and 10k blocked receiver threads.
+    /// instead of 10k channels and 10k blocked receiver threads. In
+    /// socket mode the mux likewise holds a single shared connection:
+    /// attached ids route frames through it, and one reader thread
+    /// demuxes them into the shared inbox.
     pub fn register_mux(&self) -> MuxEndpoint {
         let (tx, rx) = unbounded();
-        MuxEndpoint { network: self.clone(), sender: tx, receiver: rx }
+        let wire = self.inner.hub.as_ref().map(|hub| {
+            let (peer, net_side) = hub.connect_pair().expect("socket transport: connect mux");
+            let conn = Arc::new(
+                socket::Conn::new(net_side, true).expect("socket transport: clone stream"),
+            );
+            spawn_wire_reader("baffle-wire-mux".into(), peer, tx.clone());
+            conn
+        });
+        MuxEndpoint { network: self.clone(), sender: tx, receiver: rx, wire }
     }
 
     /// Removes `id`'s route, modelling a crash-stop: undelivered and
     /// future messages to it vanish, and its actor's blocking `recv`
     /// returns an error (all senders gone) so the actor loop exits.
     /// Returns whether the node was registered.
+    ///
+    /// In socket mode the node's connection is closed as well (EOF ends
+    /// the reader thread, which closes the channel) — unless the route
+    /// goes through a mux's shared pinned connection, which stays open
+    /// for the ids still attached.
     pub fn disconnect(&self, id: NodeId) -> bool {
-        self.inner.routes.lock().remove(&id).is_some()
+        let removed = self.inner.routes.lock().remove(&id);
+        match removed {
+            Some(Route::Remote(conn)) => {
+                if !conn.pinned() {
+                    conn.close();
+                }
+                true
+            }
+            Some(Route::Local(_)) => true,
+            None => false,
+        }
     }
 
     /// Whether `id` currently has a registered route.
@@ -388,6 +511,46 @@ impl Network {
     pub fn messages_unroutable(&self) -> u64 {
         self.inner.unroutable.load(Ordering::Relaxed)
     }
+
+    /// The transport mode this network was created with.
+    pub fn transport(&self) -> TransportMode {
+        self.inner.mode
+    }
+
+    /// Frame bytes written to sockets. Zero in in-process mode; in
+    /// socket mode this is the exact bytes-on-the-wire cost of every
+    /// delivered message (header and payload, after fault injection).
+    pub fn wire_bytes(&self) -> u64 {
+        self.inner.wire_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Frames written to sockets (one per delivered message copy in
+    /// socket mode; zero in in-process mode).
+    pub fn wire_frames(&self) -> u64 {
+        self.inner.wire_frames.load(Ordering::Relaxed)
+    }
+}
+
+/// Decodes frames off `stream` into `tx` until the connection closes
+/// (clean EOF or error) or the receiving endpoint is dropped. One such
+/// thread exists per socket-mode connection, on the endpoint side.
+fn spawn_wire_reader(name: String, stream: socket::Stream, tx: Sender<Envelope>) {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            let mut reader = FrameReader::new(stream);
+            loop {
+                match reader.read_frame() {
+                    Ok(Some(envelope)) => {
+                        if tx.send(envelope).is_err() {
+                            return; // endpoint dropped its receiver
+                        }
+                    }
+                    Ok(None) | Err(_) => return,
+                }
+            }
+        })
+        .expect("spawn wire reader");
 }
 
 impl Default for Network {
@@ -475,6 +638,10 @@ pub struct MuxEndpoint {
     network: Network,
     sender: Sender<Envelope>,
     receiver: Receiver<Envelope>,
+    /// The mux's shared socket connection (socket mode only). Pinned:
+    /// detaching one id must not sever the other attached ids, so it
+    /// closes only when the mux or the network goes away.
+    wire: Option<Arc<socket::Conn>>,
 }
 
 impl MuxEndpoint {
@@ -487,7 +654,11 @@ impl MuxEndpoint {
     /// [`Network::register`]). A node removed by [`MuxEndpoint::detach`]
     /// or [`Network::disconnect`] may attach again.
     pub fn attach(&self, id: NodeId) -> Outbox {
-        let previous = self.network.inner.routes.lock().insert(id, self.sender.clone());
+        let route = match &self.wire {
+            Some(conn) => Route::Remote(Arc::clone(conn)),
+            None => Route::Local(self.sender.clone()),
+        };
+        let previous = self.network.inner.routes.lock().insert(id, route);
         assert!(previous.is_none(), "node {id} registered twice");
         Outbox { id, network: self.network.clone() }
     }
@@ -530,10 +701,22 @@ impl MuxEndpoint {
     }
 }
 
+impl Drop for MuxEndpoint {
+    fn drop(&mut self) {
+        // Close the shared connection so its reader thread exits; the
+        // network side treats subsequent writes like sends into a
+        // dropped channel.
+        if let Some(conn) = &self.wire {
+            conn.close();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fault::{FaultEvent, LinkSelector};
+    use crate::socket::SocketKind;
     use baffle_nn::wire;
 
     #[test]
@@ -612,7 +795,10 @@ mod tests {
             a.send(NodeId(1), Message::RoundResult { round, accepted: true });
         }
         let mut received = 0;
-        while b.recv_timeout(Duration::from_millis(1)).is_ok() {
+        // Generous drain timeout: under the socket transport delivery
+        // crosses a kernel buffer and a reader thread, so back-to-back
+        // messages may be more than a millisecond apart.
+        while b.recv_timeout(Duration::from_millis(50)).is_ok() {
             received += 1;
         }
         let drop_rate = 1.0 - received as f64 / n as f64;
@@ -641,7 +827,7 @@ mod tests {
             a.send(NodeId(1), Message::Shutdown);
         }
         let mut got = 0;
-        while b.recv_timeout(Duration::from_millis(1)).is_ok() {
+        while b.recv_timeout(Duration::from_millis(50)).is_ok() {
             got += 1;
         }
         assert_eq!(got, 50);
@@ -681,8 +867,7 @@ mod tests {
     #[test]
     fn delayed_messages_arrive_later_but_intact() {
         let plan = FaultPlan::uniform(
-            LinkPolicy::lossless()
-                .with_delay(Duration::from_millis(30), Duration::from_millis(10)),
+            LinkPolicy::lossless().with_delay(Duration::from_millis(30), Duration::from_millis(10)),
             5,
         );
         let net = Network::with_faults(plan);
@@ -734,8 +919,7 @@ mod tests {
 
     #[test]
     fn duplication_delivers_twice() {
-        let plan =
-            FaultPlan::uniform(LinkPolicy::lossless().with_duplicate(1.0), 13);
+        let plan = FaultPlan::uniform(LinkPolicy::lossless().with_duplicate(1.0), 13);
         let net = Network::with_faults(plan);
         let a = net.register(NodeId(0));
         let b = net.register(NodeId(1));
@@ -766,8 +950,8 @@ mod tests {
 
     #[test]
     fn partition_drops_everything_during_its_rounds() {
-        let plan = FaultPlan::lossless(0)
-            .event(FaultEvent::Partition { node: NodeId(1), rounds: 2..=2 });
+        let plan =
+            FaultPlan::lossless(0).event(FaultEvent::Partition { node: NodeId(1), rounds: 2..=2 });
         let net = Network::with_faults(plan);
         let a = net.register(NodeId(0));
         let b = net.register(NodeId(1));
@@ -796,11 +980,102 @@ mod tests {
         net.begin_round(1);
         a.send(
             NodeId(1),
-            Message::ValidateRequest { round: 1, candidate: bytes::Bytes::new(), history_delta: vec![] },
+            Message::ValidateRequest {
+                round: 1,
+                candidate: bytes::Bytes::new(),
+                history_delta: vec![],
+            },
         );
         a.send(NodeId(1), Message::RoundResult { round: 1, accepted: true });
         let env = b.recv_timeout(Duration::from_millis(200)).expect("other kinds pass");
         assert_eq!(env.message.kind(), "round-result");
         assert!(b.recv_timeout(Duration::from_millis(5)).is_err());
+    }
+
+    const RECV: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn socket_transport_delivers_and_meters_wire_traffic() {
+        let net =
+            Network::with_transport(FaultPlan::lossless(0), TransportMode::Socket(SocketKind::Tcp));
+        let a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        let params = vec![0.5f32; 32];
+        a.send(NodeId(1), Message::TrainRequest { round: 7, global: wire::encode_f32(&params) });
+        b.send(NodeId(0), Message::RoundResult { round: 7, accepted: true });
+        let env = b.recv_timeout(RECV).expect("frame lost over loopback");
+        let Message::TrainRequest { round, global } = env.message else { panic!("wrong kind") };
+        assert_eq!(round, 7);
+        assert_eq!(wire::decode_f32(&global).unwrap(), params);
+        assert_eq!(a.recv_timeout(RECV).unwrap().from, NodeId(1));
+        assert_eq!(net.wire_frames(), 2, "both directions cross the socket");
+        assert!(net.wire_bytes() > 2 * frame::FRAME_HEADER as u64);
+        assert_eq!(net.messages_sent(), 2);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_transport_delivers() {
+        let net = Network::with_transport(
+            FaultPlan::lossless(0),
+            TransportMode::Socket(SocketKind::Unix),
+        );
+        let a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        a.send(NodeId(1), Message::RoundResult { round: 3, accepted: false });
+        let env = b.recv_timeout(RECV).unwrap();
+        assert_eq!(env.message, Message::RoundResult { round: 3, accepted: false });
+        assert_eq!(net.wire_frames(), 1);
+    }
+
+    #[test]
+    fn socket_transport_mux_demuxes_and_survives_detach() {
+        let net =
+            Network::with_transport(FaultPlan::lossless(0), TransportMode::Socket(SocketKind::Tcp));
+        let server = net.register(NodeId(0));
+        let mux = net.register_mux();
+        let _out1 = mux.attach(NodeId(1));
+        let out2 = mux.attach(NodeId(2));
+        server.send(NodeId(1), Message::RoundResult { round: 1, accepted: true });
+        server.send(NodeId(2), Message::RoundResult { round: 2, accepted: true });
+        assert_eq!(mux.recv_timeout(RECV).unwrap().to, NodeId(1));
+        assert_eq!(mux.recv_timeout(RECV).unwrap().to, NodeId(2));
+        // Detaching one id must not sever the mux's shared connection.
+        assert!(mux.detach(NodeId(1)));
+        server.send(NodeId(2), Message::RoundResult { round: 3, accepted: true });
+        assert_eq!(mux.recv_timeout(RECV).unwrap().to, NodeId(2));
+        out2.send(NodeId(0), Message::RoundResult { round: 4, accepted: false });
+        assert_eq!(server.recv_timeout(RECV).unwrap().from, NodeId(2));
+    }
+
+    #[test]
+    fn socket_disconnect_closes_the_connection_and_allows_rejoin() {
+        let net =
+            Network::with_transport(FaultPlan::lossless(0), TransportMode::Socket(SocketKind::Tcp));
+        let a = net.register(NodeId(0));
+        let handle = std::thread::spawn(move || a.recv().is_err());
+        assert!(net.disconnect(NodeId(0)));
+        assert!(handle.join().unwrap(), "recv must error once the connection closes");
+        let a2 = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        b.send(NodeId(0), Message::RoundResult { round: 1, accepted: true });
+        assert!(a2.recv_timeout(RECV).is_ok());
+    }
+
+    #[test]
+    fn socket_transport_preserves_detectable_corruption() {
+        // A payload corrupted by the fault injector must arrive over the
+        // socket still framed intact (the frame checksum covers what was
+        // actually sent) and still detectably damaged at the codec layer.
+        let plan = FaultPlan::uniform(LinkPolicy::lossless().with_corrupt(1.0), 17);
+        let net = Network::with_transport(plan, TransportMode::Socket(SocketKind::Tcp));
+        let a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        let params = vec![1.0f32; 50];
+        a.send(NodeId(1), Message::TrainRequest { round: 1, global: wire::encode_f32(&params) });
+        let env = b.recv_timeout(RECV).expect("corrupted, not dropped");
+        let Message::TrainRequest { global, .. } = env.message else { panic!("wrong kind") };
+        assert!(wire::decode_f32(&global).expect_err("payload must be damaged").is_corruption());
+        assert_eq!(net.messages_corrupted(), 1);
     }
 }

@@ -1,0 +1,152 @@
+//! Fuzzing for the message frame codec: arbitrary byte strings must
+//! decode or error — never panic — strategy-generated envelopes of every
+//! variant must roundtrip, and every single-bit flip on a valid frame
+//! must surface as an error, with flips in the checksummed body reported
+//! as [`DecodeErrorKind::Corrupted`].
+
+use baffle_attack::voting::Vote;
+use baffle_net::frame::{
+    decode_frame, encode_frame, FrameReader, FRAME_HEADER, FRAME_MAGIC, FRAME_VERSION,
+};
+use baffle_net::message::{AbstainReason, HistoryEntry, Message, NodeId};
+use baffle_net::transport::Envelope;
+use baffle_nn::wire::DecodeErrorKind;
+use bytes::Bytes;
+use proptest::prelude::*;
+
+fn payload() -> impl Strategy<Value = Bytes> {
+    prop::collection::vec(any::<u8>(), 0..64).prop_map(Bytes::from)
+}
+
+fn abstain_reason() -> impl Strategy<Value = AbstainReason> {
+    prop_oneof![
+        Just(AbstainReason::UndecodableGlobal),
+        Just(AbstainReason::EmptyShard),
+        Just(AbstainReason::UndecodableCandidate),
+        Just(AbstainReason::HistoryTooShort),
+        Just(AbstainReason::NoValidationData),
+        Just(AbstainReason::DegenerateAnalysis),
+    ]
+}
+
+fn message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u64>(), payload())
+            .prop_map(|(round, global)| Message::TrainRequest { round, global }),
+        (any::<u64>(), any::<u32>(), payload()).prop_map(|(round, from, update)| {
+            Message::UpdateSubmission { round, from: NodeId(from), update }
+        }),
+        (any::<u64>(), payload(), prop::collection::vec((any::<u64>(), payload()), 0..4)).prop_map(
+            |(round, candidate, entries)| Message::ValidateRequest {
+                round,
+                candidate,
+                history_delta: entries
+                    .into_iter()
+                    .map(|(id, params)| HistoryEntry { id, params })
+                    .collect(),
+            }
+        ),
+        (any::<u64>(), any::<u32>(), any::<bool>()).prop_map(|(round, from, accept)| {
+            Message::VoteSubmission {
+                round,
+                from: NodeId(from),
+                vote: if accept { Vote::Accept } else { Vote::Reject },
+            }
+        }),
+        (any::<u64>(), any::<u32>(), abstain_reason()).prop_map(|(round, from, reason)| {
+            Message::Abstain { round, from: NodeId(from), reason }
+        }),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(round, accepted)| Message::RoundResult { round, accepted }),
+        Just(Message::Shutdown),
+    ]
+}
+
+fn envelope() -> impl Strategy<Value = Envelope> {
+    (any::<u32>(), any::<u32>(), message()).prop_map(|(from, to, message)| Envelope {
+        from: NodeId(from),
+        to: NodeId(to),
+        message,
+    })
+}
+
+/// Drains a byte stream through [`FrameReader`] until EOF or the first
+/// error, with an iteration cap as a runaway guard.
+fn drain_reader(bytes: &[u8]) {
+    let mut reader = FrameReader::new(std::io::Cursor::new(bytes.to_vec()));
+    for _ in 0..64 {
+        match reader.read_frame() {
+            Ok(Some(_)) => {}
+            Ok(None) | Err(_) => return,
+        }
+    }
+}
+
+proptest! {
+    /// Neither the one-shot decoder nor the stream reader panics on
+    /// arbitrary input.
+    #[test]
+    fn frame_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_frame(&bytes);
+        drain_reader(&bytes);
+    }
+
+    /// Same, with a valid magic and version spliced in front so decoding
+    /// gets past the first gates and exercises the length, checksum and
+    /// body paths.
+    #[test]
+    fn frame_decoder_never_panics_past_the_magic(
+        tail in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut bytes = Vec::with_capacity(8 + tail.len());
+        bytes.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&tail);
+        let _ = decode_frame(&bytes);
+        drain_reader(&bytes);
+    }
+
+    /// Every strategy-generated envelope roundtrips, both through the
+    /// one-shot decoder and cut off a concatenated stream.
+    #[test]
+    fn arbitrary_envelopes_roundtrip(envs in prop::collection::vec(envelope(), 1..4)) {
+        let mut stream = Vec::new();
+        for env in &envs {
+            let frame = encode_frame(env);
+            prop_assert_eq!(&decode_frame(&frame).unwrap(), env);
+            stream.extend_from_slice(&frame);
+        }
+        let mut reader = FrameReader::new(std::io::Cursor::new(stream));
+        for env in &envs {
+            prop_assert_eq!(&reader.read_frame().unwrap().unwrap(), env);
+        }
+        prop_assert!(reader.read_frame().unwrap().is_none());
+    }
+
+    /// A single-bit flip anywhere in a frame never decodes; flips in the
+    /// checksummed body are reported as corruption.
+    #[test]
+    fn single_bit_flips_are_detected(
+        env in envelope(),
+        bit in 0usize..8,
+        seed in any::<prop::sample::Index>(),
+    ) {
+        let frame = encode_frame(&env);
+        let at = seed.index(frame.len());
+        let mut damaged = frame.to_vec();
+        damaged[at] ^= 1 << bit;
+        let err = decode_frame(&damaged).expect_err("flip must not decode");
+        if at >= FRAME_HEADER {
+            prop_assert_eq!(err.kind(), DecodeErrorKind::Corrupted, "flip at {}", at);
+        }
+    }
+
+    /// Truncations of a valid frame never decode and never panic.
+    #[test]
+    fn truncations_never_decode(env in envelope()) {
+        let frame = encode_frame(&env);
+        for cut in 0..frame.len() {
+            prop_assert!(decode_frame(&frame[..cut]).is_err(), "cut at {}", cut);
+        }
+    }
+}

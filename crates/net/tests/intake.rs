@@ -10,7 +10,7 @@
 
 use baffle_core::{ValidationConfig, Validator, Vote};
 use baffle_data::Dataset;
-use baffle_fl::FlConfig;
+use baffle_fl::{FlConfig, WireProfile};
 use baffle_net::message::{Message, NodeId};
 use baffle_net::server::{Server, ServerConfig};
 use baffle_net::transport::{Endpoint, Network};
@@ -40,6 +40,7 @@ fn make_server(network: &Network, quorum: usize, timeout_ms: u64, initial: &Mlp)
         seed: 7,
         bootstrap_rounds: 0,
         bootstrap_trusted: Vec::new(),
+        wire: WireProfile::lossless(),
     };
     Server::new(
         endpoint,

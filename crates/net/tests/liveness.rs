@@ -11,7 +11,7 @@
 
 use baffle_core::{ValidationConfig, Validator, Vote};
 use baffle_data::{Dataset, SyntheticVision, VisionSpec};
-use baffle_fl::{FlConfig, LocalTrainer};
+use baffle_fl::{FlConfig, LocalTrainer, WireProfile};
 use baffle_net::client::{Client, ClientRole};
 use baffle_net::message::{AbstainReason, Message, NodeId};
 use baffle_net::server::{Server, ServerConfig};
@@ -48,6 +48,7 @@ fn make_server(network: &Network, initial: &Mlp) -> Server {
         seed: 7,
         bootstrap_rounds: 0,
         bootstrap_trusted: Vec::new(),
+        wire: WireProfile::lossless(),
     };
     Server::new(
         endpoint,
@@ -289,6 +290,7 @@ fn spawn_real_client(
         ClientRole::Honest,
         5,
         Arc::new(template.clone()),
+        WireProfile::lossless(),
         11,
     );
     move || {

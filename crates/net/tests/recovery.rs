@@ -18,7 +18,7 @@
 
 use baffle_core::{ValidationConfig, Validator, Vote};
 use baffle_data::Dataset;
-use baffle_fl::{sampling, FlConfig};
+use baffle_fl::{sampling, FlConfig, WireProfile};
 use baffle_net::deployment::{Deployment, DeploymentConfig, DeploymentParts};
 use baffle_net::fault::{FaultEvent, FaultPlan};
 use baffle_net::message::{AbstainReason, Message, NodeId};
@@ -51,6 +51,7 @@ fn make_server(network: &Network, timeout_ms: u64, initial: &Mlp) -> Server {
         seed: 7,
         bootstrap_rounds: 0,
         bootstrap_trusted: Vec::new(),
+        wire: WireProfile::lossless(),
     };
     Server::new(
         endpoint,
@@ -264,6 +265,7 @@ fn evicted_sync_point_gets_one_full_window_reship() {
         seed,
         bootstrap_rounds: 0,
         bootstrap_trusted: Vec::new(),
+        wire: WireProfile::lossless(),
     };
     let mut server = Server::new(
         network.register(NodeId::SERVER),
@@ -396,6 +398,7 @@ fn restore_rejects_damaged_checkpoints() {
         seed: 7,
         bootstrap_rounds: 0,
         bootstrap_trusted: Vec::new(),
+        wire: WireProfile::lossless(),
     };
     let attempt = |id: u32, blob: &[u8]| {
         Server::restore(

@@ -75,10 +75,11 @@ fn scheduler_executes_scripted_crash_and_restart() {
     config.malicious_clients = 0;
     config.rounds = 6;
     config.phase_timeout = Duration::from_millis(1500);
-    config.faults = Some(
-        FaultPlan::lossless(23)
-            .event(FaultEvent::Crash { node: NodeId(4), at_round: 2, restart_round: Some(4) }),
-    );
+    config.faults = Some(FaultPlan::lossless(23).event(FaultEvent::Crash {
+        node: NodeId(4),
+        at_round: 2,
+        restart_round: Some(4),
+    }));
     let outcome = Deployment::build(config.clone()).run();
 
     assert_eq!(outcome.rounds.len(), 6, "a crashed client must not stall the server");

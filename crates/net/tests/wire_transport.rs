@@ -1,0 +1,91 @@
+//! Cross-transport equivalence: the frame-encoded socket transport must
+//! be a pure carrier. Running the same deployment config over in-process
+//! channels and over loopback sockets has to produce **bit-identical
+//! protocol outcomes** — same accept/reject sequence, same ledger
+//! counters, same client reports — because the only thing that changed
+//! is how envelopes move, not what they say.
+//!
+//! Wall-clock phase durations and the wire-volume meters are the only
+//! legitimate differences, so they are normalised out before comparing.
+
+use baffle_fl::WireProfile;
+use baffle_net::deployment::{Deployment, DeploymentConfig, DeploymentOutcome};
+use baffle_net::server::ServerRound;
+use baffle_net::socket::{SocketKind, TransportMode};
+use std::time::Duration;
+
+fn run_with(seed: u64, transport: TransportMode, wire: WireProfile) -> DeploymentOutcome {
+    let mut config = DeploymentConfig::small(seed);
+    config.transport = transport;
+    config.wire_profile = wire;
+    Deployment::run(config)
+}
+
+/// Zeroes the wall-clock fields and the wire-volume meters — everything
+/// the protocol *decided* stays, and must match bit-for-bit.
+fn normalized(outcome: &DeploymentOutcome) -> DeploymentOutcome {
+    DeploymentOutcome {
+        rounds: outcome
+            .rounds
+            .iter()
+            .map(|r| ServerRound {
+                update_phase: Duration::ZERO,
+                vote_phase: Duration::ZERO,
+                ..r.clone()
+            })
+            .collect(),
+        wire_bytes: 0,
+        wire_frames: 0,
+        ..outcome.clone()
+    }
+}
+
+#[test]
+fn tcp_transport_is_bit_identical_to_in_process() {
+    let channel = run_with(33, TransportMode::InProcess, WireProfile::lossless());
+    let tcp = run_with(33, TransportMode::Socket(SocketKind::Tcp), WireProfile::lossless());
+
+    // The socket run actually used the wire.
+    assert!(tcp.wire_frames > 0, "TCP run wrote no frames");
+    assert!(tcp.wire_bytes > 0, "TCP run wrote no bytes");
+    assert_eq!(channel.wire_frames, 0, "in-process run must not touch sockets");
+
+    assert_eq!(normalized(&channel), normalized(&tcp));
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_transport_is_bit_identical_to_in_process() {
+    let channel = run_with(34, TransportMode::InProcess, WireProfile::lossless());
+    let unix = run_with(34, TransportMode::Socket(SocketKind::Unix), WireProfile::lossless());
+
+    assert!(unix.wire_frames > 0, "unix-socket run wrote no frames");
+    assert_eq!(normalized(&channel), normalized(&unix));
+}
+
+#[test]
+fn quantized_profile_is_transport_invariant() {
+    // Quantisation is lossy, but it is applied at *encode* time by the
+    // sender — both transports carry the same bytes, so the (different)
+    // protocol trajectory under q8 must still be transport-independent.
+    let channel = run_with(35, TransportMode::InProcess, WireProfile::quantized());
+    let tcp = run_with(35, TransportMode::Socket(SocketKind::Tcp), WireProfile::quantized());
+
+    assert_eq!(normalized(&channel), normalized(&tcp));
+}
+
+#[test]
+fn compact_profile_ships_fewer_history_bytes() {
+    let dense = run_with(36, TransportMode::InProcess, WireProfile::lossless());
+    let compact = run_with(36, TransportMode::InProcess, WireProfile::compact());
+
+    let shipped =
+        |o: &DeploymentOutcome| -> usize { o.rounds.iter().map(|r| r.history_bytes_shipped).sum() };
+    let dense_bytes = shipped(&dense);
+    let compact_bytes = shipped(&compact);
+    assert!(dense_bytes > 0, "baseline run shipped no history at all");
+    assert!(
+        compact_bytes < dense_bytes,
+        "compact profile did not reduce history shipping: {compact_bytes} >= {dense_bytes}"
+    );
+}

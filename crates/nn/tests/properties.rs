@@ -91,7 +91,7 @@ proptest! {
     fn wire_roundtrip(p in prop::collection::vec(-5.0_f32..5.0, 0..200)) {
         let exact = baffle_nn::wire::decode_f32(&baffle_nn::wire::encode_f32(&p)).unwrap();
         prop_assert_eq!(&exact, &p);
-        let q = baffle_nn::wire::decode_q8(&baffle_nn::wire::encode_q8(&p)).unwrap();
+        let q = baffle_nn::wire::decode_q8(&baffle_nn::wire::encode_q8(&p).unwrap()).unwrap();
         prop_assert_eq!(q.len(), p.len());
         if !p.is_empty() {
             let lo = p.iter().cloned().fold(f32::INFINITY, f32::min);

@@ -181,10 +181,11 @@ fn crash_without_restart_books_unroutable_sends_not_drops() {
     config.malicious_clients = 0;
     config.rounds = 5;
     config.phase_timeout = Duration::from_millis(1200);
-    config.faults = Some(
-        FaultPlan::lossless(12)
-            .event(FaultEvent::Crash { node: NodeId(2), at_round: 2, restart_round: None }),
-    );
+    config.faults = Some(FaultPlan::lossless(12).event(FaultEvent::Crash {
+        node: NodeId(2),
+        at_round: 2,
+        restart_round: None,
+    }));
     let outcome = Deployment::run(config.clone());
     assert_eq!(outcome.rounds.len(), 5, "a crashed client must not stall the server");
     // At minimum the shutdown notice to the dead node has no route.
