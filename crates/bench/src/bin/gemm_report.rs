@@ -86,11 +86,14 @@ fn main() {
     let d = gemm::dispatch_counts();
     println!(
         "  \"dispatch\": {{\"blocked\": {}, \"simd\": {}, \"banded\": {}, \
-         \"simd_enabled\": {}}}",
+         \"batched\": {}, \"fma\": {}, \"simd_enabled\": {}, \"fast_math\": {}}}",
         d.blocked,
         d.simd,
         d.banded,
-        gemm::simd_enabled()
+        d.batched,
+        d.fma,
+        gemm::simd_enabled(),
+        gemm::fast_math_enabled()
     );
     println!("}}");
 }

@@ -46,7 +46,12 @@ fn main() {
         "the in-process transport must survive the run"
     );
 
-    let peak_rss_mb = peak_rss_kb().map(|kb| kb as f64 / 1024.0);
+    // A report with holes is worse than no report: refuse to publish
+    // `null` for a measured field rather than let CI archive it.
+    let Some(peak_rss_mb) = peak_rss_kb().map(|kb| kb as f64 / 1024.0) else {
+        eprintln!("scale_report: peak RSS unavailable (no /proc/self/status VmHWM); refusing to emit null");
+        std::process::exit(2);
+    };
     println!("{{");
     println!("  \"bench\": \"scale\",");
     println!("  \"threads\": {},", pool::threads());
@@ -58,9 +63,6 @@ fn main() {
     println!("  \"run_seconds\": {run_s:.3},");
     println!("  \"rounds_per_sec\": {:.3},", rounds as f64 / run_s);
     println!("  \"messages_sent\": {},", outcome.messages_sent);
-    match peak_rss_mb {
-        Some(mb) => println!("  \"peak_rss_mb\": {mb:.1}"),
-        None => println!("  \"peak_rss_mb\": null"),
-    }
+    println!("  \"peak_rss_mb\": {peak_rss_mb:.1}");
     println!("}}");
 }

@@ -1,0 +1,174 @@
+//! Emits a machine-readable validation-cost summary
+//! (`BENCH_validation.json` on CI): per-round cost of BaFFLe's
+//! wrapped-validation fan-out at history lengths ℓ ∈ {5, 10, 20}, for
+//! the sequential cold path, the fused batched cold path, the warm
+//! (fully cached) path, and the opt-in fast-math tier — so the claims
+//! behind the batched engine (cold sublinear in ℓ, warm independent of
+//! ℓ) are tracked per commit, not asserted once.
+//!
+//! Every emitted metric is measured in-process; if any would serialize
+//! as `null` or a non-finite number the binary exits non-zero instead
+//! of publishing a hole (CI treats that as a failed perf job). The
+//! default-tier batched verdict is also cross-checked against the
+//! sequential one and any divergence is a hard failure — the speedup is
+//! worthless if it changes the answer.
+//!
+//! Uses plain `std::time` rather than Criterion so it runs as a normal
+//! release binary:
+//! `cargo run --release -p baffle-bench --bin validation_report [-- <samples>]`
+//! (default 2 000 validation samples; CI smoke uses 500).
+
+use baffle_bench::cifar_fixture;
+use baffle_core::{ValidationConfig, ValidationEngine, Validator};
+use baffle_fl::history_sync::ModelId;
+use baffle_nn::Mlp;
+use baffle_tensor::{gemm, pool};
+use std::hint::black_box;
+use std::process::exit;
+use std::time::Instant;
+
+const HISTORY_LENS: &[usize] = &[5, 10, 20];
+
+/// Median wall-clock of `reps` single runs of `f`, in milliseconds.
+fn median_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Picks a repetition count that keeps each variant near ~0.3 s total.
+fn reps_for<F: FnMut()>(f: &mut F) -> usize {
+    let t = Instant::now();
+    f();
+    let once = t.elapsed().as_nanos().max(1) as usize;
+    (300_000_000 / once).clamp(3, 100)
+}
+
+/// Refuses to emit a metric that would serialize as `null`/`NaN`/`inf`.
+fn measured(name: &str, x: f64) -> f64 {
+    if !x.is_finite() {
+        eprintln!(
+            "validation_report: measured field {name:?} is not finite ({x}); refusing to emit"
+        );
+        exit(2);
+    }
+    x
+}
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .map(|arg| arg.parse().expect("samples must be a positive integer"))
+        .unwrap_or(2_000);
+
+    println!("{{");
+    println!("  \"bench\": \"validation\",");
+    println!("  \"threads\": {},", pool::threads());
+    println!("  \"samples\": {samples},");
+    println!("  \"fast_math_env\": {},", gemm::fast_math_enabled());
+    println!("  \"simd_enabled\": {},", gemm::simd_enabled());
+    println!("  \"unit\": \"ms_per_validation_median\",");
+    println!("  \"history_lens\": [");
+    for (idx, &len) in HISTORY_LENS.iter().enumerate() {
+        let fixture = cifar_fixture(samples, len, 1977 + len as u64);
+        let history: &[Mlp] = &fixture.history;
+        let candidate = &fixture.model;
+        let ids: Vec<ModelId> = (0..history.len() as ModelId).collect();
+        let validator = Validator::new(ValidationConfig::new(len));
+
+        // The batched cold path must change only the cost, never the
+        // verdict: cross-check before timing anything.
+        let sequential = ValidationEngine::new(validator).validate_detailed(
+            candidate,
+            &ids,
+            history,
+            &fixture.data,
+        );
+        let batched = ValidationEngine::new(validator).validate_batched_detailed(
+            candidate,
+            &ids,
+            history,
+            &fixture.data,
+        );
+        if !gemm::fast_math_enabled() && sequential != batched {
+            eprintln!(
+                "validation_report: batched verdict diverged from sequential at l={len}: \
+                 {batched:?} vs {sequential:?}"
+            );
+            exit(3);
+        }
+
+        let mut cold_seq = || {
+            let mut engine = ValidationEngine::new(validator);
+            black_box(engine.validate_detailed(candidate, &ids, history, &fixture.data)).ok();
+        };
+        let mut cold_batched = || {
+            let mut engine = ValidationEngine::new(validator);
+            black_box(engine.validate_batched_detailed(candidate, &ids, history, &fixture.data))
+                .ok();
+        };
+        let mut warm_engine = ValidationEngine::new(validator);
+        warm_engine.validate_batched_detailed(candidate, &ids, history, &fixture.data).ok();
+        let mut warm = || {
+            black_box(warm_engine.validate_batched_detailed(
+                candidate,
+                &ids,
+                history,
+                &fixture.data,
+            ))
+            .ok();
+        };
+
+        let cold_seq_ms = median_ms(reps_for(&mut cold_seq), cold_seq);
+        let cold_batched_ms = median_ms(reps_for(&mut cold_batched), cold_batched);
+        let warm_ms = median_ms(reps_for(&mut warm), warm);
+
+        // The opt-in tier, forced on for the measurement regardless of
+        // the environment (and restored after).
+        gemm::set_fast_math(Some(true));
+        let fast = ValidationEngine::new(validator).validate_batched_detailed(
+            candidate,
+            &ids,
+            history,
+            &fixture.data,
+        );
+        let mut cold_fast = || {
+            let mut engine = ValidationEngine::new(validator);
+            black_box(engine.validate_batched_detailed(candidate, &ids, history, &fixture.data))
+                .ok();
+        };
+        let cold_fast_ms = median_ms(reps_for(&mut cold_fast), cold_fast);
+        gemm::set_fast_math(None);
+        let fast_vote_matches = fast.as_ref().ok().map(|d| d.verdict.vote())
+            == batched.as_ref().ok().map(|d| d.verdict.vote());
+
+        let comma = if idx + 1 < HISTORY_LENS.len() { "," } else { "" };
+        println!(
+            "    {{\"history_len\": {len}, \
+             \"cold_sequential_ms\": {:.3}, \"cold_batched_ms\": {:.3}, \
+             \"warm_ms\": {:.3}, \"cold_fast_math_ms\": {:.3}, \
+             \"speedup_batched\": {:.2}, \"speedup_fast_math\": {:.2}, \
+             \"fast_vote_matches\": {fast_vote_matches}}}{comma}",
+            measured("cold_sequential_ms", cold_seq_ms),
+            measured("cold_batched_ms", cold_batched_ms),
+            measured("warm_ms", warm_ms),
+            measured("cold_fast_math_ms", cold_fast_ms),
+            measured("speedup_batched", cold_seq_ms / cold_batched_ms),
+            measured("speedup_fast_math", cold_seq_ms / cold_fast_ms),
+        );
+    }
+    println!("  ],");
+    let d = gemm::dispatch_counts();
+    println!(
+        "  \"dispatch\": {{\"blocked\": {}, \"simd\": {}, \"banded\": {}, \
+         \"batched\": {}, \"fma\": {}}}",
+        d.blocked, d.simd, d.banded, d.batched, d.fma
+    );
+    println!("}}");
+}

@@ -28,7 +28,13 @@
 //! On a cold cache (first round, or after a client re-syncs a long
 //! history delta) the missing matrices are computed on the shared worker
 //! pool; results are keyed by id, so scheduling order cannot affect the
-//! verdict.
+//! verdict. The batched entry points
+//! ([`ValidationEngine::validate_batched`]) fuse that cold fan-out
+//! further: the candidate and every missing model are stacked into one
+//! [`ConfusionMatrix::from_models`] pass, turning ℓ + 2 per-model
+//! forward sweeps into a single wide GEMM pass per layer
+//! ([`baffle_nn::Model::predict_multi`]) — bit-identical to the
+//! sequential path on the default kernels.
 
 use crate::validate::{Diagnostics, ValidateError, Validator, Verdict, MIN_HISTORY};
 use baffle_data::Dataset;
@@ -38,8 +44,12 @@ use std::collections::HashMap;
 
 /// Fan the cold-cache confusion computation out to the worker pool only
 /// when at least this many matrices are missing; below that, task
-/// hand-off costs more than the forward passes it saves.
-const CONFUSION_PARALLEL_THRESHOLD: usize = 4;
+/// hand-off costs more than the forward passes it saves. Two is the
+/// break-even point now that [`ConfusionMatrix::from_model`] evaluates
+/// chunks through borrowed row views instead of copying them: a task is
+/// one allocation-free forward pass, so it pays off as soon as a second
+/// matrix can overlap it.
+const CONFUSION_PARALLEL_THRESHOLD: usize = 2;
 
 /// Confusion matrices of already-evaluated history models, keyed by
 /// [`ModelId`]. Bounded by the validator's window: every
@@ -203,6 +213,105 @@ impl ValidationEngine {
         history: &[M],
         data: &Dataset,
     ) -> Result<Diagnostics, ValidateError> {
+        let (ids, window, missing) = self.prepare(ids, history, data)?;
+
+        if !missing.is_empty() {
+            let computed: Vec<ConfusionMatrix> = if missing.len() >= CONFUSION_PARALLEL_THRESHOLD {
+                baffle_tensor::pool::parallel_map(missing.clone(), |_, i| {
+                    ConfusionMatrix::from_model(&window[i], data.features(), data.labels())
+                })
+            } else {
+                missing
+                    .iter()
+                    .map(|&i| {
+                        ConfusionMatrix::from_model(&window[i], data.features(), data.labels())
+                    })
+                    .collect()
+            };
+            for (&i, cm) in missing.iter().zip(computed) {
+                self.cache.insert(ids[i], cm);
+            }
+        }
+        // The candidate is never cached: it has no id until (and unless)
+        // the quorum accepts it, and caching speculative models would let
+        // a rejected candidate poison a future lookup.
+        let current_cm = ConfusionMatrix::from_model(current, data.features(), data.labels());
+        self.decide(ids, current_cm, data.len())
+    }
+
+    /// Cached equivalent of [`Validator::validate`] whose cold-cache work
+    /// runs as *batched* multi-model evaluation: see
+    /// [`ValidationEngine::validate_batched_detailed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len() != history.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Validator::validate`].
+    pub fn validate_batched<M: Model + Sync>(
+        &mut self,
+        current: &M,
+        ids: &[ModelId],
+        history: &[M],
+        data: &Dataset,
+    ) -> Result<Verdict, ValidateError> {
+        self.validate_batched_detailed(current, ids, history, data).map(|d| d.verdict)
+    }
+
+    /// Like [`ValidationEngine::validate_detailed`], but the candidate
+    /// and every window model missing from the cache are stacked into a
+    /// single [`ConfusionMatrix::from_models`] pass, so a cold cache
+    /// costs one fused multi-model GEMM sweep per layer over the
+    /// validation set instead of ℓ + 2 sequential forward fan-outs (see
+    /// [`baffle_nn::Model::predict_multi`]). A warm cache evaluates a
+    /// two-model batch (the candidate plus the newest accepted model) —
+    /// its cost is independent of ℓ.
+    ///
+    /// On the default bit-exact kernels the verdict, diagnostics, cache
+    /// contents and hit/miss counters are all bit-identical to
+    /// [`ValidationEngine::validate_detailed`] (property-tested in
+    /// `tests/engine_coherence.rs`); under the opt-in `BAFFLE_FAST_MATH`
+    /// tier the two paths agree within the documented error bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len() != history.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Validator::validate`].
+    pub fn validate_batched_detailed<M: Model + Sync>(
+        &mut self,
+        current: &M,
+        ids: &[ModelId],
+        history: &[M],
+        data: &Dataset,
+    ) -> Result<Diagnostics, ValidateError> {
+        let (ids, window, missing) = self.prepare(ids, history, data)?;
+
+        // One fused pass over the shard evaluates every missing history
+        // model and the candidate together. The candidate rides in the
+        // batch but is still never cached (see `validate_detailed`).
+        let mut batch: Vec<&M> = missing.iter().map(|&i| &window[i]).collect();
+        batch.push(current);
+        let mut cms = ConfusionMatrix::from_models(&batch, data.features(), data.labels());
+        let current_cm = cms.pop().expect("candidate confusion matrix");
+        for (&i, cm) in missing.iter().zip(cms) {
+            self.cache.insert(ids[i], cm);
+        }
+        self.decide(ids, current_cm, data.len())
+    }
+
+    /// Shared prologue of the cached validation paths: argument checks,
+    /// window selection, miss detection and counter updates.
+    fn prepare<'a, M: Model>(
+        &mut self,
+        ids: &'a [ModelId],
+        history: &'a [M],
+        data: &Dataset,
+    ) -> Result<(&'a [ModelId], &'a [M], Vec<usize>), ValidateError> {
         assert_eq!(
             ids.len(),
             history.len(),
@@ -222,33 +331,21 @@ impl ValidationEngine {
             (0..window.len()).filter(|&i| !self.cache.contains(ids[i])).collect();
         self.hits += (window.len() - missing.len()) as u64;
         self.misses += missing.len() as u64;
+        Ok((ids, window, missing))
+    }
 
-        if !missing.is_empty() {
-            let computed: Vec<ConfusionMatrix> = if missing.len() >= CONFUSION_PARALLEL_THRESHOLD {
-                baffle_tensor::pool::parallel_map(missing.clone(), |_, i| {
-                    ConfusionMatrix::from_model(&window[i], data.features(), data.labels())
-                })
-            } else {
-                missing
-                    .iter()
-                    .map(|&i| {
-                        ConfusionMatrix::from_model(&window[i], data.features(), data.labels())
-                    })
-                    .collect()
-            };
-            for (&i, cm) in missing.iter().zip(computed) {
-                self.cache.insert(ids[i], cm);
-            }
-        }
+    /// Shared epilogue: evicts entries that left the window and runs the
+    /// decision half of Algorithm 2 over the cached window matrices.
+    fn decide(
+        &mut self,
+        ids: &[ModelId],
+        current_cm: ConfusionMatrix,
+        num_samples: usize,
+    ) -> Result<Diagnostics, ValidateError> {
         self.cache.retain_window(ids);
-
         let confusions: Vec<ConfusionMatrix> =
             ids.iter().map(|&id| self.cache.get(id).expect("window cached").clone()).collect();
-        // The candidate is never cached: it has no id until (and unless)
-        // the quorum accepts it, and caching speculative models would let
-        // a rejected candidate poison a future lookup.
-        let current_cm = ConfusionMatrix::from_model(current, data.features(), data.labels());
-        self.validator.validate_confusions(&confusions, &current_cm, data.len())
+        self.validator.validate_confusions(&confusions, &current_cm, num_samples)
     }
 }
 
@@ -375,6 +472,45 @@ mod tests {
         let ids: Vec<ModelId> = (0..6).collect();
         let empty = Dataset::empty(1, 2);
         let err = engine.validate(&history[0], &ids, &history, &empty).unwrap_err();
+        assert_eq!(err, ValidateError::EmptyDataset);
+        assert_eq!(engine.cache_len(), 0, "errors must not populate the cache");
+    }
+
+    #[test]
+    fn batched_matches_sequential_cold_and_warm() {
+        let data = dataset(40, 4);
+        let history = stable_history(&data, 12);
+        let ids: Vec<ModelId> = (0..12).collect();
+        let current = model_with_errors(&data, &[12, 13]);
+        let validator = Validator::new(ValidationConfig::new(10));
+        let mut seq = ValidationEngine::new(validator);
+        let mut bat = ValidationEngine::new(validator);
+
+        let cold_s = seq.validate_detailed(&current, &ids, &history, &data);
+        let cold_b = bat.validate_batched_detailed(&current, &ids, &history, &data);
+        assert_eq!(cold_b, cold_s);
+        assert_eq!((bat.hits(), bat.misses()), (seq.hits(), seq.misses()));
+        assert_eq!(bat.cache_len(), seq.cache_len());
+
+        let warm_s = seq.validate_detailed(&current, &ids, &history, &data);
+        let warm_b = bat.validate_batched_detailed(&current, &ids, &history, &data);
+        assert_eq!(warm_b, warm_s);
+        assert_eq!((bat.hits(), bat.misses()), (seq.hits(), seq.misses()));
+    }
+
+    #[test]
+    fn batched_errors_match_and_skip_the_cache() {
+        let data = dataset(10, 2);
+        let history = stable_history(&data, 3);
+        let ids: Vec<ModelId> = (0..3).collect();
+        let mut engine = ValidationEngine::new(Validator::new(ValidationConfig::new(10)));
+        let err = engine.validate_batched(&history[0], &ids, &history, &data).unwrap_err();
+        assert!(matches!(err, ValidateError::NotEnoughHistory { got: 3, need: 4 }));
+
+        let history = stable_history(&data, 6);
+        let ids: Vec<ModelId> = (0..6).collect();
+        let empty = Dataset::empty(1, 2);
+        let err = engine.validate_batched(&history[0], &ids, &history, &empty).unwrap_err();
         assert_eq!(err, ValidateError::EmptyDataset);
         assert_eq!(engine.cache_len(), 0, "errors must not populate the cache");
     }

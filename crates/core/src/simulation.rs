@@ -850,7 +850,7 @@ impl Simulation {
             let mut votes: Vec<Vote> = Vec::new();
             if matches!(self.config.defense, DefenseMode::ClientsOnly | DefenseMode::Both) {
                 for &c in &contributors {
-                    let outcome = self.client_engines[c].lock().validate(
+                    let outcome = self.client_engines[c].lock().validate_batched(
                         pending,
                         prefix_ids,
                         prefix,
@@ -870,8 +870,12 @@ impl Simulation {
             }
             let server_vote =
                 if matches!(self.config.defense, DefenseMode::ServerOnly | DefenseMode::Both) {
-                    let outcome =
-                        self.server_engine.validate(pending, prefix_ids, prefix, &self.server_data);
+                    let outcome = self.server_engine.validate_batched(
+                        pending,
+                        prefix_ids,
+                        prefix,
+                        &self.server_data,
+                    );
                     let vote = match outcome {
                         Ok(verdict) => verdict.vote(),
                         Err(_) => Vote::Accept,
@@ -1061,7 +1065,8 @@ impl Simulation {
                 if v < malicious && !behavior.needs_validation() {
                     behavior.cast(Vote::Accept)
                 } else {
-                    let outcome = engines[v].lock().validate(candidate, ids, history, &shards[v]);
+                    let outcome =
+                        engines[v].lock().validate_batched(candidate, ids, history, &shards[v]);
                     let honest = match outcome {
                         Ok(verdict) => verdict.vote(),
                         // A client that cannot judge abstains
@@ -1080,7 +1085,7 @@ impl Simulation {
 
         let server_vote =
             if matches!(self.config.defense, DefenseMode::ServerOnly | DefenseMode::Both) {
-                let outcome = self.server_engine.validate(
+                let outcome = self.server_engine.validate_batched(
                     candidate,
                     self.history.ids(),
                     self.history.models(),

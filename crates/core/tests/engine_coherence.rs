@@ -1,10 +1,13 @@
-//! Cache-coherence property: the incremental [`ValidationEngine`] and
-//! the plain [`Validator`] must return **bit-identical** results — vote,
-//! outlier factor φ, threshold τ, diagnostics, and errors — across
-//! arbitrary sequences of accepted rounds, rejected rounds and
-//! deferred-validation rollbacks. Both paths share the same decision
-//! code (`Validator::validate_confusions`), so any divergence means the
-//! cache served a wrong or stale confusion matrix.
+//! Cache-coherence property: the incremental [`ValidationEngine`] —
+//! through BOTH its sequential cold path and the fused
+//! `validate_batched_detailed` cold path — and the plain [`Validator`]
+//! must return **bit-identical** results — vote, outlier factor φ,
+//! threshold τ, diagnostics, and errors — across arbitrary sequences of
+//! accepted rounds, rejected rounds and deferred-validation rollbacks.
+//! All paths share the same decision code
+//! (`Validator::validate_confusions`), so any divergence means the
+//! cache served a wrong or stale confusion matrix, or the batched
+//! fan-out evaluated a model on the wrong rows.
 
 use baffle_core::{ValidationConfig, ValidationEngine, Validator};
 use baffle_data::Dataset;
@@ -68,6 +71,7 @@ proptest! {
         let data = dataset(30, 3);
         let validator = Validator::new(ValidationConfig::new(6));
         let mut engine = ValidationEngine::new(validator);
+        let mut fused = ValidationEngine::new(validator);
 
         let mut next_id: ModelId = 0;
         let mut window: Vec<(ModelId, Scripted)> = Vec::new();
@@ -86,8 +90,11 @@ proptest! {
                     let models: Vec<Scripted> =
                         window.iter().map(|(_, m)| m.clone()).collect();
                     let cached = engine.validate_detailed(&candidate, &ids, &models, &data);
+                    let batched =
+                        fused.validate_batched_detailed(&candidate, &ids, &models, &data);
                     let plain = validator.validate_detailed(&candidate, &models, &data);
-                    prop_assert_eq!(cached, plain, "cached and plain paths diverged");
+                    prop_assert_eq!(&cached, &plain, "cached and plain paths diverged");
+                    prop_assert_eq!(&batched, &plain, "batched and plain paths diverged");
                     if op == 0 {
                         window.push((next_id, candidate));
                         next_id += 1;
@@ -101,6 +108,7 @@ proptest! {
                     if window.len() > 4 {
                         let (retired, _) = window.pop().unwrap();
                         engine.invalidate(retired);
+                        fused.invalidate(retired);
                     }
                 }
             }

@@ -1,0 +1,114 @@
+//! End-to-end fast-math contract: validation verdicts under the opt-in
+//! FMA tier (`BAFFLE_FAST_MATH=1`) must agree with the bit-exact tier
+//! whenever every sample's logit margin exceeds the documented kernel
+//! error bound — which this test arranges by construction, then checks
+//! the arithmetic rather than assuming it.
+//!
+//! `gemm::set_fast_math` mutates process-global dispatch state, so this
+//! file holds a SINGLE test function (sibling tests run concurrently).
+//! The test is tier-safe: when SIMD is unavailable (`BAFFLE_NO_SIMD=1`)
+//! the fast tier never engages and both runs take the exact kernels,
+//! making every assertion trivially true.
+
+use baffle_core::{ValidationConfig, ValidationEngine, Validator};
+use baffle_data::Dataset;
+use baffle_fl::history_sync::ModelId;
+use baffle_nn::{Mlp, MlpSpec, Model};
+use baffle_tensor::{gemm, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 30;
+const C: usize = 3;
+const PEAK: f32 = 8.0;
+
+/// A real single-layer MLP scripted to predict `preds`: the input is
+/// (nearly) one-hot per row, and row `i` of the weight matrix routes
+/// that row's peak to class `preds[i]`. Margins are ≈ `PEAK`, far above
+/// the fast-math error envelope, so the predictions are tier-invariant
+/// by the documented bound — not by luck.
+fn scripted_mlp(preds: &[usize]) -> Mlp {
+    assert_eq!(preds.len(), N);
+    let spec = MlpSpec::new(N, &[], C);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut m = Mlp::new(&spec, &mut rng);
+    let mut p = vec![0.0f32; spec.num_params()];
+    for (i, &cls) in preds.iter().enumerate() {
+        p[i * C + cls] = 1.0; // weights are row-major (input × class), bias last
+    }
+    m.set_params(&p);
+    m
+}
+
+/// Near-one-hot features: peak at the row's own index plus deterministic
+/// small off-diagonal noise (to make the accumulations non-trivial).
+fn dataset() -> Dataset {
+    let x = Matrix::from_fn(N, N, |r, c| {
+        if r == c {
+            PEAK
+        } else {
+            0.01 * (((r * 31 + c * 17) % 19) as f32 - 9.0)
+        }
+    });
+    let y = (0..N).map(|i| i % C).collect();
+    Dataset::new(x, y, C)
+}
+
+fn errs(wrong: &[usize]) -> Vec<usize> {
+    (0..N).map(|i| if wrong.contains(&i) { (i % C + 1) % C } else { i % C }).collect()
+}
+
+#[test]
+fn fast_math_verdicts_match_exact_above_the_error_bound() {
+    let data = dataset();
+    let history: Vec<Mlp> = (0..5).map(|t| scripted_mlp(&errs(&[t, t + 5, (t * 3) % N]))).collect();
+    let candidate = scripted_mlp(&errs(&[2, 9, 17, 21]));
+    let ids: Vec<ModelId> = (0..history.len() as ModelId).collect();
+
+    // The margin really does clear the bound: per logit the envelope is
+    // |Σ xₖ·wₖⱼ| ≤ PEAK + Σ|noise| and the kernel error is within
+    // error_bound(N) of it, while the winning class leads by ≈ PEAK.
+    let envelope = PEAK as f64 + N as f64 * 0.1;
+    let worst = 2.0 * gemm::error_bound(N) * envelope;
+    let margin = (PEAK - 2.0 * 0.1) as f64;
+    assert!(
+        worst < margin / 100.0,
+        "engineered margin {margin} no longer dominates the fast-math envelope {worst}"
+    );
+
+    let run = |validator: &Validator| {
+        let mut seq = ValidationEngine::new(*validator);
+        let mut fused = ValidationEngine::new(*validator);
+        let plain = validator.validate_detailed(&candidate, &history, &data);
+        let cold_seq = seq.validate_detailed(&candidate, &ids, &history, &data);
+        let cold_fused = fused.validate_batched_detailed(&candidate, &ids, &history, &data);
+        let warm_fused = fused.validate_batched_detailed(&candidate, &ids, &history, &data);
+        assert_eq!(cold_seq, plain, "engine cold path diverged from plain validator");
+        assert_eq!(cold_fused, plain, "batched cold path diverged from plain validator");
+        assert_eq!(warm_fused, plain, "batched warm path diverged from plain validator");
+        let preds: Vec<Vec<usize>> = history
+            .iter()
+            .chain(std::iter::once(&candidate))
+            .map(|m| m.predict_batch(data.features()))
+            .collect();
+        (plain, preds)
+    };
+
+    let validator = Validator::new(ValidationConfig::new(8));
+    gemm::set_fast_math(Some(false));
+    let (exact_diag, exact_preds) = run(&validator);
+    gemm::set_fast_math(Some(true));
+    let (fast_diag, fast_preds) = run(&validator);
+    gemm::set_fast_math(None);
+
+    // Above the bound, the tiers must agree exactly: same per-model
+    // predictions, hence identical confusion matrices and a bitwise
+    // identical verdict (φ, τ, vote and all diagnostics included).
+    assert_eq!(fast_preds, exact_preds, "predictions flipped despite the margin guarantee");
+    assert_eq!(fast_diag, exact_diag, "verdict diverged between fast and exact tiers");
+
+    // And the models really do implement their scripts on both tiers.
+    for (t, p) in exact_preds.iter().take(5).enumerate() {
+        assert_eq!(p, &errs(&[t, t + 5, (t * 3) % N]), "history model {t} off-script");
+    }
+}

@@ -335,8 +335,12 @@ impl Client {
         };
         let mut candidate = self.template.as_ref().clone();
         candidate.set_params(&params);
-        let outcome =
-            self.engine.validate(&candidate, &self.history_ids, &self.history_models, &self.data);
+        let outcome = self.engine.validate_batched(
+            &candidate,
+            &self.history_ids,
+            &self.history_models,
+            &self.data,
+        );
         let honest_vote = match outcome {
             Ok(verdict) => verdict.vote(),
             // Cannot judge: abstain explicitly (footnote 1) — regardless

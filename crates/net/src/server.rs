@@ -529,7 +529,7 @@ impl Server {
             // treated as lost and re-sent at their next selection.
         }
         if self.config.server_votes {
-            let outcome = self.engine.validate(
+            let outcome = self.engine.validate_batched(
                 &candidate,
                 self.history.ids(),
                 self.history.models(),

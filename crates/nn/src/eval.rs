@@ -57,9 +57,10 @@ impl ConfusionMatrix {
     ///
     /// Large sets (≥ `2 * EVAL_CHUNK_ROWS` rows, pool wider than one
     /// thread) are split into row chunks evaluated on the shared worker
-    /// pool and merged in chunk order; because [`Model::predict_batch`]
-    /// is row-wise and [`ConfusionMatrix::merge`] is plain integer
-    /// addition, the result is identical to the single-call path.
+    /// pool via [`Model::predict_rows`] and merged in chunk order;
+    /// because predictions are row-wise and [`ConfusionMatrix::merge`]
+    /// is plain integer addition, the result is identical to the
+    /// single-call path.
     ///
     /// # Panics
     ///
@@ -85,20 +86,20 @@ impl ConfusionMatrix {
     }
 
     /// The chunked path of [`ConfusionMatrix::from_model`]: evaluates
-    /// `chunk_rows`-row slices on the worker pool and merges the partial
-    /// matrices in chunk order.
+    /// `chunk_rows`-row slices on the worker pool via
+    /// [`Model::predict_rows`] (which borrows the rows — no per-chunk
+    /// copy of the data) and merges the partial matrices in chunk order.
     fn from_model_chunked<M: Model + Sync + ?Sized>(
         model: &M,
         x: &Matrix,
         y: &[usize],
         chunk_rows: usize,
     ) -> Self {
-        let (rows, cols) = (x.rows(), x.cols());
+        let rows = x.rows();
         let ranges: Vec<(usize, usize)> =
             (0..rows).step_by(chunk_rows.max(1)).map(|s| (s, (s + chunk_rows).min(rows))).collect();
         let parts = pool::parallel_map(ranges, |_, (s, e)| {
-            let xs = Matrix::from_vec(e - s, cols, x.as_slice()[s * cols..e * cols].to_vec());
-            let preds = model.predict_batch(&xs);
+            let preds = model.predict_rows(x, s, e);
             let mut part = Self::new(model.num_classes());
             for (&t, &p) in y[s..e].iter().zip(&preds) {
                 part.record(t, p);
@@ -110,6 +111,67 @@ impl ConfusionMatrix {
             cm.merge(part);
         }
         cm
+    }
+
+    /// Builds one confusion matrix per model in a single fused pass over
+    /// the labelled set — the batched form of
+    /// [`ConfusionMatrix::from_model`] used by the validation engine's
+    /// cold path, where every history model must be scored on the same
+    /// shard.
+    ///
+    /// Rows are chunked across the worker pool exactly as in
+    /// `from_model`; each chunk evaluates all models at once through
+    /// [`Model::predict_multi`], which architectures like
+    /// [`crate::Mlp`] and [`crate::Cnn`] implement as wide/stacked GEMM
+    /// passes. On the default bit-exact kernels every returned matrix is
+    /// bit-identical to `from_model` on the corresponding model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != y.len()`, the models disagree on the class
+    /// count, or a label is out of range.
+    pub fn from_models<M: Model + Sync>(models: &[&M], x: &Matrix, y: &[usize]) -> Vec<Self> {
+        assert_eq!(
+            x.rows(),
+            y.len(),
+            "ConfusionMatrix::from_models: {} rows vs {} labels",
+            x.rows(),
+            y.len()
+        );
+        if models.is_empty() {
+            return Vec::new();
+        }
+        let nc = models[0].num_classes();
+        for m in models {
+            assert_eq!(m.num_classes(), nc, "ConfusionMatrix::from_models: class count mismatch");
+        }
+        let rows = x.rows();
+        let chunk = if rows >= 2 * EVAL_CHUNK_ROWS && pool::threads() > 1 {
+            rows.div_ceil(pool::threads()).max(EVAL_CHUNK_ROWS)
+        } else {
+            rows.max(1)
+        };
+        let ranges: Vec<(usize, usize)> =
+            (0..rows).step_by(chunk).map(|s| (s, (s + chunk).min(rows))).collect();
+        let parts = pool::parallel_map(ranges, |_, (s, e)| {
+            M::predict_multi(models, x, s, e)
+                .into_iter()
+                .map(|preds| {
+                    let mut part = Self::new(nc);
+                    for (&t, &p) in y[s..e].iter().zip(&preds) {
+                        part.record(t, p);
+                    }
+                    part
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut cms = vec![Self::new(nc); models.len()];
+        for part in &parts {
+            for (cm, p) in cms.iter_mut().zip(part) {
+                cm.merge(p);
+            }
+        }
+        cms
     }
 
     /// Records one `(true, predicted)` observation.
@@ -385,5 +447,34 @@ mod tests {
     fn record_out_of_range_panics() {
         let mut cm = ConfusionMatrix::new(2);
         cm.record(0, 2);
+    }
+
+    #[test]
+    fn from_models_matches_from_model_on_default_kernels() {
+        use baffle_tensor::gemm;
+        if gemm::fast_math_enabled() && gemm::simd_enabled() {
+            // Mlp::predict_multi is only bound-comparable to the
+            // sequential path under fast math; see the Cnn test for the
+            // tier-independent bitwise check.
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let spec = MlpSpec::new(4, &[6], 3);
+        let models: Vec<Mlp> = (0..5).map(|_| Mlp::new(&spec, &mut rng)).collect();
+        let x = Matrix::from_fn(40, 4, |r, c| ((r * 4 + c) as f32 * 0.37).sin());
+        let y: Vec<usize> = (0..40).map(|r| r % 3).collect();
+        let refs: Vec<&Mlp> = models.iter().collect();
+        let cms = ConfusionMatrix::from_models(&refs, &x, &y);
+        assert_eq!(cms.len(), models.len());
+        for (i, cm) in cms.iter().enumerate() {
+            assert_eq!(cm, &ConfusionMatrix::from_model(&models[i], &x, &y), "model {i}");
+        }
+    }
+
+    #[test]
+    fn from_models_on_empty_model_list_is_empty() {
+        let x = Matrix::zeros(3, 2);
+        let cms = ConfusionMatrix::from_models::<Mlp>(&[], &x, &[0, 1, 0]);
+        assert!(cms.is_empty());
     }
 }

@@ -1,7 +1,7 @@
 //! Fully-connected (dense) layer with manual backpropagation.
 
 use crate::Activation;
-use baffle_tensor::{rng, Matrix};
+use baffle_tensor::{gemm, rng, Matrix, MatrixView};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -79,6 +79,130 @@ impl Dense {
         let act = self.activation;
         pre.map_assign(|v| act.apply(v));
         pre
+    }
+
+    /// Inference forward pass over a borrowed row view of the input (no
+    /// copy of the rows is made).
+    ///
+    /// Bit-identical to [`Dense::forward`] on a matrix holding the same
+    /// rows: the view dispatches into the same GEMM kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.in_dim()`.
+    pub fn forward_view(&self, x: MatrixView<'_>) -> Matrix {
+        let mut pre = x.matmul(&self.w);
+        pre.add_row_broadcast(&self.b);
+        let act = self.activation;
+        pre.map_assign(|v| act.apply(v));
+        pre
+    }
+
+    /// Forward pass of several identically-shaped layers over one *shared*
+    /// input, fused into a single wide GEMM.
+    ///
+    /// The weight matrices are horizontally concatenated into an
+    /// `in_dim × (nb·out_dim)` block and multiplied once via
+    /// [`gemm::concat_nn`]; the wide product is then split back into
+    /// per-layer outputs with each layer's own bias and activation
+    /// applied. On the default bit-exact kernels every per-layer output
+    /// is bit-identical to [`Dense::forward`] on the same input; under
+    /// `BAFFLE_FAST_MATH` outputs depend on the concatenated column
+    /// position and are only bound-comparable to the standalone pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty, the layers do not all share one
+    /// `(in_dim, out_dim)` shape, or `x.cols() != in_dim`.
+    pub fn forward_multi_shared(layers: &[&Dense], x: MatrixView<'_>) -> Vec<Matrix> {
+        assert!(!layers.is_empty(), "Dense::forward_multi_shared: no layers");
+        let (in_dim, out_dim) = (layers[0].in_dim(), layers[0].out_dim());
+        for l in layers {
+            assert_eq!(
+                (l.in_dim(), l.out_dim()),
+                (in_dim, out_dim),
+                "Dense::forward_multi_shared: mismatched layer shapes"
+            );
+        }
+        assert_eq!(x.cols(), in_dim, "Dense::forward_multi_shared: input width");
+        let nb = layers.len();
+        let (m, wide) = (x.rows(), nb * out_dim);
+        // Row r of the wide weight block is W_0[r] ++ W_1[r] ++ … so each
+        // layer owns a contiguous column stripe of the product.
+        let mut wide_w = vec![0.0f32; in_dim * wide];
+        for (li, l) in layers.iter().enumerate() {
+            for r in 0..in_dim {
+                wide_w[r * wide + li * out_dim..r * wide + (li + 1) * out_dim]
+                    .copy_from_slice(l.w.row(r));
+            }
+        }
+        let mut wide_out = vec![0.0f32; m * wide];
+        gemm::concat_nn(m, in_dim, wide, x.as_slice(), &wide_w, &mut wide_out);
+        (0..nb)
+            .map(|li| {
+                let l = layers[li];
+                let mut data = Vec::with_capacity(m * out_dim);
+                for r in 0..m {
+                    data.extend_from_slice(
+                        &wide_out[r * wide + li * out_dim..r * wide + (li + 1) * out_dim],
+                    );
+                }
+                let mut out = Matrix::from_vec(m, out_dim, data);
+                out.add_row_broadcast(&l.b);
+                let act = l.activation;
+                out.map_assign(|v| act.apply(v));
+                out
+            })
+            .collect()
+    }
+
+    /// Forward pass of several identically-shaped layers over *per-layer*
+    /// inputs, fused into one block-diagonal GEMM.
+    ///
+    /// Inputs and weights are stacked contiguously and multiplied with
+    /// [`gemm::batched_nn`]; block `i` of the product is `xs[i] · W_i`.
+    /// Every per-layer output is bit-identical to [`Dense::forward`] on
+    /// the same input under *all* kernel tiers, including
+    /// `BAFFLE_FAST_MATH`, because each block runs the same-shape kernel
+    /// a standalone call would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` and `xs` differ in length or any shape
+    /// disagrees with the first layer/input.
+    pub fn forward_multi(layers: &[&Dense], xs: &[&Matrix]) -> Vec<Matrix> {
+        assert!(!layers.is_empty(), "Dense::forward_multi: no layers");
+        assert_eq!(layers.len(), xs.len(), "Dense::forward_multi: layers vs inputs");
+        let (in_dim, out_dim) = (layers[0].in_dim(), layers[0].out_dim());
+        let m = xs[0].rows();
+        let nb = layers.len();
+        let mut a = Vec::with_capacity(nb * m * in_dim);
+        let mut b = Vec::with_capacity(nb * in_dim * out_dim);
+        for (l, x) in layers.iter().zip(xs) {
+            assert_eq!(
+                (l.in_dim(), l.out_dim()),
+                (in_dim, out_dim),
+                "Dense::forward_multi: mismatched layer shapes"
+            );
+            assert_eq!(x.shape(), (m, in_dim), "Dense::forward_multi: mismatched input shapes");
+            a.extend_from_slice(x.as_slice());
+            b.extend_from_slice(l.w.as_slice());
+        }
+        if m * out_dim == 0 {
+            return layers.iter().map(|_| Matrix::zeros(m, out_dim)).collect();
+        }
+        let mut out = vec![0.0f32; nb * m * out_dim];
+        gemm::batched_nn(nb, m, in_dim, out_dim, &a, &b, &mut out);
+        out.chunks(m * out_dim)
+            .zip(layers)
+            .map(|(blk, l)| {
+                let mut o = Matrix::from_vec(m, out_dim, blk.to_vec());
+                o.add_row_broadcast(&l.b);
+                let act = l.activation;
+                o.map_assign(|v| act.apply(v));
+                o
+            })
+            .collect()
     }
 
     /// Training forward pass; caches the input and pre-activation for a
@@ -284,5 +408,78 @@ mod tests {
     fn backward_without_forward_panics() {
         let mut l = layer(2, 2, Activation::Relu);
         let _ = l.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn forward_view_matches_forward_rows() {
+        let l = layer(4, 3, Activation::Relu);
+        let x = Matrix::from_fn(6, 4, |r, c| ((r * 4 + c) as f32 * 0.31).sin());
+        let full = l.forward(&x);
+        let part = l.forward_view(x.view_rows(2, 5));
+        for r in 0..3 {
+            assert_eq!(part.row(r), full.row(r + 2));
+        }
+    }
+
+    #[test]
+    fn forward_multi_matches_standalone_forward_exactly() {
+        // Block-diagonal products run the same-shape kernel a standalone
+        // call would, so this holds bitwise on every tier, including
+        // BAFFLE_FAST_MATH.
+        let mut rng = StdRng::seed_from_u64(21);
+        let layers: Vec<Dense> =
+            (0..3).map(|_| Dense::new(5, 4, Activation::Tanh, &mut rng)).collect();
+        let xs: Vec<Matrix> = (0..3)
+            .map(|i| Matrix::from_fn(7, 5, |r, c| ((i * 35 + r * 5 + c) as f32 * 0.17).cos()))
+            .collect();
+        let lrefs: Vec<&Dense> = layers.iter().collect();
+        let xrefs: Vec<&Matrix> = xs.iter().collect();
+        let outs = Dense::forward_multi(&lrefs, &xrefs);
+        for (i, out) in outs.iter().enumerate() {
+            assert_eq!(out, &layers[i].forward(&xs[i]), "layer {i}");
+        }
+    }
+
+    #[test]
+    fn forward_multi_shared_matches_standalone_forward() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let layers: Vec<Dense> =
+            (0..4).map(|_| Dense::new(6, 3, Activation::Relu, &mut rng)).collect();
+        let x = Matrix::from_fn(9, 6, |r, c| ((r * 6 + c) as f32 * 0.13).sin());
+        let lrefs: Vec<&Dense> = layers.iter().collect();
+        let outs = Dense::forward_multi_shared(&lrefs, x.view());
+        let fast = gemm::fast_math_enabled() && gemm::simd_enabled();
+        for (i, out) in outs.iter().enumerate() {
+            let seq = layers[i].forward(&x);
+            if fast {
+                // Wide and narrow fast products chain differently; both
+                // sit within error_bound(k) of the exact result, so they
+                // are within twice that of each other (ReLU is
+                // 1-Lipschitz). Envelope per element: |b_j| + Σ|x||w|.
+                let eb = 2.0 * gemm::error_bound(6);
+                for r in 0..out.rows() {
+                    for j in 0..out.cols() {
+                        let env: f64 = (0..6)
+                            .map(|k| (x[(r, k)] * layers[i].w[(k, j)]).abs() as f64)
+                            .sum::<f64>()
+                            + layers[i].b[j].abs() as f64;
+                        let d = (out[(r, j)] - seq[(r, j)]).abs() as f64;
+                        assert!(d <= eb * env + f32::EPSILON as f64, "layer {i} ({r},{j}): {d}");
+                    }
+                }
+            } else {
+                assert_eq!(out, &seq, "layer {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched layer shapes")]
+    fn forward_multi_rejects_mismatched_shapes() {
+        let a = layer(3, 2, Activation::Identity);
+        let b = layer(2, 2, Activation::Identity);
+        let x = Matrix::zeros(1, 3);
+        let x2 = Matrix::zeros(1, 2);
+        let _ = Dense::forward_multi(&[&a, &b], &[&x, &x2]);
     }
 }

@@ -220,6 +220,46 @@ impl Model for Mlp {
     fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
         self.forward(x).argmax_rows()
     }
+
+    fn predict_rows(&self, x: &Matrix, r0: usize, r1: usize) -> Vec<usize> {
+        // Feed the first layer a borrowed row view — no copy of the rows.
+        let mut h = self.layers[0].forward_view(x.view_rows(r0, r1));
+        for layer in &self.layers[1..] {
+            h = layer.forward(&h);
+        }
+        h.argmax_rows()
+    }
+
+    /// Fused multi-model prediction: the first layer runs as one wide
+    /// [`Dense::forward_multi_shared`] GEMM over the shared input rows
+    /// and every later layer as one block-diagonal
+    /// [`Dense::forward_multi`] call. On the default bit-exact kernels
+    /// the predictions are bit-identical to per-model
+    /// [`Model::predict_rows`]; under `BAFFLE_FAST_MATH` the shared
+    /// first-layer GEMM is only bound-comparable to the sequential one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the models do not all share one [`MlpSpec`].
+    fn predict_multi(models: &[&Self], x: &Matrix, r0: usize, r1: usize) -> Vec<Vec<usize>> {
+        if models.is_empty() {
+            return Vec::new();
+        }
+        if models.len() == 1 {
+            return vec![models[0].predict_rows(x, r0, r1)];
+        }
+        for m in models {
+            assert_eq!(m.spec, models[0].spec, "Mlp::predict_multi: mismatched architectures");
+        }
+        let first: Vec<&Dense> = models.iter().map(|m| &m.layers[0]).collect();
+        let mut hs = Dense::forward_multi_shared(&first, x.view_rows(r0, r1));
+        for li in 1..models[0].layers.len() {
+            let layers: Vec<&Dense> = models.iter().map(|m| &m.layers[li]).collect();
+            let inputs: Vec<&Matrix> = hs.iter().collect();
+            hs = Dense::forward_multi(&layers, &inputs);
+        }
+        hs.into_iter().map(|h| h.argmax_rows()).collect()
+    }
 }
 
 #[cfg(test)]
@@ -332,5 +372,46 @@ mod tests {
     #[should_panic(expected = "at least two classes")]
     fn single_class_spec_panics() {
         let _ = MlpSpec::new(2, &[], 1);
+    }
+
+    #[test]
+    fn predict_rows_matches_predict_batch_slice() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let model = Mlp::new(&MlpSpec::new(3, &[5], 4), &mut rng);
+        let x = Matrix::from_fn(10, 3, |r, c| ((r * 3 + c) as f32 * 0.41).sin());
+        let full = model.predict_batch(&x);
+        assert_eq!(model.predict_rows(&x, 3, 8), full[3..8]);
+        assert_eq!(model.predict_rows(&x, 0, 10), full);
+        assert!(model.predict_rows(&x, 4, 4).is_empty());
+    }
+
+    #[test]
+    fn predict_multi_matches_sequential_on_default_kernels() {
+        use baffle_tensor::gemm;
+        if gemm::fast_math_enabled() && gemm::simd_enabled() {
+            // The shared first-layer GEMM chains differently wide vs
+            // narrow under fast math; argmax can flip on near-ties, so
+            // the bitwise comparison only holds on the default tier.
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let spec = MlpSpec::new(4, &[6, 5], 3);
+        let models: Vec<Mlp> = (0..5).map(|_| Mlp::new(&spec, &mut rng)).collect();
+        let x = Matrix::from_fn(12, 4, |r, c| ((r * 4 + c) as f32 * 0.23).cos());
+        let refs: Vec<&Mlp> = models.iter().collect();
+        let multi = Mlp::predict_multi(&refs, &x, 2, 11);
+        for (i, preds) in multi.iter().enumerate() {
+            assert_eq!(preds, &models[i].predict_rows(&x, 2, 11), "model {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched architectures")]
+    fn predict_multi_rejects_mismatched_specs() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = Mlp::new(&MlpSpec::new(2, &[3], 2), &mut rng);
+        let b = Mlp::new(&MlpSpec::new(2, &[4], 2), &mut rng);
+        let x = Matrix::zeros(2, 2);
+        let _ = Mlp::predict_multi(&[&a, &b], &x, 0, 2);
     }
 }

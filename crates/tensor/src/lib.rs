@@ -13,9 +13,13 @@
 //! products across a process-wide worker pool ([`pool`], sized by the
 //! `BAFFLE_THREADS` environment variable), falling back to the serial
 //! kernels below a size threshold so small LOF/feedback math pays zero
-//! overhead. Every path is bit-identical to the naive serial reference,
-//! so seeded experiments reproduce exactly at any thread count and on
-//! any instruction set.
+//! overhead. Every default path is bit-identical to the naive serial
+//! reference, so seeded experiments reproduce exactly at any thread
+//! count and on any instruction set. The one deliberate exception is
+//! the opt-in `BAFFLE_FAST_MATH` tier (see [`gemm::fast_math_enabled`]):
+//! FMA-contracted kernels with a relaxed accumulation order that stay
+//! deterministic and within a proven error bound of the exact result,
+//! but are not bit-compatible with it.
 //!
 //! # Example
 //!
@@ -36,4 +40,4 @@ pub mod pool;
 pub mod rng;
 pub mod simd;
 
-pub use matrix::Matrix;
+pub use matrix::{Matrix, MatrixView};

@@ -165,6 +165,33 @@ impl Matrix {
         self.data.chunks_exact(self.cols.max(1))
     }
 
+    /// Borrowed view of the row range `r0..r1` — no copy. The chunked
+    /// evaluation path hands these to the forward pass instead of
+    /// cloning each chunk into a fresh matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r0 > r1` or `r1 > self.rows()`.
+    #[inline]
+    pub fn view_rows(&self, r0: usize, r1: usize) -> MatrixView<'_> {
+        assert!(
+            r0 <= r1 && r1 <= self.rows,
+            "Matrix::view_rows: range {r0}..{r1} out of bounds for {} rows",
+            self.rows
+        );
+        MatrixView {
+            rows: r1 - r0,
+            cols: self.cols,
+            data: &self.data[r0 * self.cols..r1 * self.cols],
+        }
+    }
+
+    /// Borrowed view of the whole matrix.
+    #[inline]
+    pub fn view(&self) -> MatrixView<'_> {
+        self.view_rows(0, self.rows)
+    }
+
     /// Matrix transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
@@ -367,6 +394,82 @@ impl Matrix {
     }
 }
 
+/// A borrowed, row-major view of a contiguous row range of a
+/// [`Matrix`] (see [`Matrix::view_rows`]). Supports exactly the
+/// operations the evaluation hot path needs — products and row access —
+/// without owning or copying the data.
+#[derive(Clone, Copy, Debug)]
+pub struct MatrixView<'a> {
+    rows: usize,
+    cols: usize,
+    data: &'a [f32],
+}
+
+impl<'a> MatrixView<'a> {
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Row-major view of the underlying data.
+    #[inline]
+    pub fn as_slice(&self) -> &'a [f32] {
+        self.data
+    }
+
+    /// Borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &'a [f32] {
+        assert!(r < self.rows, "MatrixView::row: row {r} out of bounds for {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &'a [f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Matrix product `self * other` — same kernels and bit-exactness
+    /// contract as [`Matrix::matmul`], so evaluating a row range
+    /// through a view is bit-identical to copying the rows out first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "MatrixView::matmul: shape mismatch {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        crate::gemm::nn(self.rows, self.cols, other.cols, self.data, &other.data, &mut out.data);
+        out
+    }
+
+    /// Copies the viewed rows into an owned [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.to_vec() }
+    }
+}
+
 impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f32;
 
@@ -563,5 +666,35 @@ mod tests {
     fn debug_is_never_empty() {
         let s = format!("{:?}", Matrix::default());
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn view_rows_borrows_without_copying() {
+        let m = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32);
+        let v = m.view_rows(1, 4);
+        assert_eq!(v.shape(), (3, 3));
+        assert_eq!(v.row(0), m.row(1));
+        assert_eq!(v.as_slice().as_ptr(), m.row(1).as_ptr(), "view must borrow, not copy");
+        assert_eq!(v.to_matrix(), m.select_rows(&[1, 2, 3]));
+        assert_eq!(m.view().to_matrix(), m);
+    }
+
+    #[test]
+    fn view_matmul_is_bit_identical_to_copied_rows() {
+        let x = Matrix::from_fn(6, 4, |r, c| (r as f32 - 2.5) * 0.25 + c as f32);
+        let w = Matrix::from_fn(4, 3, |r, c| 0.125 * (r as f32 + 1.0) - c as f32);
+        let v = x.view_rows(2, 5);
+        let got = v.matmul(&w);
+        let want = x.select_rows(&[2, 3, 4]).matmul(&w);
+        assert_eq!(got.shape(), want.shape());
+        for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn view_rows_out_of_bounds_panics() {
+        let _ = Matrix::zeros(2, 2).view_rows(1, 3);
     }
 }

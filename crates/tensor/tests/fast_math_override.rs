@@ -1,0 +1,69 @@
+//! Runtime fast-math override behaviour.
+//!
+//! `gemm::set_fast_math` mutates process-global dispatch state, so this
+//! lives in its own test binary and runs as a SINGLE test function —
+//! the libtest harness runs sibling tests concurrently, and a second
+//! test toggling the override would race this one.
+
+use baffle_tensor::gemm;
+
+/// One serial-sized product per toggle state, checked bitwise against
+/// the kernel the dispatcher is documented to route to.
+#[test]
+fn override_controls_dispatch_and_fma_tally() {
+    let from_env = gemm::fast_math_enabled();
+    let (m, k, n) = (7, 19, 11);
+    let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.53).cos()).collect();
+
+    let mut exact = vec![0.0f32; m * n];
+    gemm::naive_nn(m, k, n, &a, &b, &mut exact);
+    let mut fast = vec![0.0f32; m * n];
+    gemm::fast_nn(m, k, n, &a, &b, &mut fast);
+
+    // Forced OFF: the dispatcher must be bit-identical to the exact
+    // reference regardless of the environment.
+    gemm::set_fast_math(Some(false));
+    assert!(!gemm::fast_math_enabled(), "Some(false) override must win over the env");
+    let mut out = vec![0.0f32; m * n];
+    gemm::nn(m, k, n, &a, &b, &mut out);
+    for (x, y) in out.iter().zip(&exact) {
+        assert_eq!(x.to_bits(), y.to_bits(), "forced-off dispatch diverged from exact");
+    }
+
+    // Forced ON: with SIMD available the dispatcher must match the fast
+    // kernel bitwise and tally the call under `fma`; without SIMD the
+    // fast tier never engages and the scalar exact kernel runs.
+    gemm::set_fast_math(Some(true));
+    assert!(gemm::fast_math_enabled(), "Some(true) override must win over the env");
+    gemm::reset_dispatch_counts();
+    let mut out = vec![0.0f32; m * n];
+    gemm::nn(m, k, n, &a, &b, &mut out);
+    let counts = gemm::dispatch_counts();
+    if gemm::simd_enabled() {
+        for (x, y) in out.iter().zip(&fast) {
+            assert_eq!(x.to_bits(), y.to_bits(), "forced-on dispatch diverged from fast kernel");
+        }
+        assert_eq!(counts.fma, 1, "serial fast call must tally under fma: {counts:?}");
+        assert_eq!(counts.simd, 0, "fast call must not tally under simd: {counts:?}");
+    } else {
+        for (x, y) in out.iter().zip(&exact) {
+            assert_eq!(x.to_bits(), y.to_bits(), "no-SIMD dispatch diverged from exact");
+        }
+        assert_eq!(counts.fma, 0, "scalar tier must not tally under fma: {counts:?}");
+    }
+
+    // Batched entry points tally under `batched` in either state.
+    gemm::reset_dispatch_counts();
+    let mut out = vec![0.0f32; m * n];
+    gemm::concat_nn(m, k, n, &a, &b, &mut out);
+    let mut out2 = vec![0.0f32; 2 * m * n];
+    let a2: Vec<f32> = a.iter().chain(&a).copied().collect();
+    let b2: Vec<f32> = b.iter().chain(&b).copied().collect();
+    gemm::batched_nn(2, m, k, n, &a2, &b2, &mut out2);
+    assert_eq!(gemm::dispatch_counts().batched, 2, "concat + batched must tally twice");
+
+    // Clearing the override restores env-derived behaviour.
+    gemm::set_fast_math(None);
+    assert_eq!(gemm::fast_math_enabled(), from_env, "None must restore the env default");
+}

@@ -114,9 +114,22 @@ proptest! {
 // shape — including 1×N / N×1 and non-multiple-of-tile dims — and at any
 // thread count. Large banded shapes are covered by unit tests in
 // `baffle_tensor::gemm`; these randomized ones sweep the small-shape space.
+//
+// Under the opt-in fast-math tier (`BAFFLE_FAST_MATH=1` with SIMD on) the
+// dispatchers route to the FMA-contracted kernels instead, so the bitwise
+// oracle switches to the serial fast kernel for the same shape — banding is
+// over independent output rows, so the dispatched result must still match
+// it exactly. The fast kernels themselves are pinned to the exact reference
+// by the `error_bound` properties at the bottom, on every tier.
 // ---------------------------------------------------------------------------
 
 use baffle_tensor::gemm;
+
+/// Whether the dispatchers currently route to the fast kernels (the CI
+/// `BAFFLE_FAST_MATH=1` re-run flips this for the whole suite).
+fn fast_dispatch() -> bool {
+    gemm::fast_math_enabled() && gemm::simd_enabled()
+}
 
 /// Random dims straddling the 32-wide tile edges, 1×N/N×1 included.
 fn gemm_dims() -> impl Strategy<Value = (usize, usize, usize)> {
@@ -146,29 +159,45 @@ fn nt_problem() -> impl Strategy<Value = (usize, usize, usize, Vec<f32>, Vec<f32
 }
 
 proptest! {
-    /// `Matrix::matmul` (blocked, possibly banded) ≡ naive, bitwise.
+    /// `Matrix::matmul` (blocked, possibly banded) ≡ its serial oracle,
+    /// bitwise: naive on the default tier, the fast kernel under
+    /// `BAFFLE_FAST_MATH=1` (row banding cannot change fast results —
+    /// each output row's chains read only that row of A).
     #[test]
-    fn matmul_is_bit_identical_to_naive((m, k, n, a, b) in nn_problem()) {
+    fn matmul_is_bit_identical_to_oracle((m, k, n, a, b) in nn_problem()) {
         let got = Matrix::from_vec(m, k, a.clone()).matmul(&Matrix::from_vec(k, n, b.clone()));
         let mut want = vec![0.0f32; m * n];
-        gemm::naive_nn(m, k, n, &a, &b, &mut want);
+        if fast_dispatch() {
+            gemm::fast_nn(m, k, n, &a, &b, &mut want);
+        } else {
+            gemm::naive_nn(m, k, n, &a, &b, &mut want);
+        }
         for (x, y) in got.as_slice().iter().zip(&want) {
             prop_assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 
-    /// `Matrix::matmul_tn` ≡ naive Aᵀ·B, bitwise (A is m×k, B is m×n).
+    /// `Matrix::matmul_tn` ≡ its serial oracle, bitwise (A is m×k, B is
+    /// m×n): naive Aᵀ·B by default, the fast `tn` kernel when fast math
+    /// dispatches.
     #[test]
-    fn matmul_tn_is_bit_identical_to_naive((m, k, n, a, b) in tn_problem()) {
+    fn matmul_tn_is_bit_identical_to_oracle((m, k, n, a, b) in tn_problem()) {
         let got = Matrix::from_vec(m, k, a.clone()).matmul_tn(&Matrix::from_vec(m, n, b.clone()));
         let mut want = vec![0.0f32; k * n];
-        gemm::naive_tn(m, k, n, &a, &b, &mut want);
+        if fast_dispatch() {
+            gemm::fast_tn(m, k, n, &a, &b, &mut want);
+        } else {
+            gemm::naive_tn(m, k, n, &a, &b, &mut want);
+        }
         for (x, y) in got.as_slice().iter().zip(&want) {
             prop_assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 
     /// `Matrix::matmul_nt` ≡ naive A·Bᵀ, bitwise (A is m×k, B is n×k).
+    /// Holds on every tier at these dims: below the pack threshold the
+    /// dispatcher runs the exact dot-product loop even under fast math,
+    /// and all dims here (≤ 40³) sit below it.
     #[test]
     fn matmul_nt_is_bit_identical_to_naive((m, k, n, a, b) in nt_problem()) {
         let got = Matrix::from_vec(m, k, a.clone()).matmul_nt(&Matrix::from_vec(n, k, b.clone()));
@@ -228,6 +257,91 @@ proptest! {
         gemm::naive_nn(m, k, n, &a, &b, &mut want);
         for (x, y) in got.iter().zip(&want) {
             prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fast-math tier vs the bit-exact oracle: the FMA-contracted kernels are
+// called DIRECTLY (no dispatch), so these properties hold on every tier and
+// pin the documented `error_bound` contract — per element,
+// |fast − exact| ≤ error_bound(depth) · Σᵢ|aᵢ|·|bᵢ|, with the envelope
+// accumulated in f64 so the bound itself carries no rounding slack.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// `fast_nn` stays within the documented relative-error bound of the
+    /// exact kernel, element-wise, across random shapes and data.
+    #[test]
+    fn fast_nn_within_error_bound_of_exact((m, k, n, a, b) in nn_problem()) {
+        let mut exact = vec![0.0f32; m * n];
+        gemm::naive_nn(m, k, n, &a, &b, &mut exact);
+        let mut fast = vec![0.0f32; m * n];
+        gemm::fast_nn(m, k, n, &a, &b, &mut fast);
+        let bound = gemm::error_bound(k);
+        for i in 0..m {
+            for j in 0..n {
+                let envelope: f64 = (0..k)
+                    .map(|kk| (a[i * k + kk] as f64 * b[kk * n + j] as f64).abs())
+                    .sum();
+                let diff = (fast[i * n + j] as f64 - exact[i * n + j] as f64).abs();
+                prop_assert!(
+                    diff <= bound * envelope + f64::EPSILON,
+                    "({}, {}): |{} - {}| = {} > {}",
+                    i, j, fast[i * n + j], exact[i * n + j], diff, bound * envelope
+                );
+            }
+        }
+    }
+
+    /// `fast_tn` (Aᵀ·B orientation, depth = the shared row count) obeys
+    /// the same bound.
+    #[test]
+    fn fast_tn_within_error_bound_of_exact((m, k, n, a, b) in tn_problem()) {
+        let mut exact = vec![0.0f32; k * n];
+        gemm::naive_tn(m, k, n, &a, &b, &mut exact);
+        let mut fast = vec![0.0f32; k * n];
+        gemm::fast_tn(m, k, n, &a, &b, &mut fast);
+        let bound = gemm::error_bound(m);
+        for i in 0..k {
+            for j in 0..n {
+                let envelope: f64 = (0..m)
+                    .map(|r| (a[r * k + i] as f64 * b[r * n + j] as f64).abs())
+                    .sum();
+                let diff = (fast[i * n + j] as f64 - exact[i * n + j] as f64).abs();
+                prop_assert!(
+                    diff <= bound * envelope + f64::EPSILON,
+                    "({}, {}): |{} - {}| = {} > {}",
+                    i, j, fast[i * n + j], exact[i * n + j], diff, bound * envelope
+                );
+            }
+        }
+    }
+
+    /// Fused batched blocks ≡ standalone `nn` calls, bitwise, on EVERY
+    /// tier — each block runs the same serial kernel over the same data,
+    /// so even the fast kernels must agree with themselves.
+    #[test]
+    fn batched_nn_blocks_match_standalone_on_all_tiers(
+        nb in 1usize..=4,
+        (m, k, n) in (1usize..=12, 1usize..=12, 1usize..=12),
+        seed in any::<u64>(),
+    ) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as i32 % 2001 - 1000) as f32 / 100.0
+        };
+        let a: Vec<f32> = (0..nb * m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..nb * k * n).map(|_| next()).collect();
+        let mut got = vec![0.0f32; nb * m * n];
+        gemm::batched_nn(nb, m, k, n, &a, &b, &mut got);
+        for bi in 0..nb {
+            let mut want = vec![0.0f32; m * n];
+            gemm::nn(m, k, n, &a[bi * m * k..(bi + 1) * m * k], &b[bi * k * n..(bi + 1) * k * n], &mut want);
+            for (x, y) in got[bi * m * n..(bi + 1) * m * n].iter().zip(&want) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
         }
     }
 }
