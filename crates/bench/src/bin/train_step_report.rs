@@ -8,7 +8,13 @@
 //! Uses plain `std::time` rather than Criterion so it runs as a normal
 //! release binary:
 //! `cargo run --release -p baffle-bench --bin train_step_report`.
+//!
+//! With `--features alloc-probe` the report also meters heap traffic
+//! per warmed-up training step (the `*_allocs_per_step` columns; `null`
+//! without the feature), and it always reports the serial vs
+//! pool-chunked FedAvg aggregation cost at experiment scale.
 
+use baffle_fl::{fedavg, fedavg_serial};
 use baffle_nn::{Cnn, CnnSpec, Mlp, MlpSpec, Sgd};
 use baffle_tensor::{gemm, pool, rng as trng};
 use rand::rngs::StdRng;
@@ -68,6 +74,46 @@ fn main() {
     };
     let mlp_ns = median_ns(reps_for(&mut step_mlp), step_mlp);
 
+    // Heap traffic per warmed-up step (the timing loops above are the
+    // warm-up). Charged process-wide, so pool task boxing on parallel
+    // paths is attributed to the step that fanned out.
+    #[cfg(feature = "alloc-probe")]
+    let (cnn_allocs, mlp_allocs) = {
+        const PROBE_STEPS: u64 = 20;
+        let (_, c) = baffle_bench::alloc_probe::measure(|| {
+            for _ in 0..PROBE_STEPS {
+                black_box(cnn.train_batch(black_box(&x), black_box(&y), &mut opt));
+            }
+        });
+        let (_, m) = baffle_bench::alloc_probe::measure(|| {
+            for _ in 0..PROBE_STEPS {
+                black_box(mlp.train_batch(black_box(&x), black_box(&y), &mut opt_mlp));
+            }
+        });
+        (
+            format!("{:.2}", c.allocs as f64 / PROBE_STEPS as f64),
+            format!("{:.2}", m.allocs as f64 / PROBE_STEPS as f64),
+        )
+    };
+    #[cfg(not(feature = "alloc-probe"))]
+    let (cnn_allocs, mlp_allocs) = ("null".to_string(), "null".to_string());
+
+    // FedAvg at experiment scale: the serial reference vs the
+    // pool-chunked path (bit-identical by construction).
+    let fed_params = 200_000;
+    let fed_updates = 10;
+    let global = trng::normal_vec(&mut rng, fed_params, 0.0, 0.3);
+    let updates: Vec<Vec<f32>> =
+        (0..fed_updates).map(|_| trng::normal_vec(&mut rng, fed_params, 0.0, 0.01)).collect();
+    let mut agg_serial = || {
+        black_box(fedavg_serial(black_box(&global), black_box(&updates), 2.0, 100));
+    };
+    let fed_serial_ns = median_ns(reps_for(&mut agg_serial), agg_serial);
+    let mut agg_par = || {
+        black_box(fedavg(black_box(&global), black_box(&updates), 2.0, 100));
+    };
+    let fed_par_ns = median_ns(reps_for(&mut agg_par), agg_par);
+
     let d = gemm::dispatch_counts();
     println!("{{");
     println!("  \"bench\": \"train_step\",");
@@ -79,6 +125,13 @@ fn main() {
     println!("  \"cnn_naive_conv_ns\": {naive_ns:.0},");
     println!("  \"cnn_speedup\": {:.2},", naive_ns / cnn_ns);
     println!("  \"mlp_ns\": {mlp_ns:.0},");
+    println!("  \"cnn_allocs_per_step\": {cnn_allocs},");
+    println!("  \"mlp_allocs_per_step\": {mlp_allocs},");
+    println!("  \"fedavg_params\": {fed_params},");
+    println!("  \"fedavg_updates\": {fed_updates},");
+    println!("  \"fedavg_serial_ns\": {fed_serial_ns:.0},");
+    println!("  \"fedavg_parallel_ns\": {fed_par_ns:.0},");
+    println!("  \"fedavg_speedup\": {:.2},", fed_serial_ns / fed_par_ns);
     println!(
         "  \"gemm_dispatch\": {{\"blocked\": {}, \"simd\": {}, \"banded\": {}}}",
         d.blocked, d.simd, d.banded

@@ -1,0 +1,73 @@
+//! Steady-state allocation regression gate for the training hot path.
+//!
+//! Requires the `alloc-probe` feature (which installs the counting
+//! global allocator):
+//!
+//! ```text
+//! cargo test -p baffle-bench --features alloc-probe --test alloc_regression
+//! ```
+//!
+//! The workspace-reuse contract says a warmed-up `Mlp::train_batch` /
+//! `train_epoch` touches only caller-retained buffers: layer caches,
+//! gradient buffers, the epoch scratch and the optimizer state are all
+//! grown once and reused. This test pins that at exactly **zero**
+//! allocations per step so any future `clone()`/`collect()` sneaking
+//! back into the hot path fails CI instead of quietly costing 20%.
+//!
+//! Kept to a single `#[test]` so no concurrent test can pollute the
+//! process-wide counters.
+
+#![cfg(feature = "alloc-probe")]
+
+use baffle_bench::alloc_probe;
+use baffle_nn::{Mlp, MlpSpec, Sgd};
+use baffle_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn warm_mlp_training_makes_zero_allocations() {
+    // Pin the pool to one thread before anything touches it: fan-out
+    // boxes its tasks, which is a (legitimate) per-call allocation this
+    // test is not about. The shapes below sit under every parallel
+    // threshold anyway; this just makes the guarantee explicit.
+    std::env::set_var("BAFFLE_THREADS", "1");
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut model = Mlp::new(&MlpSpec::new(16, &[24, 24], 4), &mut rng);
+    let mut opt = Sgd::new(0.05).with_momentum(0.9).with_weight_decay(1e-4);
+    let n = 40;
+    let x = Matrix::from_fn(n, 16, |i, j| ((i * 16 + j) as f32 * 0.37).sin());
+    let y: Vec<usize> = (0..n).map(|i| i % 4).collect();
+
+    // Warm-up: first batches grow caches, scratch and velocity.
+    for _ in 0..3 {
+        model.train_batch(&x, &y, &mut opt);
+    }
+    let (_, per_batch) = alloc_probe::measure(|| {
+        for _ in 0..10 {
+            model.train_batch(&x, &y, &mut opt);
+        }
+    });
+    assert_eq!(
+        per_batch.allocs, 0,
+        "warm train_batch allocated {} times ({} bytes) over 10 steps",
+        per_batch.allocs, per_batch.bytes
+    );
+
+    // The epoch driver (shuffle, minibatch gather, ragged last batch)
+    // must also be steady-state clean. Batch 16 over 40 samples leaves
+    // a ragged final minibatch of 8, so the reused scratch sees two
+    // shapes per epoch.
+    model.train_epoch(&x, &y, 16, &mut opt, &mut rng);
+    let (_, per_epoch) = alloc_probe::measure(|| {
+        for _ in 0..3 {
+            model.train_epoch(&x, &y, 16, &mut opt, &mut rng);
+        }
+    });
+    assert_eq!(
+        per_epoch.allocs, 0,
+        "warm train_epoch allocated {} times ({} bytes) over 3 epochs",
+        per_epoch.allocs, per_epoch.bytes
+    );
+}

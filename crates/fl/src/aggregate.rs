@@ -1,6 +1,54 @@
 //! FedAvg aggregation.
 
-use baffle_tensor::ops;
+use baffle_tensor::{ops, pool};
+
+/// Minimum `parameters × updates` product before the accumulation fans
+/// out on the worker pool; below this the serial loop wins.
+const PAR_MIN_WORK: usize = 1 << 16;
+
+/// Accumulates `scale · Σᵢ updates[i]` into `out`, chunking `out` across
+/// the worker pool when the work is large enough.
+///
+/// Bit-exactness: [`ops::axpy`] is elementwise (`out[j] += scale·u[j]`
+/// with one rounding per update), so chunking the *output* changes
+/// nothing about the value each element computes — every element still
+/// accumulates the updates in the same client order as the serial loop.
+/// The result is therefore bit-identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if any update's length differs from `out.len()`.
+pub(crate) fn scaled_accumulate(scale: f32, updates: &[Vec<f32>], out: &mut [f32]) {
+    for (i, u) in updates.iter().enumerate() {
+        assert_eq!(
+            u.len(),
+            out.len(),
+            "aggregate: update {i} has {} params, expected {}",
+            u.len(),
+            out.len()
+        );
+    }
+    if pool::threads() <= 1 || out.len().saturating_mul(updates.len()) < PAR_MIN_WORK {
+        for u in updates {
+            ops::axpy(scale, u, out);
+        }
+        return;
+    }
+    let chunk = out.len().div_ceil(pool::threads());
+    let tasks: Vec<pool::ScopedTask<'_>> = out
+        .chunks_mut(chunk)
+        .enumerate()
+        .map(|(ci, dst)| {
+            let lo = ci * chunk;
+            Box::new(move || {
+                for u in updates {
+                    ops::axpy(scale, &u[lo..lo + dst.len()], dst);
+                }
+            }) as pool::ScopedTask<'_>
+        })
+        .collect();
+    pool::join_all(tasks);
+}
 
 /// FedAvg with a global learning rate (paper §II-B):
 ///
@@ -27,6 +75,29 @@ use baffle_tensor::ops;
 /// assert_eq!(fedavg(&g, &ups, 1.0, 2), vec![2.0, 2.0]);
 /// ```
 pub fn fedavg(global: &[f32], updates: &[Vec<f32>], lambda: f32, num_clients: usize) -> Vec<f32> {
+    assert!(!updates.is_empty(), "fedavg: need at least one update");
+    assert!(num_clients > 0, "fedavg: num_clients must be positive");
+    assert!(lambda.is_finite(), "fedavg: lambda must be finite, got {lambda}");
+    let scale = lambda / num_clients as f32;
+    let mut out = global.to_vec();
+    scaled_accumulate(scale, updates, &mut out);
+    out
+}
+
+/// The retained serial reference implementation of [`fedavg`]. The
+/// pool-chunked path is bit-identical to this at any thread count (see
+/// [`scaled_accumulate`]); kept public so tests and benchmarks can pin
+/// the serial side.
+///
+/// # Panics
+///
+/// As [`fedavg`].
+pub fn fedavg_serial(
+    global: &[f32],
+    updates: &[Vec<f32>],
+    lambda: f32,
+    num_clients: usize,
+) -> Vec<f32> {
     assert!(!updates.is_empty(), "fedavg: need at least one update");
     assert!(num_clients > 0, "fedavg: num_clients must be positive");
     assert!(lambda.is_finite(), "fedavg: lambda must be finite, got {lambda}");
@@ -99,5 +170,37 @@ mod tests {
     #[should_panic(expected = "at least one update")]
     fn empty_updates_panics() {
         let _ = fedavg(&[0.0], &[], 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "update 1 has 2 params")]
+    fn mismatched_update_length_panics() {
+        let _ = fedavg(&[0.0, 0.0, 0.0], &[vec![0.0; 3], vec![0.0; 2]], 1.0, 1);
+    }
+
+    /// The pool-chunked accumulation must be bit-identical to the serial
+    /// reference on a vector large enough to cross the fan-out threshold.
+    #[test]
+    fn parallel_fedavg_is_bit_identical_to_serial() {
+        let n = 50_000; // n × 3 updates ≫ PAR_MIN_WORK
+        let global: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.137).sin()).collect();
+        let updates: Vec<Vec<f32>> = (0..3)
+            .map(|u| (0..n).map(|i| ((u * n + i) as f32 * 0.291).cos() * 0.01).collect())
+            .collect();
+        let fast = fedavg(&global, &updates, 1.7, 13);
+        let slow = fedavg_serial(&global, &updates, 1.7, 13);
+        assert_eq!(fast.len(), slow.len());
+        for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "param {i}: {a} vs {b}");
+        }
+    }
+
+    /// Small aggregations must still be exact (they take the serial
+    /// branch below the threshold — same loop as the reference).
+    #[test]
+    fn small_fedavg_matches_serial() {
+        let g = vec![1.0, -2.0, 0.5];
+        let ups = vec![vec![0.1, 0.2, 0.3], vec![-0.4, 0.5, -0.6]];
+        assert_eq!(fedavg(&g, &ups, 2.0, 4), fedavg_serial(&g, &ups, 2.0, 4));
     }
 }

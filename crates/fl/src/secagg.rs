@@ -107,6 +107,11 @@ impl SecAggSession {
 
     /// Sums masked updates; the pairwise masks cancel, yielding `Σᵢ Uᵢ`.
     ///
+    /// Large sessions chunk the sum across the worker pool; the
+    /// accumulation is elementwise in a fixed client order, so the result
+    /// is bit-identical to the serial loop at any thread count (see
+    /// `aggregate::scaled_accumulate`).
+    ///
     /// # Panics
     ///
     /// Panics if the number of masked updates differs from the session's
@@ -122,9 +127,7 @@ impl SecAggSession {
             self.participants
         );
         let mut sum = vec![0.0; self.len];
-        for m in masked {
-            baffle_tensor::ops::axpy(1.0, m, &mut sum);
-        }
+        crate::aggregate::scaled_accumulate(1.0, masked, &mut sum);
         sum
     }
 }
@@ -187,6 +190,25 @@ mod tests {
         let u = vec![1.0; 8];
         let s = SecAggSession::new(5, 3, 8);
         assert_eq!(s.mask(1, &u), s.mask(1, &u));
+    }
+
+    /// A session large enough to cross the pool fan-out threshold must
+    /// sum bit-identically to the serial axpy loop.
+    #[test]
+    fn large_aggregate_is_bit_identical_to_serial_sum() {
+        let n = 4;
+        let len = 40_000; // n × len ≫ the chunking threshold
+        let ups = updates(n, len);
+        let session = SecAggSession::new(3, n, len);
+        let masked: Vec<Vec<f32>> = (0..n).map(|i| session.mask(i, &ups[i])).collect();
+        let sum = session.aggregate(&masked);
+        let mut expected = vec![0.0_f32; len];
+        for m in &masked {
+            baffle_tensor::ops::axpy(1.0, m, &mut expected);
+        }
+        for (i, (a, b)) in sum.iter().zip(&expected).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "param {i}: {a} vs {b}");
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@ use baffle_data::Dataset;
 use baffle_fl::history_sync::{HistorySync, ModelId};
 use baffle_fl::{fedavg, sampling, FlConfig, HistoryCodec, WireProfile};
 use baffle_nn::{wire, Mlp, Model};
-use baffle_tensor::rng::derive_stream;
+use baffle_tensor::{pool, rng::derive_stream};
 use bytes::Bytes;
 use crossbeam::channel::RecvTimeoutError;
 use rand::rngs::StdRng;
@@ -351,37 +351,62 @@ impl Server {
             )));
         }
         let param_len = template.num_params();
+        // The wire-format walk is inherently serial (each entry's length
+        // prefix locates the next), but everything per-entry after it —
+        // float decode, `set_params`, ship-entry encode — is independent
+        // and fans out across the worker pool. A parse error at entry k
+        // is held back until entries `0..k` pass their own checks, so the
+        // surfaced error matches the old interleaved loop exactly.
+        let mut raw: Vec<(u64, &[u8])> = Vec::with_capacity(n_entries);
+        let mut parse_err = None;
+        for _ in 0..n_entries {
+            let entry = r.u64("entry id").and_then(|id| {
+                let len = r.u64("entry length")? as usize;
+                Ok((id, r.take(len, "entry params")?))
+            });
+            match entry {
+                Ok(e) => raw.push(e),
+                Err(e) => {
+                    parse_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let decoded_results =
+            pool::parallel_map(raw.clone(), |_, (_, params)| wire::decode_f32(params));
+        let mut decoded = Vec::with_capacity(raw.len());
+        for (i, result) in decoded_results.into_iter().enumerate() {
+            let d = result.map_err(|e| CheckpointError::new(format!("entry {i}: {e}")))?;
+            if d.len() != param_len {
+                return Err(CheckpointError::new(format!(
+                    "entry {i} has {} params, template has {param_len}",
+                    d.len()
+                )));
+            }
+            if i > 0 && raw[i - 1].0 + 1 != raw[i].0 {
+                return Err(CheckpointError::new("gapped history ids"));
+            }
+            decoded.push(d);
+        }
+        if let Some(e) = parse_err {
+            return Err(e);
+        }
+        // Every entry is now validated: rebuild the per-entry state in
+        // one parallel sweep (ship entry i only needs entry i−1's
+        // decoded params, which are all in hand).
+        let rebuilt = pool::parallel_map((0..raw.len()).collect(), |_, i| {
+            let id = raw[i].0;
+            let mut model = template.clone();
+            model.set_params(&decoded[i]);
+            let prev = if i == 0 { None } else { Some(decoded[i - 1].as_slice()) };
+            (id, model, build_ship_entry(&config.wire, id, prev, &decoded[i]))
+        });
         let mut history_entries = VecDeque::with_capacity(n_entries);
         let mut ship_cache = VecDeque::with_capacity(n_entries);
         let mut models = Vec::with_capacity(n_entries);
-        let mut prev_decoded: Option<Vec<f32>> = None;
-        for i in 0..n_entries {
-            let id = r.u64("entry id")?;
-            let len = r.u64("entry length")? as usize;
-            let params = r.take(len, "entry params")?;
-            let decoded = wire::decode_f32(params)
-                .map_err(|e| CheckpointError::new(format!("entry {i}: {e}")))?;
-            if decoded.len() != param_len {
-                return Err(CheckpointError::new(format!(
-                    "entry {i} has {} params, template has {param_len}",
-                    decoded.len()
-                )));
-            }
-            if let Some((last, _)) = models.last() {
-                if last + 1 != id {
-                    return Err(CheckpointError::new("gapped history ids"));
-                }
-            }
-            let mut model = template.clone();
-            model.set_params(&decoded);
+        for ((id, model, ship), &(_, params)) in rebuilt.into_iter().zip(&raw) {
             history_entries.push_back(HistoryEntry { id, params: Bytes::copy_from_slice(params) });
-            ship_cache.push_back(build_ship_entry(
-                &config.wire,
-                id,
-                prev_decoded.as_deref(),
-                &decoded,
-            ));
-            prev_decoded = Some(decoded);
+            ship_cache.push_back(ship);
             models.push((id, model));
         }
         let newest = models.last().expect("n_entries >= 1").0;
@@ -675,13 +700,19 @@ impl Server {
     /// `Rejected`: it has been heard from, so the phase no longer waits
     /// on it. Traffic from outside the sampled set never touches the
     /// ledger — rogues cannot drain the phase.
+    ///
+    /// Payload decoding is deferred out of the receive loop: the loop
+    /// only settles ledger slots and stashes the raw bytes in arrival
+    /// order, then the decodes fan out across the worker pool and the
+    /// verdicts are folded back serially in that same arrival order, so
+    /// the tally is identical to the inline-decode path.
     fn collect_updates(
         &self,
         round: u64,
         contributors: &[usize],
     ) -> (HashMap<NodeId, Vec<f32>>, PhaseTally) {
         let mut ledger = PhaseLedger::new(contributors.iter().map(|&c| NodeId(c as u32)));
-        let mut updates = HashMap::new();
+        let mut submissions: Vec<(NodeId, Bytes)> = Vec::new();
         let mut tally = PhaseTally::default();
         let start = std::time::Instant::now();
         let deadline = start + self.config.phase_timeout;
@@ -708,23 +739,13 @@ impl Server {
                             tally.duplicates += 1;
                             continue;
                         }
-                        match wire::decode_any(&update) {
-                            Ok(u) if u.len() == self.param_len => {
-                                updates.insert(from, u);
-                                ledger.mark_answered(from);
-                            }
-                            Err(e) if e.is_corruption() => {
-                                // The link damaged an honest payload: the
-                                // slot settles (the client will not
-                                // resend) but the sender is not blamed.
-                                tally.corrupted += 1;
-                                ledger.mark_rejected(from);
-                            }
-                            _ => {
-                                tally.rejected += 1;
-                                ledger.mark_rejected(from);
-                            }
-                        }
+                        // First delivery from a sampled sender: the slot
+                        // settles now (the phase stops waiting on it)
+                        // and the payload is parsed after the loop. The
+                        // ledger is phase-local, so whether a bad decode
+                        // books it answered or rejected is unobservable.
+                        submissions.push((from, update));
+                        ledger.mark_answered(from);
                     }
                     Message::Abstain { round: r, from, reason } => {
                         if r != round || !reason.is_train_phase() {
@@ -750,6 +771,29 @@ impl Server {
                     // timeout.
                     tally.lost = true;
                     break;
+                }
+            }
+        }
+        // Each payload decodes independently: fan out on the pool, then
+        // fold the verdicts serially in arrival order.
+        let decoded = pool::parallel_map(submissions, |_, (from, update)| {
+            let result = wire::decode_any(&update);
+            (from, result)
+        });
+        let mut updates = HashMap::new();
+        for (from, result) in decoded {
+            match result {
+                Ok(u) if u.len() == self.param_len => {
+                    updates.insert(from, u);
+                }
+                Err(e) if e.is_corruption() => {
+                    // The link damaged an honest payload: the sender is
+                    // not blamed (it encoded correctly and will not
+                    // resend).
+                    tally.corrupted += 1;
+                }
+                _ => {
+                    tally.rejected += 1;
                 }
             }
         }

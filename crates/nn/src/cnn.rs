@@ -8,7 +8,7 @@
 //! with it unchanged (the defense is model-agnostic by design).
 
 use crate::conv::{Conv1d, GlobalAvgPool1d};
-use crate::{softmax_cross_entropy, Activation, Dense, Model, Sgd};
+use crate::{softmax_cross_entropy, softmax_cross_entropy_into, Activation, Dense, Model, Sgd};
 use baffle_tensor::Matrix;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -65,6 +65,27 @@ impl CnnSpec {
     }
 }
 
+/// Persistent scratch for the allocation-free CNN training hot path.
+/// `acts[s]` holds stage `s`'s *post-skip* activation, which doubles as
+/// the next stage's input **and** its residual skip term — replacing the
+/// per-stage input clones of the reference path. All buffers are reused
+/// across batches; contents are fully rewritten each use.
+#[derive(Debug, Clone, Default)]
+struct CnnScratch {
+    acts: Vec<Matrix>,
+    pooled: Matrix,
+    logits: Matrix,
+    loss_grad: Matrix,
+    grad_pooled: Matrix,
+    /// Gradient ping-pong pair for the backward chain over conv stages.
+    grad_a: Matrix,
+    grad_b: Matrix,
+    /// Mini-batch staging for `train_epoch`.
+    xb: Matrix,
+    yb: Vec<usize>,
+    order: Vec<usize>,
+}
+
 /// The residual 1-D CNN classifier.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Cnn {
@@ -72,6 +93,8 @@ pub struct Cnn {
     convs: Vec<Conv1d>,
     pool: GlobalAvgPool1d,
     head: Dense,
+    #[serde(skip)]
+    scratch: CnnScratch,
 }
 
 impl Cnn {
@@ -92,7 +115,7 @@ impl Cnn {
         }
         let pool = GlobalAvgPool1d::new(in_ch, spec.input_len);
         let head = Dense::new(in_ch, spec.num_classes, Activation::Identity, rng);
-        Self { spec: spec.clone(), convs, pool, head }
+        Self { spec: spec.clone(), convs, pool, head, scratch: CnnScratch::default() }
     }
 
     /// The architecture.
@@ -130,10 +153,69 @@ impl Cnn {
 
     /// One SGD step on a mini-batch; returns the batch loss.
     ///
+    /// Every intermediate — stage activations (which double as the
+    /// residual skip terms, replacing the reference path's per-stage
+    /// input clones), pooled features, logits, loss gradient and the
+    /// backward ping-pong pair — lives in a persistent buffer, so the
+    /// steady-state step performs no allocation on the GEMM conv path.
+    /// The arithmetic is bit-identical to [`Cnn::train_batch_ref`].
+    ///
     /// # Panics
     ///
     /// Panics on shape mismatches.
     pub fn train_batch(&mut self, x: &Matrix, y: &[usize], opt: &mut Sgd) -> f32 {
+        assert_eq!(x.rows(), y.len(), "Cnn::train_batch: rows vs labels");
+        let ns = self.convs.len();
+        self.scratch.acts.resize_with(ns, Matrix::default);
+        // Forward with caches: stage s reads acts[s−1] (or x) and writes
+        // acts[s]; the same previous activation serves as the skip term.
+        for s in 0..ns {
+            let skip = self.skip_at(s);
+            let (prev, cur) = self.scratch.acts.split_at_mut(s);
+            let input = if s == 0 { x } else { &prev[s - 1] };
+            self.convs[s].forward_train_into(input, &mut cur[0]);
+            if skip {
+                cur[0].add_assign(input);
+            }
+        }
+        self.pool.forward_into(
+            self.scratch.acts.last().expect("Cnn has at least one conv stage"),
+            &mut self.scratch.pooled,
+        );
+        self.head.forward_train_into(&self.scratch.pooled, &mut self.scratch.logits);
+        let loss = softmax_cross_entropy_into(&self.scratch.logits, y, &mut self.scratch.loss_grad);
+
+        // Backward: ping-pong the stage gradient between two persistent
+        // buffers.
+        self.head.backward_into(&self.scratch.loss_grad, &mut self.scratch.grad_pooled);
+        let mut ga = std::mem::take(&mut self.scratch.grad_a);
+        let mut gb = std::mem::take(&mut self.scratch.grad_b);
+        self.pool.backward_into(&self.scratch.grad_pooled, &mut ga);
+        for s in (0..ns).rev() {
+            let skip = self.skip_at(s);
+            self.convs[s].backward_into(&ga, &mut gb);
+            if skip {
+                // Residual: gradient flows through the skip unchanged.
+                gb.add_assign(&ga);
+            }
+            std::mem::swap(&mut ga, &mut gb);
+        }
+        self.scratch.grad_a = ga;
+        self.scratch.grad_b = gb;
+
+        // Update.
+        opt.begin_step(self.num_params());
+        for conv in &mut self.convs {
+            conv.apply_grads_chunked(opt);
+        }
+        self.head.apply_grads_chunked(opt);
+        loss
+    }
+
+    /// The retained allocating implementation of [`Cnn::train_batch`] —
+    /// fresh buffers (and per-stage skip clones) every call. Kept as the
+    /// bit-identity reference for the workspace path.
+    pub fn train_batch_ref(&mut self, x: &Matrix, y: &[usize], opt: &mut Sgd) -> f32 {
         assert_eq!(x.rows(), y.len(), "Cnn::train_batch: rows vs labels");
         // Forward with caches, remembering stage inputs for skips.
         let mut h = x.clone();
@@ -174,10 +256,51 @@ impl Cnn {
 
     /// One epoch of shuffled mini-batch SGD; returns the mean batch loss.
     ///
+    /// The shuffled order and mini-batch staging buffers persist across
+    /// epochs, so the steady-state epoch allocates nothing. RNG
+    /// consumption and arithmetic are identical to
+    /// [`Cnn::train_epoch_ref`].
+    ///
     /// # Panics
     ///
     /// Panics if `batch_size == 0` or shapes mismatch.
     pub fn train_epoch<R: Rng + ?Sized>(
+        &mut self,
+        x: &Matrix,
+        y: &[usize],
+        batch_size: usize,
+        opt: &mut Sgd,
+        rng: &mut R,
+    ) -> f32 {
+        assert!(batch_size > 0, "Cnn::train_epoch: batch_size must be positive");
+        if y.is_empty() {
+            return 0.0;
+        }
+        let mut order = std::mem::take(&mut self.scratch.order);
+        let mut xb = std::mem::take(&mut self.scratch.xb);
+        let mut yb = std::mem::take(&mut self.scratch.yb);
+        order.clear();
+        order.extend(0..y.len());
+        order.shuffle(rng);
+        let mut total = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(batch_size) {
+            x.select_rows_into(chunk, &mut xb);
+            yb.clear();
+            yb.extend(chunk.iter().map(|&i| y[i]));
+            total += self.train_batch(&xb, &yb, opt);
+            batches += 1;
+        }
+        self.scratch.order = order;
+        self.scratch.xb = xb;
+        self.scratch.yb = yb;
+        total / batches as f32
+    }
+
+    /// The retained allocating implementation of [`Cnn::train_epoch`],
+    /// driving [`Cnn::train_batch_ref`]. The bit-identity reference for
+    /// the workspace path; consumes the RNG identically.
+    pub fn train_epoch_ref<R: Rng + ?Sized>(
         &mut self,
         x: &Matrix,
         y: &[usize],
@@ -196,10 +319,20 @@ impl Cnn {
         for chunk in order.chunks(batch_size) {
             let xb = x.select_rows(chunk);
             let yb: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
-            total += self.train_batch(&xb, &yb, opt);
+            total += self.train_batch_ref(&xb, &yb, opt);
             batches += 1;
         }
         total / batches as f32
+    }
+
+    /// Drops all cached activations/gradients and the training scratch
+    /// buffers (e.g. before serialising).
+    pub fn clear_cache(&mut self) {
+        for conv in &mut self.convs {
+            conv.clear_cache();
+        }
+        self.head.clear_cache();
+        self.scratch = CnnScratch::default();
     }
 
     /// Fraction of correctly classified rows.

@@ -27,7 +27,7 @@
 //! a bias that SGD from zero init can never drive to `-0.0`, and IEEE
 //! addition cannot produce `-0.0` from such a start).
 
-use crate::Activation;
+use crate::{Activation, Sgd};
 use baffle_tensor::{gemm, rng as trng, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -103,14 +103,37 @@ pub struct Conv1d {
     w: Matrix,
     b: Vec<f32>,
     activation: Activation,
+    /// Input of the latest `forward_train` call. Persistent buffer gated
+    /// by `has_cache`, like every training scratch below: reused across
+    /// batches so the steady-state train cycle is allocation-free.
     #[serde(skip)]
-    cached_input: Option<Matrix>,
+    cached_input: Matrix,
     #[serde(skip)]
-    cached_pre: Option<Matrix>,
+    cached_pre: Matrix,
     #[serde(skip)]
-    grad_w: Option<Matrix>,
+    has_cache: bool,
     #[serde(skip)]
-    grad_b: Option<Vec<f32>>,
+    grad_w: Matrix,
+    #[serde(skip)]
+    grad_b: Vec<f32>,
+    #[serde(skip)]
+    has_grads: bool,
+    /// δ = grad_out ⊙ act′(pre) scratch for `backward`.
+    #[serde(skip)]
+    delta: Matrix,
+    /// Transposed (`oc × batch·len`) GEMM output scratch for the forward
+    /// pass.
+    #[serde(skip)]
+    out_t: Vec<f32>,
+    /// Transposed delta scratch for the weight/bias-gradient pass.
+    #[serde(skip)]
+    dt: Vec<f32>,
+    /// Kernel-flipped weight scratch for the input-delta pass.
+    #[serde(skip)]
+    wflip: Vec<f32>,
+    /// Transposed input-delta scratch for the input-delta pass.
+    #[serde(skip)]
+    dxt: Vec<f32>,
     /// im2col scratch for the forward / weight-gradient passes.
     #[serde(skip)]
     col_cache: Option<Im2col>,
@@ -151,10 +174,17 @@ impl Conv1d {
             w: trng::he_init_transposed(rng, fan_in, out_channels),
             b: vec![0.0; out_channels],
             activation,
-            cached_input: None,
-            cached_pre: None,
-            grad_w: None,
-            grad_b: None,
+            cached_input: Matrix::default(),
+            cached_pre: Matrix::default(),
+            has_cache: false,
+            grad_w: Matrix::default(),
+            grad_b: Vec::new(),
+            has_grads: false,
+            delta: Matrix::default(),
+            out_t: Vec::new(),
+            dt: Vec::new(),
+            wflip: Vec::new(),
+            dxt: Vec::new(),
             col_cache: None,
             dcol_cache: None,
             force_naive: false,
@@ -392,31 +422,73 @@ impl Conv1d {
     }
 
     /// Drops every cached activation, gradient and im2col scratch
-    /// buffer (e.g. before serialising or measuring memory).
+    /// buffer (e.g. before serialising or measuring memory). Frees the
+    /// persistent training buffers.
     pub fn clear_cache(&mut self) {
-        self.cached_input = None;
-        self.cached_pre = None;
-        self.grad_w = None;
-        self.grad_b = None;
+        self.cached_input = Matrix::default();
+        self.cached_pre = Matrix::default();
+        self.grad_w = Matrix::default();
+        self.grad_b = Vec::new();
+        self.delta = Matrix::default();
+        self.out_t = Vec::new();
+        self.dt = Vec::new();
+        self.wflip = Vec::new();
+        self.dxt = Vec::new();
         self.col_cache = None;
         self.dcol_cache = None;
+        self.has_cache = false;
+        self.has_grads = false;
     }
 
     /// Training forward pass (caches state for [`Conv1d::backward`]).
     pub fn forward_train(&mut self, x: &Matrix) -> Matrix {
-        self.check_input(x);
-        let pre = if self.force_naive {
-            self.naive_convolve(x)
-        } else {
-            im2col_cached(&mut self.col_cache, x, self.in_channels, self.kernel, self.length);
-            let col = &self.col_cache.as_ref().expect("col cache just packed").data;
-            self.convolve_packed(x.rows(), col)
-        };
-        self.cached_input = Some(x.clone());
-        let act = self.activation;
-        let out = pre.map(|v| act.apply(v));
-        self.cached_pre = Some(pre);
+        let mut out = Matrix::default();
+        self.forward_train_into(x, &mut out);
         out
+    }
+
+    /// [`Conv1d::forward_train`] writing the activation into a
+    /// caller-owned buffer. On the GEMM path every intermediate (im2col
+    /// pack, transposed product, pre-activation, input copy) lives in a
+    /// persistent layer buffer, so the steady-state call performs no
+    /// allocation. The naive path is a test/reference path and still
+    /// allocates its scalar-loop intermediate.
+    pub fn forward_train_into(&mut self, x: &Matrix, out: &mut Matrix) {
+        self.check_input(x);
+        if self.force_naive {
+            self.cached_pre = self.naive_convolve(x);
+        } else {
+            let (oc, ick) = (self.out_channels, self.in_channels * self.kernel);
+            let cl = x.rows() * self.length;
+            im2col_cached(&mut self.col_cache, x, self.in_channels, self.kernel, self.length);
+            self.out_t.resize(oc * cl, 0.0);
+            {
+                let Self { w, b, out_t, col_cache, .. } = self;
+                // Bias-prefill covers the whole transposed buffer, so the
+                // resize's stale prefix never reaches the product.
+                for (chunk, &bo) in out_t.chunks_mut(cl.max(1)).zip(b.iter()) {
+                    chunk.fill(bo);
+                }
+                let col = &col_cache.as_ref().expect("col cache just packed").data;
+                gemm::nn(oc, ick, cl, w.as_slice(), col, out_t);
+            }
+            // Unpack `oc × (batch·len)` back to batch-major rows; every
+            // element of `cached_pre` is overwritten.
+            let len = self.length;
+            self.cached_pre.resize_for_overwrite(x.rows(), self.out_dim());
+            let Self { cached_pre, out_t, .. } = self;
+            for bi in 0..x.rows() {
+                let row = cached_pre.row_mut(bi);
+                for o in 0..oc {
+                    row[o * len..(o + 1) * len]
+                        .copy_from_slice(&out_t[o * cl + bi * len..o * cl + (bi + 1) * len]);
+                }
+            }
+        }
+        self.cached_input.copy_from(x);
+        let act = self.activation;
+        self.cached_pre.map_into(|v| act.apply(v), out);
+        self.has_cache = true;
     }
 
     /// Backward pass: returns ∂L/∂x and stores parameter gradients.
@@ -426,35 +498,65 @@ impl Conv1d {
     /// Panics if called before `forward_train` or with a wrong-shaped
     /// gradient.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let pre = self.cached_pre.as_ref().expect("pre-activation cache missing");
-        assert_eq!(grad_out.shape(), pre.shape(), "Conv1d::backward: gradient shape mismatch");
+        let mut dx = Matrix::default();
+        self.backward_into(grad_out, &mut dx);
+        dx
+    }
+
+    /// [`Conv1d::backward`] writing ∂L/∂x into a caller-owned buffer;
+    /// the δ, transposed-delta, flipped-weight and gradient buffers are
+    /// all persistent, so the steady-state GEMM-path call performs no
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward_train` or with a wrong-shaped
+    /// gradient.
+    pub fn backward_into(&mut self, grad_out: &Matrix, dx: &mut Matrix) {
+        assert!(self.has_cache, "Conv1d::backward before forward_train");
+        assert_eq!(
+            grad_out.shape(),
+            self.cached_pre.shape(),
+            "Conv1d::backward: gradient shape mismatch"
+        );
         let act = self.activation;
-        let mut delta = pre.map(|v| act.derivative(v));
+        // Take δ out of `self` so the backward kernels can borrow the
+        // rest of the layer mutably; restored below.
+        let mut delta = std::mem::take(&mut self.delta);
+        self.cached_pre.map_into(|v| act.derivative(v), &mut delta);
         delta.hadamard_assign(grad_out);
         if self.force_naive {
-            self.naive_backward(&delta)
+            self.naive_backward_into(&delta, dx);
         } else {
-            self.gemm_backward(&delta)
+            self.gemm_backward_into(&delta, dx);
         }
+        self.delta = delta;
+        self.has_grads = true;
     }
 
     /// The retained scalar backward loops (valid tap range hoisted like
-    /// [`Conv1d::naive_convolve`]); the reference for [`gemm_backward`].
+    /// [`Conv1d::naive_convolve`]); the reference for [`gemm_backward_into`].
     ///
-    /// [`gemm_backward`]: Conv1d::gemm_backward
-    fn naive_backward(&mut self, delta: &Matrix) -> Matrix {
-        let input = self.cached_input.as_ref().expect("Conv1d::backward before forward_train");
-        let pad = self.kernel / 2;
-        let len = self.length;
-        let mut grad_w = Matrix::zeros(self.out_channels, self.in_channels * self.kernel);
-        let mut grad_b = vec![0.0_f32; self.out_channels];
-        let mut dx = Matrix::zeros(input.rows(), self.in_dim());
+    /// [`gemm_backward_into`]: Conv1d::gemm_backward_into
+    fn naive_backward_into(&mut self, delta: &Matrix, dx: &mut Matrix) {
+        let (oc, ic, kernel, len) = (self.out_channels, self.in_channels, self.kernel, self.length);
+        let pad = kernel / 2;
+        let batch = self.cached_input.rows();
+        // The scalar loops accumulate sparsely (zero deltas are skipped),
+        // so every target must start from explicit zeros.
+        self.grad_w.resize_for_overwrite(oc, ic * kernel);
+        self.grad_w.as_mut_slice().fill(0.0);
+        self.grad_b.clear();
+        self.grad_b.resize(oc, 0.0);
+        dx.resize_for_overwrite(batch, ic * len);
+        dx.as_mut_slice().fill(0.0);
+        let Self { w, cached_input, grad_w, grad_b, .. } = self;
 
-        for bi in 0..input.rows() {
-            let x_row = input.row(bi);
+        for bi in 0..batch {
+            let x_row = cached_input.row(bi);
             let d_row = delta.row(bi);
             let dx_row = dx.row_mut(bi);
-            for o in 0..self.out_channels {
+            for o in 0..oc {
                 for p in 0..len {
                     let d = d_row[o * len + p];
                     if d == 0.0 {
@@ -462,20 +564,17 @@ impl Conv1d {
                     }
                     grad_b[o] += d;
                     let k_lo = pad.saturating_sub(p);
-                    let k_hi = self.kernel.min(len + pad - p);
-                    for i in 0..self.in_channels {
+                    let k_hi = kernel.min(len + pad - p);
+                    for i in 0..ic {
                         let base = i * len + p - pad;
                         for k in k_lo..k_hi {
-                            grad_w[(o, i * self.kernel + k)] += d * x_row[base + k];
-                            dx_row[base + k] += d * self.weight(o, i, k);
+                            grad_w[(o, i * kernel + k)] += d * x_row[base + k];
+                            dx_row[base + k] += d * w[(o, i * kernel + k)];
                         }
                     }
                 }
             }
         }
-        self.grad_w = Some(grad_w);
-        self.grad_b = Some(grad_b);
-        dx
     }
 
     /// GEMM backward: the weight gradient is one `nt` product of the
@@ -485,59 +584,72 @@ impl Conv1d {
     /// convolution of `delta` with the kernel-flipped weights — im2col
     /// over `delta`, then one `nn` product whose ascending `(o, kf)`
     /// order reproduces the scalar loop's `(o, p)` order per element.
-    fn gemm_backward(&mut self, delta: &Matrix) -> Matrix {
-        let input = self.cached_input.as_ref().expect("Conv1d::backward before forward_train");
+    fn gemm_backward_into(&mut self, delta: &Matrix, dx: &mut Matrix) {
         let (oc, ic, kernel, len) = (self.out_channels, self.in_channels, self.kernel, self.length);
-        let batch = input.rows();
+        let batch = self.cached_input.rows();
         let cl = batch * len;
         let ick = ic * kernel;
 
         // Transpose delta to `oc × (batch·len)` once; both the weight
-        // and bias gradients consume it row-major.
-        let mut dt = vec![0.0f32; oc * cl];
+        // and bias gradients consume it row-major. Fully overwritten.
+        self.dt.resize(oc * cl, 0.0);
         for bi in 0..batch {
             let d_row = delta.row(bi);
             for o in 0..oc {
-                dt[o * cl + bi * len..o * cl + (bi + 1) * len]
+                self.dt[o * cl + bi * len..o * cl + (bi + 1) * len]
                     .copy_from_slice(&d_row[o * len..(o + 1) * len]);
             }
         }
-        let grad_b: Vec<f32> =
-            if cl == 0 { vec![0.0; oc] } else { dt.chunks(cl).map(|r| r.iter().sum()).collect() };
+        self.grad_b.clear();
+        if cl == 0 {
+            self.grad_b.resize(oc, 0.0);
+        } else {
+            let Self { grad_b, dt, .. } = self;
+            grad_b.extend(dt.chunks(cl).map(|r| r.iter().sum::<f32>()));
+        }
 
         // Repack the cached input (reusing the forward buffer when the
         // batch size matches) and take the weight gradient in one shot.
-        im2col_cached(&mut self.col_cache, input, ic, kernel, len);
-        let col = &self.col_cache.as_ref().expect("col cache just packed").data;
-        let mut grad_w = Matrix::zeros(oc, ick);
-        gemm::nt(oc, cl, ick, &dt, col, grad_w.as_mut_slice());
+        // GEMM accumulates, so the gradient buffer is re-zeroed first.
+        {
+            let Self { cached_input, col_cache, .. } = self;
+            im2col_cached(col_cache, cached_input, ic, kernel, len);
+        }
+        self.grad_w.resize_for_overwrite(oc, ick);
+        self.grad_w.as_mut_slice().fill(0.0);
+        {
+            let Self { grad_w, dt, col_cache, .. } = self;
+            let col = &col_cache.as_ref().expect("col cache just packed").data;
+            gemm::nt(oc, cl, ick, dt, col, grad_w.as_mut_slice());
+        }
 
         // Input delta: convolve `delta` with the kernel-flipped weights.
-        let mut wflip = vec![0.0f32; ic * oc * kernel];
+        // Every flipped entry is rewritten, so no zeroing is needed.
+        self.wflip.resize(ic * oc * kernel, 0.0);
         for i in 0..ic {
             for o in 0..oc {
                 for kf in 0..kernel {
-                    wflip[i * (oc * kernel) + o * kernel + kf] =
+                    self.wflip[i * (oc * kernel) + o * kernel + kf] =
                         self.w[(o, i * kernel + (kernel - 1 - kf))];
                 }
             }
         }
         im2col_cached(&mut self.dcol_cache, delta, oc, kernel, len);
-        let dcol = &self.dcol_cache.as_ref().expect("dcol cache just packed").data;
-        let mut dxt = vec![0.0f32; ic * cl];
-        gemm::nn(ic, oc * kernel, cl, &wflip, dcol, &mut dxt);
-        let mut dx = Matrix::zeros(batch, self.in_dim());
+        self.dxt.resize(ic * cl, 0.0);
+        self.dxt.fill(0.0); // GEMM accumulates
+        {
+            let Self { dxt, wflip, dcol_cache, .. } = self;
+            let dcol = &dcol_cache.as_ref().expect("dcol cache just packed").data;
+            gemm::nn(ic, oc * kernel, cl, wflip, dcol, dxt);
+        }
+        dx.resize_for_overwrite(batch, ic * len);
         for bi in 0..batch {
             let dx_row = dx.row_mut(bi);
             for i in 0..ic {
                 dx_row[i * len..(i + 1) * len]
-                    .copy_from_slice(&dxt[i * cl + bi * len..i * cl + (bi + 1) * len]);
+                    .copy_from_slice(&self.dxt[i * cl + bi * len..i * cl + (bi + 1) * len]);
             }
         }
-
-        self.grad_w = Some(grad_w);
-        self.grad_b = Some(grad_b);
-        dx
     }
 
     /// Applies the stored gradients through the caller's update rule.
@@ -546,14 +658,30 @@ impl Conv1d {
     ///
     /// Panics if called before [`Conv1d::backward`].
     pub fn apply_grads(&mut self, mut f: impl FnMut(&mut f32, f32)) {
-        let gw = self.grad_w.take().expect("Conv1d::apply_grads before backward");
-        let gb = self.grad_b.take().expect("bias gradient missing");
-        for (p, &g) in self.w.as_mut_slice().iter_mut().zip(gw.as_slice()) {
+        assert!(self.has_grads, "Conv1d::apply_grads before backward");
+        self.has_grads = false;
+        let Self { w, b, grad_w, grad_b, .. } = self;
+        for (p, &g) in w.as_mut_slice().iter_mut().zip(grad_w.as_slice()) {
             f(p, g);
         }
-        for (p, &g) in self.b.iter_mut().zip(&gb) {
+        for (p, &g) in b.iter_mut().zip(grad_b.iter()) {
             f(p, g);
         }
+    }
+
+    /// Applies the stored gradients through [`Sgd::update_chunk`] — the
+    /// slice-wise, allocation-free form of
+    /// `apply_grads(|p, g| opt.update(p, g))`, bit-identical to it (same
+    /// weights-then-bias order against the same velocity slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Conv1d::backward`].
+    pub fn apply_grads_chunked(&mut self, opt: &mut Sgd) {
+        assert!(self.has_grads, "Conv1d::apply_grads before backward");
+        self.has_grads = false;
+        opt.update_chunk(self.w.as_mut_slice(), self.grad_w.as_slice());
+        opt.update_chunk(&mut self.b, &self.grad_b);
     }
 
     /// Appends parameters (weights row-major, then bias).
@@ -602,8 +730,20 @@ impl GlobalAvgPool1d {
     ///
     /// Panics on a width mismatch.
     pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// [`GlobalAvgPool1d::forward`] into a caller-owned buffer (every
+    /// element is overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a width mismatch.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
         assert_eq!(x.cols(), self.channels * self.length, "GlobalAvgPool1d: width mismatch");
-        let mut out = Matrix::zeros(x.rows(), self.channels);
+        out.resize_for_overwrite(x.rows(), self.channels);
         for bi in 0..x.rows() {
             let row = x.row(bi);
             let out_row = out.row_mut(bi);
@@ -612,14 +752,25 @@ impl GlobalAvgPool1d {
                 *o = seg.iter().sum::<f32>() / self.length as f32;
             }
         }
-        out
     }
 
     /// Backward pass: spreads each channel gradient uniformly over the
     /// signal positions.
     pub fn backward(&self, grad_out: &Matrix) -> Matrix {
+        let mut dx = Matrix::default();
+        self.backward_into(grad_out, &mut dx);
+        dx
+    }
+
+    /// [`GlobalAvgPool1d::backward`] into a caller-owned buffer (every
+    /// element is overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a gradient width mismatch.
+    pub fn backward_into(&self, grad_out: &Matrix, dx: &mut Matrix) {
         assert_eq!(grad_out.cols(), self.channels, "GlobalAvgPool1d: gradient width mismatch");
-        let mut dx = Matrix::zeros(grad_out.rows(), self.channels * self.length);
+        dx.resize_for_overwrite(grad_out.rows(), self.channels * self.length);
         let inv = 1.0 / self.length as f32;
         for bi in 0..grad_out.rows() {
             let g = grad_out.row(bi);
@@ -630,7 +781,6 @@ impl GlobalAvgPool1d {
                 }
             }
         }
-        dx
     }
 }
 
@@ -682,8 +832,8 @@ mod tests {
         let ones = Matrix::filled(3, 10, 1.0);
         let dx = c.backward(&ones);
         let mut analytic = Vec::new();
-        analytic.extend_from_slice(c.grad_w.clone().unwrap().as_slice());
-        analytic.extend_from_slice(c.grad_b.as_ref().unwrap());
+        analytic.extend_from_slice(c.grad_w.as_slice());
+        analytic.extend_from_slice(&c.grad_b);
 
         let mut params = Vec::new();
         c.write_params(&mut params);
@@ -781,6 +931,42 @@ mod tests {
         for (i, out) in outs.iter().enumerate() {
             assert_eq!(out, &convs[i].forward(&xs[i]), "conv {i}");
         }
+    }
+
+    /// The persistent caches must make repeated same-shape GEMM-path
+    /// train cycles allocation-free without changing any numeric result.
+    #[test]
+    fn train_buffers_are_reused_across_batches() {
+        let mut c = conv(2, 3, 3, 6, Activation::Tanh);
+        let x = Matrix::from_fn(4, 12, |r, j| ((r * 12 + j) as f32 * 0.21).sin());
+        let g = Matrix::from_fn(4, 18, |r, j| ((r * 18 + j) as f32 * 0.07).cos());
+        let (mut out, mut dx) = (Matrix::default(), Matrix::default());
+        c.forward_train_into(&x, &mut out);
+        c.backward_into(&g, &mut dx);
+        let first = (out.clone(), dx.clone(), c.grad_w.clone(), c.grad_b.clone());
+        let ptrs = [
+            c.cached_pre.as_slice().as_ptr(),
+            c.grad_w.as_slice().as_ptr(),
+            c.delta.as_slice().as_ptr(),
+            c.out_t.as_ptr(),
+            c.dxt.as_ptr(),
+        ];
+        c.has_grads = false; // skip the update so weights stay put
+        c.forward_train_into(&x, &mut out);
+        c.backward_into(&g, &mut dx);
+        assert_eq!(
+            (out.clone(), dx.clone(), c.grad_w.clone(), c.grad_b.clone()),
+            first,
+            "reuse changed the numbers"
+        );
+        let again = [
+            c.cached_pre.as_slice().as_ptr(),
+            c.grad_w.as_slice().as_ptr(),
+            c.delta.as_slice().as_ptr(),
+            c.out_t.as_ptr(),
+            c.dxt.as_ptr(),
+        ];
+        assert_eq!(ptrs, again, "steady-state conv train cycle must not reallocate");
     }
 
     #[test]

@@ -1,15 +1,23 @@
 //! Fully-connected (dense) layer with manual backpropagation.
 
-use crate::Activation;
-use baffle_tensor::{gemm, rng, Matrix, MatrixView};
+use crate::{Activation, Sgd};
+use baffle_tensor::{gemm, rng, Matrix, MatrixView, Workspace};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// A dense layer `y = act(x · W + b)` with cached forward state for
 /// backpropagation.
 ///
 /// Weights are stored as an `in_dim × out_dim` matrix so a batch
 /// (`batch × in_dim`) multiplies on the left.
+///
+/// The training caches (`cached_input`, `cached_pre`, the gradients and
+/// the δ scratch) are **persistent buffers**, not per-call allocations:
+/// once the layer has seen a batch shape, every further
+/// [`Dense::forward_train`] / [`Dense::backward`] cycle at that shape is
+/// allocation-free. Validity is tracked by flags, so the panic behaviour
+/// of calling `backward` before `forward_train` is unchanged.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dense {
     w: Matrix,
@@ -17,16 +25,34 @@ pub struct Dense {
     activation: Activation,
     /// Input of the latest `forward_train` call (needed for dW).
     #[serde(skip)]
-    cached_input: Option<Matrix>,
+    cached_input: Matrix,
     /// Pre-activation of the latest `forward_train` call (needed for dact).
     #[serde(skip)]
-    cached_pre: Option<Matrix>,
+    cached_pre: Matrix,
+    /// Whether the forward caches hold the latest batch.
+    #[serde(skip)]
+    has_cache: bool,
     /// Weight gradient from the latest `backward` call.
     #[serde(skip)]
-    grad_w: Option<Matrix>,
+    grad_w: Matrix,
     /// Bias gradient from the latest `backward` call.
     #[serde(skip)]
-    grad_b: Option<Vec<f32>>,
+    grad_b: Vec<f32>,
+    /// Whether the gradients are fresh (consumed by `apply_grads*`).
+    #[serde(skip)]
+    has_grads: bool,
+    /// δ = grad_out ⊙ act′(pre) scratch for `backward`.
+    #[serde(skip)]
+    delta: Matrix,
+}
+
+thread_local! {
+    /// Per-thread buffer pool for [`Dense::forward_multi_shared`]'s
+    /// stacked `wide_w` block and wide product. Per-thread so validation
+    /// chunks fanned out on the worker pool never contend, and so the
+    /// borrow is local to a single call (the `RefCell` is released before
+    /// the GEMM runs — nothing inside the kernels re-enters this cache).
+    static MULTI_SHARED_SCRATCH: RefCell<Workspace> = RefCell::new(Workspace::new());
 }
 
 impl Dense {
@@ -41,10 +67,13 @@ impl Dense {
             w: rng::he_init(rng, in_dim, out_dim),
             b: vec![0.0; out_dim],
             activation,
-            cached_input: None,
-            cached_pre: None,
-            grad_w: None,
-            grad_b: None,
+            cached_input: Matrix::default(),
+            cached_pre: Matrix::default(),
+            has_cache: false,
+            grad_w: Matrix::default(),
+            grad_b: Vec::new(),
+            has_grads: false,
+            delta: Matrix::default(),
         }
     }
 
@@ -127,25 +156,31 @@ impl Dense {
         assert_eq!(x.cols(), in_dim, "Dense::forward_multi_shared: input width");
         let nb = layers.len();
         let (m, wide) = (x.rows(), nb * out_dim);
+        // The stacked weight block and the wide product are the two big
+        // scratch buffers of the fused pass; validation calls this once
+        // per chunk, so their allocations are cached per thread (contents
+        // are rewritten every call — the weights may have changed — only
+        // the backing storage is reused, mirroring the conv im2col cache).
+        let (mut wide_w, mut wide_out) = MULTI_SHARED_SCRATCH.with(|ws| {
+            let mut ws = ws.borrow_mut();
+            (ws.take(in_dim, wide), ws.take_zeroed(m, wide))
+        });
         // Row r of the wide weight block is W_0[r] ++ W_1[r] ++ … so each
-        // layer owns a contiguous column stripe of the product.
-        let mut wide_w = vec![0.0f32; in_dim * wide];
+        // layer owns a contiguous column stripe of the product. Every
+        // stripe of every row is overwritten, so `take`'s unspecified
+        // contents never leak into the product.
         for (li, l) in layers.iter().enumerate() {
             for r in 0..in_dim {
-                wide_w[r * wide + li * out_dim..r * wide + (li + 1) * out_dim]
-                    .copy_from_slice(l.w.row(r));
+                wide_w.row_mut(r)[li * out_dim..(li + 1) * out_dim].copy_from_slice(l.w.row(r));
             }
         }
-        let mut wide_out = vec![0.0f32; m * wide];
-        gemm::concat_nn(m, in_dim, wide, x.as_slice(), &wide_w, &mut wide_out);
-        (0..nb)
+        gemm::concat_nn(m, in_dim, wide, x.as_slice(), wide_w.as_slice(), wide_out.as_mut_slice());
+        let outs = (0..nb)
             .map(|li| {
                 let l = layers[li];
                 let mut data = Vec::with_capacity(m * out_dim);
                 for r in 0..m {
-                    data.extend_from_slice(
-                        &wide_out[r * wide + li * out_dim..r * wide + (li + 1) * out_dim],
-                    );
+                    data.extend_from_slice(&wide_out.row(r)[li * out_dim..(li + 1) * out_dim]);
                 }
                 let mut out = Matrix::from_vec(m, out_dim, data);
                 out.add_row_broadcast(&l.b);
@@ -153,7 +188,13 @@ impl Dense {
                 out.map_assign(|v| act.apply(v));
                 out
             })
-            .collect()
+            .collect();
+        MULTI_SHARED_SCRATCH.with(|ws| {
+            let mut ws = ws.borrow_mut();
+            ws.recycle(wide_w);
+            ws.recycle(wide_out);
+        });
+        outs
     }
 
     /// Forward pass of several identically-shaped layers over *per-layer*
@@ -212,13 +253,26 @@ impl Dense {
     ///
     /// Panics if `x.cols() != self.in_dim()`.
     pub fn forward_train(&mut self, x: &Matrix) -> Matrix {
-        let mut pre = x.matmul(&self.w);
-        pre.add_row_broadcast(&self.b);
-        self.cached_input = Some(x.clone());
-        let act = self.activation;
-        let out = pre.map(|v| act.apply(v));
-        self.cached_pre = Some(pre);
+        let mut out = Matrix::default();
+        self.forward_train_into(x, &mut out);
         out
+    }
+
+    /// [`Dense::forward_train`] writing the activation into a caller-owned
+    /// buffer. The input and pre-activation are copied into the layer's
+    /// persistent caches, so at steady state (shapes unchanged since the
+    /// previous batch) the call performs no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.in_dim()`.
+    pub fn forward_train_into(&mut self, x: &Matrix, out: &mut Matrix) {
+        self.cached_input.copy_from(x);
+        x.matmul_into(&self.w, &mut self.cached_pre);
+        self.cached_pre.add_row_broadcast(&self.b);
+        let act = self.activation;
+        self.cached_pre.map_into(|v| act.apply(v), out);
+        self.has_cache = true;
     }
 
     /// Backward pass. `grad_out` is ∂L/∂y for the latest
@@ -230,26 +284,40 @@ impl Dense {
     /// Panics if called before `forward_train`, or if `grad_out` has the
     /// wrong shape.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let input =
-            self.cached_input.as_ref().expect("Dense::backward called before forward_train");
-        let pre = self.cached_pre.as_ref().expect("pre-activation cache missing");
+        let mut dx = Matrix::default();
+        self.backward_into(grad_out, &mut dx);
+        dx
+    }
+
+    /// [`Dense::backward`] writing ∂L/∂x into a caller-owned buffer. The
+    /// δ scratch and the weight/bias gradients live in persistent layer
+    /// buffers, so at steady state the call performs no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward_train`, or if `grad_out` has the
+    /// wrong shape.
+    pub fn backward_into(&mut self, grad_out: &Matrix, dx: &mut Matrix) {
+        assert!(self.has_cache, "Dense::backward called before forward_train");
         assert_eq!(
             grad_out.shape(),
-            pre.shape(),
+            self.cached_pre.shape(),
             "Dense::backward: grad shape {:?} != output shape {:?}",
             grad_out.shape(),
-            pre.shape()
+            self.cached_pre.shape()
         );
+        let act = self.activation;
+        let Self { w, cached_input, cached_pre, delta, grad_w, grad_b, .. } = self;
 
         // δ = grad_out ⊙ act'(pre)
-        let act = self.activation;
-        let mut delta = pre.map(|v| act.derivative(v));
+        cached_pre.map_into(|v| act.derivative(v), delta);
         delta.hadamard_assign(grad_out);
 
         // dW = xᵀ δ, db = column sums of δ, dx = δ Wᵀ.
-        self.grad_w = Some(input.matmul_tn(&delta));
-        self.grad_b = Some(delta.sum_rows());
-        delta.matmul_nt(&self.w)
+        cached_input.matmul_tn_into(delta, grad_w);
+        delta.sum_rows_into(grad_b);
+        delta.matmul_nt_into(w, dx);
+        self.has_grads = true;
     }
 
     /// Applies the stored gradients with the given update rule
@@ -260,14 +328,31 @@ impl Dense {
     ///
     /// Panics if called before [`Dense::backward`].
     pub fn apply_grads(&mut self, mut f: impl FnMut(&mut f32, f32)) {
-        let gw = self.grad_w.take().expect("Dense::apply_grads called before backward");
-        let gb = self.grad_b.take().expect("bias gradient missing");
-        for (p, &g) in self.w.as_mut_slice().iter_mut().zip(gw.as_slice()) {
+        assert!(self.has_grads, "Dense::apply_grads called before backward");
+        self.has_grads = false;
+        let Self { w, b, grad_w, grad_b, .. } = self;
+        for (p, &g) in w.as_mut_slice().iter_mut().zip(grad_w.as_slice()) {
             f(p, g);
         }
-        for (p, &g) in self.b.iter_mut().zip(&gb) {
+        for (p, &g) in b.iter_mut().zip(grad_b.iter()) {
             f(p, g);
         }
+    }
+
+    /// Applies the stored gradients through [`Sgd::update_chunk`] — the
+    /// slice-wise (and allocation-free) form of
+    /// `apply_grads(|p, g| opt.update(p, g))`, bit-identical to it because
+    /// `update_chunk` is elementwise and walks the same weights-then-bias
+    /// order against the same velocity slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Dense::backward`].
+    pub fn apply_grads_chunked(&mut self, opt: &mut Sgd) {
+        assert!(self.has_grads, "Dense::apply_grads called before backward");
+        self.has_grads = false;
+        opt.update_chunk(self.w.as_mut_slice(), self.grad_w.as_slice());
+        opt.update_chunk(&mut self.b, &self.grad_b);
     }
 
     /// Appends this layer's parameters to `out` (weights row-major, then
@@ -293,11 +378,16 @@ impl Dense {
     }
 
     /// Drops cached activations and gradients (e.g. before serialising).
+    /// Frees the persistent training buffers, so a model kept only for
+    /// inference carries no training footprint.
     pub fn clear_cache(&mut self) {
-        self.cached_input = None;
-        self.cached_pre = None;
-        self.grad_w = None;
-        self.grad_b = None;
+        self.cached_input = Matrix::default();
+        self.cached_pre = Matrix::default();
+        self.grad_w = Matrix::default();
+        self.grad_b = Vec::new();
+        self.delta = Matrix::default();
+        self.has_cache = false;
+        self.has_grads = false;
     }
 }
 
@@ -367,11 +457,8 @@ mod tests {
 
         // Check weight gradients against finite differences.
         let mut analytic = Vec::new();
-        {
-            let gw = l.grad_w.clone().unwrap();
-            analytic.extend_from_slice(gw.as_slice());
-            analytic.extend_from_slice(l.grad_b.as_ref().unwrap());
-        }
+        analytic.extend_from_slice(l.grad_w.as_slice());
+        analytic.extend_from_slice(&l.grad_b);
         let mut p = Vec::new();
         l.write_params(&mut p);
         let eps = 1e-3;
@@ -408,6 +495,76 @@ mod tests {
     fn backward_without_forward_panics() {
         let mut l = layer(2, 2, Activation::Relu);
         let _ = l.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "before backward")]
+    fn apply_grads_without_backward_panics() {
+        let mut l = layer(2, 2, Activation::Relu);
+        l.apply_grads(|_, _| {});
+    }
+
+    /// The persistent caches must make repeated same-shape train cycles
+    /// allocation-free, without changing any numeric result.
+    #[test]
+    fn train_buffers_are_reused_across_batches() {
+        let mut l = layer(4, 3, Activation::Tanh);
+        let x = Matrix::from_fn(5, 4, |r, c| ((r * 4 + c) as f32 * 0.23).sin());
+        let g = Matrix::from_fn(5, 3, |r, c| ((r * 3 + c) as f32 * 0.11).cos());
+        let (mut out, mut dx) = (Matrix::default(), Matrix::default());
+        l.forward_train_into(&x, &mut out);
+        l.backward_into(&g, &mut dx);
+        let first = (out.clone(), dx.clone());
+        let ptrs = [
+            l.cached_input.as_slice().as_ptr(),
+            l.cached_pre.as_slice().as_ptr(),
+            l.grad_w.as_slice().as_ptr(),
+            l.delta.as_slice().as_ptr(),
+            out.as_slice().as_ptr(),
+            dx.as_slice().as_ptr(),
+        ];
+        l.has_grads = false; // skip the update so weights stay put
+        l.forward_train_into(&x, &mut out);
+        l.backward_into(&g, &mut dx);
+        assert_eq!((out.clone(), dx.clone()), first, "reuse changed the numbers");
+        let again = [
+            l.cached_input.as_slice().as_ptr(),
+            l.cached_pre.as_slice().as_ptr(),
+            l.grad_w.as_slice().as_ptr(),
+            l.delta.as_slice().as_ptr(),
+            out.as_slice().as_ptr(),
+            dx.as_slice().as_ptr(),
+        ];
+        assert_eq!(ptrs, again, "steady-state train cycle must not reallocate");
+    }
+
+    /// `apply_grads_chunked` must walk the exact same (param, grad,
+    /// velocity-slot) triplets as the per-scalar closure form.
+    #[test]
+    fn apply_grads_chunked_is_bit_identical_to_closure_form() {
+        let mut a = layer(4, 3, Activation::Relu);
+        let mut b = a.clone();
+        let x = Matrix::from_fn(6, 4, |r, c| ((r * 4 + c) as f32 * 0.19).sin());
+        let g = Matrix::filled(6, 3, 0.5);
+        let mut opt_a = Sgd::new(0.1).with_momentum(0.9).with_weight_decay(1e-3);
+        let mut opt_b = opt_a.clone();
+        for _ in 0..3 {
+            a.forward_train(&x);
+            a.backward(&g);
+            opt_a.begin_step(a.num_params());
+            a.apply_grads(|p, grad| opt_a.update(p, grad));
+
+            b.forward_train(&x);
+            b.backward(&g);
+            opt_b.begin_step(b.num_params());
+            b.apply_grads_chunked(&mut opt_b);
+        }
+        let (mut pa, mut pb) = (Vec::new(), Vec::new());
+        a.write_params(&mut pa);
+        b.write_params(&mut pb);
+        for (x, y) in pa.iter().zip(&pb) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
     }
 
     #[test]

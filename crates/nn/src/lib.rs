@@ -42,7 +42,7 @@ pub use activation::Activation;
 pub use cnn::{Cnn, CnnSpec};
 pub use eval::ConfusionMatrix;
 pub use layer::Dense;
-pub use loss::{softmax, softmax_cross_entropy};
+pub use loss::{softmax, softmax_cross_entropy, softmax_cross_entropy_into};
 pub use mlp::{Mlp, MlpSpec};
 pub use optimizer::Sgd;
 

@@ -38,6 +38,22 @@ pub fn softmax(logits: &Matrix) -> Matrix {
 ///
 /// Panics if `labels.len() != logits.rows()` or any label is out of range.
 pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    let mut grad = Matrix::default();
+    let loss = softmax_cross_entropy_into(logits, labels, &mut grad);
+    (loss, grad)
+}
+
+/// [`softmax_cross_entropy`] writing the gradient into a caller-owned
+/// buffer — the allocation-free form the training hot path uses. The
+/// buffer is overwritten entirely (softmax of the logits, then the
+/// one-hot subtraction and batch scaling in place), so the result is
+/// bit-identical to the allocating form.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or any label is out of
+/// range.
+pub fn softmax_cross_entropy_into(logits: &Matrix, labels: &[usize], grad: &mut Matrix) -> f32 {
     assert_eq!(
         labels.len(),
         logits.rows(),
@@ -46,7 +62,20 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix)
         logits.rows()
     );
     let batch = logits.rows().max(1) as f32;
-    let mut probs = softmax(logits);
+    // Row-wise softmax into `grad`, the same arithmetic as [`softmax`].
+    grad.copy_from(logits);
+    for r in 0..grad.rows() {
+        let row = grad.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
     let mut loss = 0.0;
     for (r, &y) in labels.iter().enumerate() {
         assert!(
@@ -54,12 +83,12 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix)
             "softmax_cross_entropy: label {y} out of range for {} classes",
             logits.cols()
         );
-        let p = probs[(r, y)].max(1e-12);
+        let p = grad[(r, y)].max(1e-12);
         loss -= p.ln();
-        probs[(r, y)] -= 1.0;
+        grad[(r, y)] -= 1.0;
     }
-    probs.scale_assign(1.0 / batch);
-    (loss / batch, probs)
+    grad.scale_assign(1.0 / batch);
+    loss / batch
 }
 
 #[cfg(test)]
@@ -146,5 +175,19 @@ mod tests {
     fn out_of_range_label_panics() {
         let logits = Matrix::zeros(1, 3);
         let _ = softmax_cross_entropy(&logits, &[5]);
+    }
+
+    #[test]
+    fn into_form_is_bit_identical_and_reuses_the_buffer() {
+        let logits = Matrix::from_rows(&[&[0.3, -0.7, 1.1], &[0.0, 0.5, -0.2]]);
+        let labels = [2, 0];
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+        let mut reused = Matrix::zeros(5, 5); // stale, wrong-shaped contents
+        let loss2 = softmax_cross_entropy_into(&logits, &labels, &mut reused);
+        assert_eq!(loss.to_bits(), loss2.to_bits());
+        assert_eq!(grad, reused);
+        let ptr = reused.as_slice().as_ptr();
+        softmax_cross_entropy_into(&logits, &labels, &mut reused);
+        assert_eq!(reused.as_slice().as_ptr(), ptr, "steady-state call must not reallocate");
     }
 }

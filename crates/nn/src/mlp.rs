@@ -1,6 +1,6 @@
 //! Multi-layer perceptron classifier.
 
-use crate::{softmax_cross_entropy, Activation, Dense, Model, Sgd};
+use crate::{softmax_cross_entropy, softmax_cross_entropy_into, Activation, Dense, Model, Sgd};
 use baffle_tensor::Matrix;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -68,6 +68,25 @@ impl MlpSpec {
     }
 }
 
+/// Persistent scratch for the allocation-free training hot path: the
+/// per-layer activation chain, the ping-pong gradient pair and the
+/// per-minibatch row/label staging buffers. All buffers are reused
+/// across batches; contents are fully rewritten each use.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TrainScratch {
+    /// `acts[i]` = activation of layer `i` (`acts.last()` = logits).
+    pub acts: Vec<Matrix>,
+    /// Gradient ping-pong pair for the backward chain.
+    pub grad_a: Matrix,
+    pub grad_b: Matrix,
+    /// Mini-batch row staging for `train_epoch`.
+    pub xb: Matrix,
+    /// Mini-batch label staging for `train_epoch`.
+    pub yb: Vec<usize>,
+    /// Shuffled index order for `train_epoch`.
+    pub order: Vec<usize>,
+}
+
 /// A multi-layer perceptron trained with mini-batch SGD on softmax
 /// cross-entropy — the model substrate standing in for the paper's
 /// ResNet18 (see `DESIGN.md` §2).
@@ -75,6 +94,8 @@ impl MlpSpec {
 pub struct Mlp {
     spec: MlpSpec,
     layers: Vec<Dense>,
+    #[serde(skip)]
+    scratch: TrainScratch,
 }
 
 impl Mlp {
@@ -88,7 +109,7 @@ impl Mlp {
             let act = if i + 2 == dims.len() { Activation::Identity } else { spec.activation };
             layers.push(Dense::new(w[0], w[1], act, rng));
         }
-        Self { spec: spec.clone(), layers }
+        Self { spec: spec.clone(), layers, scratch: TrainScratch::default() }
     }
 
     /// The architecture of this model.
@@ -107,10 +128,54 @@ impl Mlp {
 
     /// Runs one SGD step on a single mini-batch, returning the batch loss.
     ///
+    /// Every intermediate (activation chain, loss gradient, backward
+    /// ping-pong pair, per-layer caches and gradients) lives in a
+    /// persistent buffer, so at steady state — batch shape unchanged
+    /// since the previous call — the step performs no allocation. The
+    /// arithmetic is bit-identical to the retained allocating reference
+    /// [`Mlp::train_batch_ref`].
+    ///
     /// # Panics
     ///
     /// Panics if `x.rows() != y.len()` or shapes mismatch the architecture.
     pub fn train_batch(&mut self, x: &Matrix, y: &[usize], opt: &mut Sgd) -> f32 {
+        assert_eq!(x.rows(), y.len(), "Mlp::train_batch: {} rows vs {} labels", x.rows(), y.len());
+        let nl = self.layers.len();
+        self.scratch.acts.resize_with(nl, Matrix::default);
+        // Forward with caching: layer i reads acts[i−1] (or x) and writes
+        // acts[i]; split_at_mut keeps the read and write rows disjoint.
+        for i in 0..nl {
+            let (prev, cur) = self.scratch.acts.split_at_mut(i);
+            let input = if i == 0 { x } else { &prev[i - 1] };
+            self.layers[i].forward_train_into(input, &mut cur[0]);
+        }
+        let loss = softmax_cross_entropy_into(
+            self.scratch.acts.last().expect("Mlp has at least one layer"),
+            y,
+            &mut self.scratch.grad_a,
+        );
+        // Backward: ping-pong the gradient between two persistent buffers.
+        let mut ga = std::mem::take(&mut self.scratch.grad_a);
+        let mut gb = std::mem::take(&mut self.scratch.grad_b);
+        for layer in self.layers.iter_mut().rev() {
+            layer.backward_into(&ga, &mut gb);
+            std::mem::swap(&mut ga, &mut gb);
+        }
+        self.scratch.grad_a = ga;
+        self.scratch.grad_b = gb;
+        // Update.
+        opt.begin_step(self.num_params());
+        for layer in &mut self.layers {
+            layer.apply_grads_chunked(opt);
+        }
+        loss
+    }
+
+    /// The retained allocating implementation of [`Mlp::train_batch`] —
+    /// fresh buffers every call, the pre-workspace hot path. Kept as the
+    /// bit-identity reference for the workspace path (see the property
+    /// tests); both walk the same layer order with the same arithmetic.
+    pub fn train_batch_ref(&mut self, x: &Matrix, y: &[usize], opt: &mut Sgd) -> f32 {
         assert_eq!(x.rows(), y.len(), "Mlp::train_batch: {} rows vs {} labels", x.rows(), y.len());
         // Forward with caching.
         let mut h = x.clone();
@@ -133,10 +198,54 @@ impl Mlp {
     /// Runs one epoch of mini-batch SGD over `(x, y)` in a shuffled order,
     /// returning the mean batch loss.
     ///
+    /// The shuffled order, mini-batch rows and labels are staged in
+    /// persistent scratch buffers, so a steady-state epoch allocates
+    /// nothing. The RNG consumption and arithmetic are identical to the
+    /// retained [`Mlp::train_epoch_ref`].
+    ///
     /// # Panics
     ///
     /// Panics if `x.rows() != y.len()` or `batch_size == 0`.
     pub fn train_epoch<R: Rng + ?Sized>(
+        &mut self,
+        x: &Matrix,
+        y: &[usize],
+        batch_size: usize,
+        opt: &mut Sgd,
+        rng: &mut R,
+    ) -> f32 {
+        assert!(batch_size > 0, "Mlp::train_epoch: batch_size must be positive");
+        assert_eq!(x.rows(), y.len(), "Mlp::train_epoch: {} rows vs {} labels", x.rows(), y.len());
+        if y.is_empty() {
+            return 0.0;
+        }
+        // Take the staging buffers out of `self` so `train_batch` can
+        // borrow the model mutably; restored below.
+        let mut order = std::mem::take(&mut self.scratch.order);
+        let mut xb = std::mem::take(&mut self.scratch.xb);
+        let mut yb = std::mem::take(&mut self.scratch.yb);
+        order.clear();
+        order.extend(0..y.len());
+        order.shuffle(rng);
+        let mut total = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(batch_size) {
+            x.select_rows_into(chunk, &mut xb);
+            yb.clear();
+            yb.extend(chunk.iter().map(|&i| y[i]));
+            total += self.train_batch(&xb, &yb, opt);
+            batches += 1;
+        }
+        self.scratch.order = order;
+        self.scratch.xb = xb;
+        self.scratch.yb = yb;
+        total / batches as f32
+    }
+
+    /// The retained allocating implementation of [`Mlp::train_epoch`],
+    /// driving [`Mlp::train_batch_ref`]. The bit-identity reference for
+    /// the workspace path; consumes the RNG identically.
+    pub fn train_epoch_ref<R: Rng + ?Sized>(
         &mut self,
         x: &Matrix,
         y: &[usize],
@@ -156,7 +265,7 @@ impl Mlp {
         for chunk in order.chunks(batch_size) {
             let xb = x.select_rows(chunk);
             let yb: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
-            total += self.train_batch(&xb, &yb, opt);
+            total += self.train_batch_ref(&xb, &yb, opt);
             batches += 1;
         }
         total / batches as f32
@@ -178,11 +287,13 @@ impl Mlp {
         correct as f32 / y.len() as f32
     }
 
-    /// Drops all cached activations/gradients (e.g. before serialising).
+    /// Drops all cached activations/gradients and the training scratch
+    /// buffers (e.g. before serialising).
     pub fn clear_cache(&mut self) {
         for layer in &mut self.layers {
             layer.clear_cache();
         }
+        self.scratch = TrainScratch::default();
     }
 }
 

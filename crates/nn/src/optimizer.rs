@@ -99,6 +99,39 @@ impl Sgd {
         self.cursor += 1;
     }
 
+    /// Updates a contiguous slice of parameters given their gradients —
+    /// the slice-wise form of [`Sgd::update`], with elementwise-identical
+    /// arithmetic (so a chunked walk over the parameter vector is
+    /// bit-identical to the per-scalar one). The chunk occupies the next
+    /// `params.len()` velocity slots, so chunks must be visited in the
+    /// same order every step, which the model's layer order guarantees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` differ in length, or the chunk
+    /// overruns the count announced to [`Sgd::begin_step`].
+    pub fn update_chunk(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "Sgd::update_chunk: {} params vs {} grads",
+            params.len(),
+            grads.len()
+        );
+        assert!(
+            self.cursor + params.len() <= self.velocity.len(),
+            "Sgd::update_chunk: more parameters than begin_step announced ({})",
+            self.velocity.len()
+        );
+        let vel = &mut self.velocity[self.cursor..self.cursor + params.len()];
+        for ((p, &grad), v) in params.iter_mut().zip(grads).zip(vel) {
+            let g = grad + self.weight_decay * *p;
+            *v = self.momentum * *v + g;
+            *p -= self.lr * *v;
+        }
+        self.cursor += params.len();
+    }
+
     /// Clears the momentum buffer (e.g. when reusing the optimiser for a
     /// freshly reset model).
     pub fn reset(&mut self) {
@@ -150,6 +183,52 @@ mod tests {
         let mut b = 0.0;
         opt.update(&mut b, 1.0);
         assert!((b + 0.1).abs() < 1e-6, "velocity leaked across resize");
+    }
+
+    #[test]
+    fn update_chunk_is_bit_identical_to_per_scalar_updates() {
+        let mut scalar = Sgd::new(0.1).with_momentum(0.9).with_weight_decay(1e-3);
+        let mut chunked = scalar.clone();
+        let mut pa: Vec<f32> = (0..13).map(|i| (i as f32 * 0.7).sin()).collect();
+        let mut pb = pa.clone();
+        let grads: Vec<f32> = (0..13).map(|i| (i as f32 * 1.3).cos()).collect();
+        for _ in 0..5 {
+            scalar.begin_step(13);
+            for (p, &g) in pa.iter_mut().zip(&grads) {
+                scalar.update(p, g);
+            }
+            chunked.begin_step(13);
+            // Uneven chunk split, as layer boundaries produce.
+            let (lo, hi) = pb.split_at_mut(5);
+            chunked.update_chunk(lo, &grads[..5]);
+            chunked.update_chunk(hi, &grads[5..]);
+        }
+        for (a, b) in pa.iter().zip(&pb) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    /// Regression: `begin_step` with an unchanged parameter count must
+    /// reuse the velocity buffer (no reallocation in the steady-state
+    /// training loop), while `reset` forces the next step to re-zero it.
+    #[test]
+    fn begin_step_reuses_velocity_buffer_and_reset_rezeroes() {
+        let mut opt = Sgd::new(0.1).with_momentum(0.9);
+        opt.begin_step(8);
+        let ptr = opt.velocity.as_ptr();
+        let mut p = 1.0;
+        opt.update(&mut p, 1.0);
+        assert!(opt.velocity.iter().any(|&v| v != 0.0), "momentum must have accumulated");
+        opt.begin_step(8);
+        assert_eq!(opt.velocity.as_ptr(), ptr, "same-size begin_step must not reallocate");
+        assert!(
+            opt.velocity.iter().any(|&v| v != 0.0),
+            "same-size begin_step must keep momentum (it is not a reset)"
+        );
+        opt.reset();
+        opt.begin_step(8);
+        assert!(opt.velocity.iter().all(|&v| v == 0.0), "reset must force re-zeroed velocity");
+        assert_eq!(opt.velocity.len(), 8);
     }
 
     #[test]

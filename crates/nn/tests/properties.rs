@@ -293,6 +293,96 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Workspace-reuse training vs the retained allocating reference. Both
+// paths call the same dispatched kernels in the same order, and every
+// reused buffer is fully overwritten (or zero-filled) before it is
+// read, so the twins must agree BITWISE — losses and every parameter —
+// on every tier, including the `BAFFLE_THREADS=1`, `BAFFLE_NO_SIMD=1`
+// and `BAFFLE_FAST_MATH=1` CI re-runs (both twins dispatch identically
+// whatever the tier).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// `Mlp::train_epoch` (workspace) ≡ `Mlp::train_epoch_ref`
+    /// (allocating), bitwise, across architectures and batch sizes —
+    /// 19 samples leave ragged final minibatches of 3 and 1 for batch
+    /// sizes 4 and 9, so the reused scratch sees shape changes.
+    #[test]
+    fn mlp_workspace_training_is_bit_identical_to_reference(
+        hidden in prop::collection::vec(1usize..10, 1..3),
+        batch in prop_oneof![Just(1usize), Just(4), Just(9)],
+        seed in 0u64..500,
+    ) {
+        let spec = MlpSpec::new(6, &hidden, 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ws = Mlp::new(&spec, &mut rng);
+        let mut reference = ws.clone();
+        let n = 19;
+        let x = baffle_tensor::rng::normal_matrix(&mut StdRng::seed_from_u64(seed ^ 0xABCD), n, 6, 1.0);
+        let y: Vec<usize> = (0..n).map(|i| i % 4).collect();
+        let mut opt_w = Sgd::new(0.05).with_momentum(0.9).with_weight_decay(1e-3);
+        let mut opt_r = Sgd::new(0.05).with_momentum(0.9).with_weight_decay(1e-3);
+        let mut rng_w = StdRng::seed_from_u64(seed + 1);
+        let mut rng_r = StdRng::seed_from_u64(seed + 1);
+        for epoch in 0..2 {
+            let lw = ws.train_epoch(&x, &y, batch, &mut opt_w, &mut rng_w);
+            let lr = reference.train_epoch_ref(&x, &y, batch, &mut opt_r, &mut rng_r);
+            prop_assert_eq!(lw.to_bits(), lr.to_bits(), "loss diverged at epoch {}: {} vs {}", epoch, lw, lr);
+        }
+        let pw = ws.params();
+        let pr = reference.params();
+        prop_assert_eq!(pw.len(), pr.len());
+        for (i, (a, b)) in pw.iter().zip(&pr).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "param {} diverged: {} vs {}", i, a, b);
+        }
+    }
+}
+
+/// The CNN twins (workspace vs allocating reference), over both the
+/// plain and residual architectures, batch sizes 1 and 8 (26 samples →
+/// ragged final batch of 2), several epochs of real momentum SGD.
+#[test]
+fn cnn_workspace_training_is_bit_identical_to_reference() {
+    for residual in [false, true] {
+        let mut spec = CnnSpec::new(12, &[4, 4], 3, 3);
+        if residual {
+            spec = spec.with_residual();
+        }
+        for batch in [1usize, 8] {
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut ws = Cnn::new(&spec, &mut rng);
+            let mut reference = ws.clone();
+            let n = 26;
+            let x = baffle_tensor::rng::normal_matrix(&mut StdRng::seed_from_u64(3), n, 12, 1.0);
+            let y: Vec<usize> = (0..n).map(|i| i % 3).collect();
+            let mut opt_w = Sgd::new(0.05).with_momentum(0.9);
+            let mut opt_r = Sgd::new(0.05).with_momentum(0.9);
+            let mut rng_w = StdRng::seed_from_u64(99);
+            let mut rng_r = StdRng::seed_from_u64(99);
+            for epoch in 0..3 {
+                let lw = ws.train_epoch(&x, &y, batch, &mut opt_w, &mut rng_w);
+                let lr = reference.train_epoch_ref(&x, &y, batch, &mut opt_r, &mut rng_r);
+                assert_eq!(
+                    lw.to_bits(),
+                    lr.to_bits(),
+                    "loss diverged (residual={residual}, batch={batch}, epoch={epoch}): {lw} vs {lr}"
+                );
+            }
+            let pw = ws.params();
+            let pr = reference.params();
+            assert_eq!(pw.len(), pr.len());
+            for (i, (a, b)) in pw.iter().zip(&pr).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "param {i} diverged (residual={residual}, batch={batch})"
+                );
+            }
+        }
+    }
+}
+
 /// Two seed-identical CNNs — one forced onto the naive conv loops — must
 /// produce bit-identical losses and parameters over several epochs of
 /// real SGD, including the residual architecture and a cache-straddling

@@ -1030,10 +1030,24 @@ pub fn nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
         HITS_BLOCKED.fetch_add(1, Ordering::Relaxed);
         naive_nt(m, k, n, a, b, out);
     } else {
-        let mut bt = vec![0.0f32; k * n];
-        transpose_into(n, k, b, &mut bt);
-        nn(m, k, n, a, &bt, out);
+        // The Bᵀ pack scratch is thread-local so the training hot path
+        // (Dense::backward's dx = δ·Wᵀ lands exactly at the pack
+        // threshold for common shapes) stops heap-allocating per call.
+        // `transpose_into` overwrites every element, so reuse cannot
+        // change any result; nothing below re-enters `nt`, so the
+        // RefCell can never be borrowed twice.
+        NT_PACK_SCRATCH.with(|cell| {
+            let mut bt = cell.borrow_mut();
+            bt.resize(k * n, 0.0);
+            transpose_into(n, k, b, &mut bt);
+            nn(m, k, n, a, &bt, out);
+        });
     }
+}
+
+thread_local! {
+    /// Reusable Bᵀ pack buffer for [`nt`]'s blocked path.
+    static NT_PACK_SCRATCH: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 
 #[cfg(test)]

@@ -40,4 +40,4 @@ pub mod pool;
 pub mod rng;
 pub mod simd;
 
-pub use matrix::{Matrix, MatrixView};
+pub use matrix::{Matrix, MatrixView, Workspace};

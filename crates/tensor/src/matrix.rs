@@ -392,6 +392,175 @@ impl Matrix {
         }
         Matrix { rows: indices.len(), cols: self.cols, data }
     }
+
+    /// Reshapes `self` to `rows × cols`, reusing the existing allocation
+    /// whenever its capacity suffices (the steady-state case in the
+    /// training loop, where batch shapes repeat across steps).
+    ///
+    /// The contents afterwards are **unspecified**: callers must
+    /// overwrite (or zero-fill) every entry before reading. Every
+    /// `_into` kernel on this type does exactly that.
+    pub fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Overwrites `self` with a copy of `other`, reusing the allocation
+    /// when possible — the allocation-free replacement for
+    /// `*self = other.clone()` in buffer-reusing hot paths.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.resize_for_overwrite(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// [`Matrix::matmul`] into a caller-owned output buffer: `out` is
+    /// reshaped (allocation-free at steady state), zero-filled and
+    /// handed to the same [`crate::gemm::nn`] dispatcher, so the result
+    /// is bit-identical to the allocating form for every shape, kernel
+    /// tier and thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "Matrix::matmul_into: shape mismatch {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.resize_for_overwrite(self.rows, other.cols);
+        out.data.fill(0.0);
+        crate::gemm::nn(self.rows, self.cols, other.cols, &self.data, &other.data, &mut out.data);
+    }
+
+    /// [`Matrix::matmul_nt`] into a caller-owned output buffer; see
+    /// [`Matrix::matmul_into`] for the reuse and bit-exactness contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "Matrix::matmul_nt_into: shape mismatch {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.resize_for_overwrite(self.rows, other.rows);
+        out.data.fill(0.0);
+        crate::gemm::nt(self.rows, self.cols, other.rows, &self.data, &other.data, &mut out.data);
+    }
+
+    /// [`Matrix::matmul_tn`] into a caller-owned output buffer; see
+    /// [`Matrix::matmul_into`] for the reuse and bit-exactness contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "Matrix::matmul_tn_into: shape mismatch ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.resize_for_overwrite(self.cols, other.cols);
+        out.data.fill(0.0);
+        crate::gemm::tn(self.rows, self.cols, other.cols, &self.data, &other.data, &mut out.data);
+    }
+
+    /// [`Matrix::map`] into a caller-owned output buffer (every entry of
+    /// `out` is overwritten with `f` of the corresponding entry).
+    pub fn map_into(&self, f: impl Fn(f32) -> f32, out: &mut Matrix) {
+        out.resize_for_overwrite(self.rows, self.cols);
+        for (o, &x) in out.data.iter_mut().zip(&self.data) {
+            *o = f(x);
+        }
+    }
+
+    /// [`Matrix::select_rows`] into a caller-owned output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.resize_for_overwrite(indices.len(), self.cols);
+        for (dst, &i) in out.data.chunks_exact_mut(self.cols.max(1)).zip(indices) {
+            dst.copy_from_slice(self.row(i));
+        }
+    }
+
+    /// [`Matrix::sum_rows`] into a caller-owned vector (cleared, resized
+    /// to `cols` and accumulated from zero — bit-identical to the
+    /// allocating form).
+    pub fn sum_rows_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.cols, 0.0);
+        for row in self.data.chunks_exact(self.cols.max(1)) {
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += x;
+            }
+        }
+    }
+}
+
+/// A pool of reusable scratch buffers for allocation-free hot loops.
+///
+/// Callers [`Workspace::take`] a matrix of the shape they need (its
+/// contents are unspecified) and [`Workspace::recycle`] it when done;
+/// once the pool has seen the loop's peak shapes, every subsequent
+/// take/recycle cycle is allocation-free. Unlike keeping named scratch
+/// fields, a workspace handles a *variable* number of simultaneous
+/// buffers (e.g. per-layer activations of differing widths).
+///
+/// # Example
+///
+/// ```
+/// use baffle_tensor::{Matrix, Workspace};
+///
+/// let mut ws = Workspace::new();
+/// let a = Matrix::from_fn(4, 3, |r, c| (r + c) as f32);
+/// let mut out = ws.take(4, 4);
+/// a.matmul_nt_into(&a, &mut out);
+/// ws.recycle(out); // the buffer is reused by the next take
+/// assert_eq!(ws.pooled(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Workspace {
+    free: Vec<Vec<f32>>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace (no buffers pooled yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out a `rows × cols` matrix with **unspecified contents**,
+    /// reusing a pooled buffer when one is available (allocation-free
+    /// whenever the reused buffer's capacity suffices).
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        let mut data = self.free.pop().unwrap_or_default();
+        data.resize(rows * cols, 0.0);
+        Matrix { rows, cols, data }
+    }
+
+    /// As [`Workspace::take`], but zero-filled — for buffers a kernel
+    /// accumulates into rather than overwrites.
+    pub fn take_zeroed(&mut self, rows: usize, cols: usize) -> Matrix {
+        let mut m = self.take(rows, cols);
+        m.data.fill(0.0);
+        m
+    }
+
+    /// Returns a buffer to the pool for a later [`Workspace::take`].
+    pub fn recycle(&mut self, m: Matrix) {
+        self.free.push(m.data);
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
 }
 
 /// A borrowed, row-major view of a contiguous row range of a
@@ -696,5 +865,72 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn view_rows_out_of_bounds_panics() {
         let _ = Matrix::zeros(2, 2).view_rows(1, 3);
+    }
+
+    #[test]
+    fn into_kernels_are_bit_identical_to_allocating_forms() {
+        let a = Matrix::from_fn(5, 4, |r, c| ((r * 4 + c) as f32 * 0.37).sin());
+        let b = Matrix::from_fn(4, 6, |r, c| ((r * 6 + c) as f32 * 0.19).cos());
+        let bt = Matrix::from_fn(6, 4, |r, c| ((r + 3 * c) as f32 * 0.23).sin());
+        let a2 = Matrix::from_fn(5, 6, |r, c| ((r * 6 + c) as f32 * 0.41).cos());
+
+        let mut out = Matrix::default();
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        a.matmul_nt_into(&bt, &mut out);
+        assert_eq!(out, a.matmul_nt(&bt));
+        a.matmul_tn_into(&a2, &mut out);
+        assert_eq!(out, a.matmul_tn(&a2));
+        a.map_into(|x| x * 2.0 - 1.0, &mut out);
+        assert_eq!(out, a.map(|x| x * 2.0 - 1.0));
+        a.select_rows_into(&[4, 0, 2], &mut out);
+        assert_eq!(out, a.select_rows(&[4, 0, 2]));
+        let mut sums = vec![7.0; 11]; // stale, wrong-sized contents
+        a.sum_rows_into(&mut sums);
+        assert_eq!(sums, a.sum_rows());
+    }
+
+    #[test]
+    fn into_kernels_reuse_the_allocation_at_steady_state() {
+        let a = Matrix::from_fn(6, 6, |r, c| (r * 6 + c) as f32);
+        let mut out = Matrix::default();
+        a.matmul_into(&a, &mut out);
+        let ptr = out.as_slice().as_ptr();
+        let cap = out.data.capacity();
+        a.matmul_into(&a, &mut out);
+        assert_eq!(out.as_slice().as_ptr(), ptr, "same-shape reuse must not reallocate");
+        // Shrinking shapes keep the allocation too.
+        a.select_rows_into(&[1, 2], &mut out);
+        assert_eq!(out.data.capacity(), cap);
+        assert_eq!(out.shape(), (2, 6));
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r as f32) - (c as f32) * 0.5);
+        let mut b = Matrix::zeros(9, 9);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_into_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let mut out = Matrix::default();
+        a.matmul_into(&b, &mut out);
+    }
+
+    #[test]
+    fn workspace_recycles_buffers() {
+        let mut ws = Workspace::new();
+        let m = ws.take(4, 4);
+        let ptr = m.as_slice().as_ptr();
+        ws.recycle(m);
+        assert_eq!(ws.pooled(), 1);
+        let m2 = ws.take_zeroed(2, 2);
+        assert_eq!(m2.as_slice().as_ptr(), ptr, "take must reuse the recycled buffer");
+        assert!(m2.as_slice().iter().all(|&x| x == 0.0));
     }
 }
