@@ -8,6 +8,10 @@
 //! release binary:
 //! `cargo run --release -p baffle-bench --bin scale_report [-- <clients>]`
 //! (default 10 000 registered clients; CI smoke uses 2 000).
+//!
+//! A second, smaller deployment measures failover: the primary crashes
+//! mid-round and the report's `recovery_ms` is the wall-clock from that
+//! crash to the first round the promoted hot standby gets accepted.
 
 use baffle_net::deployment::{Deployment, DeploymentConfig};
 use baffle_tensor::pool;
@@ -46,10 +50,25 @@ fn main() {
         "the in-process transport must survive the run"
     );
 
+    // Failover cost at a reduced scale (the failover driver runs every
+    // client through the takeover, so the full population would
+    // dominate the report's runtime without changing the number).
+    let failover_clients = clients.min(2_000);
+    let mut failover_config = DeploymentConfig::at_scale(77, failover_clients);
+    failover_config.rounds = 3;
+    let wal_dir =
+        std::env::temp_dir().join(format!("baffle-scale-failover-{}", std::process::id()));
+    let report = Deployment::build(failover_config).run_with_failover(&wal_dir, 2);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
     // A report with holes is worse than no report: refuse to publish
     // `null` for a measured field rather than let CI archive it.
     let Some(peak_rss_mb) = peak_rss_kb().map(|kb| kb as f64 / 1024.0) else {
         eprintln!("scale_report: peak RSS unavailable (no /proc/self/status VmHWM); refusing to emit null");
+        std::process::exit(2);
+    };
+    let Some(recovery_ms) = report.recovery.map(|d| d.as_secs_f64() * 1e3) else {
+        eprintln!("scale_report: no round accepted after failover; refusing to emit null");
         std::process::exit(2);
     };
     println!("{{");
@@ -63,6 +82,8 @@ fn main() {
     println!("  \"run_seconds\": {run_s:.3},");
     println!("  \"rounds_per_sec\": {:.3},", rounds as f64 / run_s);
     println!("  \"messages_sent\": {},", outcome.messages_sent);
-    println!("  \"peak_rss_mb\": {peak_rss_mb:.1}");
+    println!("  \"peak_rss_mb\": {peak_rss_mb:.1},");
+    println!("  \"failover_clients\": {failover_clients},");
+    println!("  \"recovery_ms\": {recovery_ms:.1}");
     println!("}}");
 }

@@ -244,6 +244,30 @@ mod tests {
     }
 
     #[test]
+    fn from_entries_with_no_entries_is_a_fresh_history() {
+        // Empty window: a server checkpointed before any acceptance.
+        let mut restored = ModelHistory::from_entries(3, std::iter::empty());
+        assert!(restored.is_empty());
+        assert_eq!(restored.ids(), &[] as &[ModelId]);
+        // The id counter starts at zero, exactly like `new`.
+        assert_eq!(restored.push(model(1)), 0);
+    }
+
+    #[test]
+    fn from_entries_with_a_single_entry_window() {
+        // Single-entry window: one accepted model so far, arbitrary id
+        // (the window may have slid past the early models before the
+        // checkpoint was cut down to one surviving entry).
+        let mut restored = ModelHistory::from_entries(2, [(7, model(7))]);
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored.ids(), &[7]);
+        assert_eq!(restored.latest().unwrap().params(), model(7).params());
+        // The counter resumes after the surviving entry.
+        assert_eq!(restored.push(model(8)), 8);
+        assert_eq!(restored.ids(), &[7, 8]);
+    }
+
+    #[test]
     fn push_returns_monotone_ids() {
         let mut h = ModelHistory::new(2);
         assert_eq!(h.push(model(1)), 0);

@@ -152,6 +152,16 @@ impl HistorySync {
         self.in_flight.remove(&client);
     }
 
+    /// Sets `client`'s committed sync point directly, bypassing the
+    /// ship/ack handshake. This is the WAL-replay path: a recovering
+    /// server re-applies the commits a journaled round produced without
+    /// re-enacting the shipments that earned them. Outside replay the
+    /// handshake ([`HistorySync::mark_shipped`] + [`HistorySync::ack`])
+    /// is the only safe way to advance a point.
+    pub fn commit(&mut self, client: usize, id: ModelId) {
+        self.synced_up_to.insert(client, id);
+    }
+
     /// Ship-and-commit in one step — for loss-free simulation paths
     /// where delivery is guaranteed and no acknowledgement exists.
     pub fn mark_synced(&mut self, client: usize) {
@@ -341,6 +351,59 @@ mod tests {
             );
         }
         assert!(!restored.ack(6), "in-flight state is dropped across restore");
+    }
+
+    #[test]
+    fn commit_sets_the_point_without_a_handshake() {
+        let mut sync = HistorySync::new(5);
+        for _ in 0..8 {
+            sync.push_accepted();
+        }
+        // WAL replay: re-apply a journaled commit directly.
+        sync.commit(3, 6);
+        assert_eq!(sync.sync_point(3), Some(6));
+        assert_eq!(sync.models_to_send(3), 6..8);
+        assert!(!sync.ack(3), "commit leaves nothing in flight");
+    }
+
+    #[test]
+    fn restore_with_no_committed_points_matches_a_fresh_sync() {
+        // Empty window of commits: every client is unknown and gets the
+        // full (possibly empty) window.
+        let mut restored = HistorySync::restore(4, 0, std::iter::empty());
+        assert_eq!(restored.accepted(), 0);
+        assert_eq!(restored.window_ids(), 0..0);
+        assert_eq!(restored.models_to_send(0).count(), 0);
+        // And it keeps behaving like a fresh instance afterwards.
+        restored.push_accepted();
+        assert_eq!(restored.models_to_send(7), 0..1, "first accepted model ships to everyone");
+    }
+
+    #[test]
+    fn restore_with_a_single_entry_window_survives() {
+        // Window of one (ℓ = 0): the degenerate minimum the constructor
+        // allows. Only the newest model ever ships.
+        let restored = HistorySync::restore(1, 5, [(2usize, 5u64)]);
+        assert_eq!(restored.window_ids(), 4..5);
+        assert_eq!(restored.models_to_send(2).count(), 0, "client 2 holds the whole window");
+        assert_eq!(restored.models_to_send(9), 4..5, "strangers get the single-model window");
+    }
+
+    #[test]
+    fn restore_where_the_oldest_window_entry_equals_the_committed_point() {
+        // The eviction boundary: the client's committed point lands
+        // exactly on the oldest surviving window entry. Nothing the
+        // client holds was evicted, so this must NOT count as an
+        // eviction lag (`sync_point < window start`) and the delta must
+        // start exactly at the point — no full-window re-ship.
+        let window = 4;
+        let next = 10;
+        let restored = HistorySync::restore(window, next, [(3usize, 6u64)]);
+        assert_eq!(restored.window_ids(), 6..10);
+        let point = restored.sync_point(3).unwrap();
+        assert_eq!(point, restored.window_ids().start, "point sits on the boundary");
+        assert!(point >= restored.window_ids().start, "boundary is not eviction lag");
+        assert_eq!(restored.models_to_send(3), 6..10, "delta starts exactly at the point");
     }
 
     #[test]

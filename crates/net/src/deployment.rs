@@ -19,17 +19,20 @@ use crate::scheduler::{ClientFactory, SchedulerHandle};
 use crate::server::{Server, ServerConfig, ServerRound};
 use crate::socket::TransportMode;
 use crate::transport::{Endpoint, Network};
+use crate::wal::{DurableServer, RecoveryInfo, RestoreKit, Standby};
 use baffle_attack::voting::VoterBehavior;
 use baffle_attack::{BackdoorSpec, ModelReplacement};
 use baffle_core::{ValidationConfig, Validator};
 use baffle_data::{partition, Dataset, SyntheticVision, VisionSpec};
 use baffle_fl::{FlConfig, LocalTrainer, WireProfile};
 use baffle_nn::{eval, Mlp, MlpSpec, Sgd};
+use bytes::Bytes;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::Path;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of a protocol deployment (CIFAR-like semantic
 /// backdoor scenario).
@@ -169,6 +172,33 @@ pub struct DeploymentOutcome {
     /// Per-client lifetime reports, sorted by node id. A client that
     /// crashed and restarted contributes one report per incarnation.
     pub client_reports: Vec<ClientReport>,
+}
+
+/// Outcome of a [`DeploymentParts::run_with_failover`] run: the normal
+/// deployment outcome plus the evidence the durability invariants are
+/// asserted against.
+#[derive(Debug)]
+pub struct FailoverReport {
+    /// The deployment outcome, rounds from both server incarnations
+    /// merged in order. The torn round appears once — as the
+    /// post-takeover re-run.
+    pub outcome: DeploymentOutcome,
+    /// What the doomed primary observed while running the round whose
+    /// outcome it never journaled. Kept for diagnostics; protocol-wise
+    /// this round never happened.
+    pub torn_round: ServerRound,
+    /// The primary's checkpoint taken just before the torn round ran —
+    /// the state the standby must reconstruct bit-for-bit.
+    pub pre_crash_checkpoint: Bytes,
+    /// The promoted standby's checkpoint at takeover. Byte-equality
+    /// with [`FailoverReport::pre_crash_checkpoint`] is the recovery
+    /// correctness criterion.
+    pub promoted_checkpoint: Bytes,
+    /// Wall-clock from the primary's crash to the first accepted round
+    /// under the promoted standby. `None` if no later round accepted.
+    pub recovery: Option<Duration>,
+    /// What the standby replayed to get there.
+    pub recovery_info: RecoveryInfo,
 }
 
 /// Everything needed to (re)create one client actor — kept around so
@@ -352,6 +382,129 @@ impl DeploymentParts {
         let mut client_reports = reports.into_inner();
         client_reports.sort_by_key(|r| r.id);
         self.outcome(rounds, client_reports)
+    }
+
+    /// The [`RestoreKit`] a standby or recovery path needs to rebuild
+    /// this deployment's server from any checkpoint it writes.
+    pub fn restore_kit(&self) -> RestoreKit {
+        RestoreKit {
+            config: self.server_config.clone(),
+            template: self.template.as_ref().clone(),
+            history_window: self.history_window,
+            validator: self.validator,
+            server_data: self.server_data.clone(),
+        }
+    }
+
+    /// Runs the deployment with the server under the durability
+    /// protocol ([`DurableServer`]) and a hot [`Standby`] tailing its
+    /// log in `dir` — then **crashes the primary mid-round** at
+    /// `crash_round`: the round's `RoundStart` is journaled and the
+    /// round runs, but the process dies before the outcome record, so
+    /// the log is torn. The standby is promoted (route teardown →
+    /// scheduler rendezvous → re-register → [`Standby::promote`]) and
+    /// re-runs the torn round as a duplicate-safe re-ask, then finishes
+    /// the schedule.
+    ///
+    /// Clients live on the scheduler throughout — from their side the
+    /// failover is just a round that went quiet and was re-asked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crash_round` is outside `1..=rounds`, or on
+    /// durability-directory I/O failure.
+    pub fn run_with_failover(mut self, dir: &Path, crash_round: u64) -> FailoverReport {
+        assert!(
+            (1..=self.config.rounds).contains(&crash_round),
+            "crash_round {crash_round} outside 1..={}",
+            self.config.rounds
+        );
+        let events: FaultPlan =
+            self.config.faults.clone().unwrap_or_else(|| FaultPlan::lossless(0));
+        let ids: Vec<NodeId> = self.specs.iter().map(|s| NodeId(s.id as u32)).collect();
+        let scheduler = SchedulerHandle::launch(&self.network, ids, self.client_factory());
+        let kit = self.restore_kit();
+
+        let mut primary =
+            DurableServer::create(dir, 0, self.server).expect("create durability directory");
+        let mut standby = Standby::attach(dir, kit).expect("attach hot standby");
+
+        let mut rounds = Vec::with_capacity(self.config.rounds as usize);
+        for r in 1..crash_round {
+            self.network.begin_round(r);
+            for node in events.crashes_at(r) {
+                scheduler.crash(node);
+            }
+            for node in events.restarts_at(r) {
+                scheduler.restart(node);
+            }
+            rounds.push(primary.run_round().expect("journal round"));
+            standby.catch_up().expect("standby catch-up");
+        }
+
+        // The doomed round: scripted events still fire (the crash does
+        // not suspend the chaos plan), the pre-round state is captured
+        // as the recovery target, and the outcome record never lands.
+        self.network.begin_round(crash_round);
+        for node in events.crashes_at(crash_round) {
+            scheduler.crash(node);
+        }
+        for node in events.restarts_at(crash_round) {
+            scheduler.restart(node);
+        }
+        let pre_crash_checkpoint = primary.server().checkpoint();
+        let torn_round = primary.run_round_torn().expect("journal torn round start");
+        let crash_at = Instant::now();
+
+        // Primary dies: tear down its route first so replies already in
+        // flight book as unroutable instead of racing the route swap,
+        // then quiesce the scheduler so no client step straddles the
+        // takeover.
+        self.network.disconnect(NodeId::SERVER);
+        drop(primary);
+        scheduler.rendezvous();
+
+        standby.catch_up().expect("standby catch-up at takeover");
+        let endpoint = self.network.register(NodeId::SERVER);
+        let (server, recovery_info) = standby.promote(endpoint);
+        let promoted_checkpoint = server.checkpoint();
+        // Takeover doubles as compaction: the promoted state becomes
+        // the checkpoint and the torn log is superseded.
+        let mut primary = DurableServer::create(dir, 0, server).expect("takeover compaction");
+
+        let mut recovery = None;
+        for r in crash_round..=self.config.rounds {
+            self.network.begin_round(r);
+            if r != crash_round {
+                // The torn round's scripted events already fired on the
+                // first ask; the re-run must not apply them twice.
+                for node in events.crashes_at(r) {
+                    scheduler.crash(node);
+                }
+                for node in events.restarts_at(r) {
+                    scheduler.restart(node);
+                }
+            }
+            let round = primary.run_round().expect("journal round");
+            if recovery.is_none() && round.accepted {
+                recovery = Some(crash_at.elapsed());
+            }
+            rounds.push(round);
+        }
+
+        self.server = primary.into_inner();
+        self.server.shutdown();
+        let mut client_reports = scheduler.join();
+        client_reports.sort_by_key(|r| r.id);
+        let outcome = self.outcome(rounds, client_reports);
+        FailoverReport {
+            outcome,
+            torn_round,
+            pre_crash_checkpoint,
+            promoted_checkpoint,
+            recovery,
+            recovery_info,
+        }
     }
 
     fn outcome(

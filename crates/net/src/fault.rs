@@ -289,6 +289,30 @@ impl FaultPlan {
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
     }
+
+    /// A one-line human summary — printed by chaos tests on failure so
+    /// a panicking seed reproduces without bisecting: the fault RNG
+    /// seed, the default link policy, every per-link override and the
+    /// scripted events.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let policy = |p: &LinkPolicy| {
+            format!(
+                "drop {:.2} · delay {:?}+{:?} · dup {:.2} · reorder {:.2}@{:?} · corrupt {:.2}",
+                p.drop_prob, p.delay, p.jitter, p.duplicate_prob, p.reorder_prob,
+                p.reorder_window, p.corrupt_prob
+            )
+        };
+        let mut out =
+            format!("fault seed {} | default link: {}", self.seed, policy(&self.default_policy));
+        for (selector, p) in &self.links {
+            let _ = write!(out, " | link {selector:?}: {}", policy(p));
+        }
+        for event in &self.events {
+            let _ = write!(out, " | event {event:?}");
+        }
+        out
+    }
 }
 
 /// Flips 1–4 random bits in one wire payload of `message`, past the

@@ -284,6 +284,53 @@ fn decode_body(body: &[u8]) -> Result<Envelope, DecodeError> {
     Ok(Envelope { from, to, message })
 }
 
+/// Reads a fixed-size header from a stream. Returns `Ok(None)` on a
+/// clean EOF (no bytes at all); EOF after a partial header surfaces as
+/// [`std::io::ErrorKind::UnexpectedEof`]. Shared by [`FrameReader`] and
+/// the WAL record reader (`net::wal`) — same framing discipline.
+pub(crate) fn read_header<R: Read, const N: usize>(
+    inner: &mut R,
+) -> std::io::Result<Option<[u8; N]>> {
+    let mut header = [0u8; N];
+    let mut filled = 0;
+    while filled < N {
+        match inner.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a record header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(header))
+}
+
+/// Appends exactly `body_len` bytes from `inner` to `buf`, growing the
+/// buffer as bytes actually arrive instead of trusting the (possibly
+/// corrupted) length field with one big allocation up front. Shared by
+/// [`FrameReader`] and the WAL record reader.
+pub(crate) fn read_body_chunked<R: Read>(
+    inner: &mut R,
+    buf: &mut Vec<u8>,
+    body_len: usize,
+) -> std::io::Result<()> {
+    const CHUNK: usize = 1 << 16;
+    let mut remaining = body_len;
+    while remaining > 0 {
+        let step = remaining.min(CHUNK);
+        let at = buf.len();
+        buf.resize(at + step, 0);
+        inner.read_exact(&mut buf[at..])?;
+        remaining -= step;
+    }
+    Ok(())
+}
+
 /// Cuts frames off a byte stream (the socket transport's read side).
 ///
 /// Frames are self-delimiting, so the reader needs no buffering beyond
@@ -308,22 +355,10 @@ impl<R: Read> FrameReader<R> {
     /// [`std::io::ErrorKind::UnexpectedEof`] and an undecodable frame
     /// as [`std::io::ErrorKind::InvalidData`].
     pub fn read_frame(&mut self) -> std::io::Result<Option<Envelope>> {
-        let mut header = [0u8; FRAME_HEADER];
-        let mut filled = 0;
-        while filled < FRAME_HEADER {
-            match self.inner.read(&mut header[filled..]) {
-                Ok(0) if filled == 0 => return Ok(None),
-                Ok(0) => {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        "stream ended inside a frame header",
-                    ))
-                }
-                Ok(n) => filled += n,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-        }
+        let header = match read_header::<_, FRAME_HEADER>(&mut self.inner)? {
+            Some(h) => h,
+            None => return Ok(None),
+        };
         let body_len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as usize;
         if body_len > MAX_BODY {
             return Err(std::io::Error::new(
@@ -331,20 +366,9 @@ impl<R: Read> FrameReader<R> {
                 "frame body length exceeds limit",
             ));
         }
-        // Grow the buffer as body bytes actually arrive instead of
-        // trusting the (possibly corrupted) length field with one big
-        // allocation up front.
-        const CHUNK: usize = 1 << 16;
-        let mut frame = Vec::with_capacity(FRAME_HEADER + body_len.min(CHUNK));
+        let mut frame = Vec::with_capacity(FRAME_HEADER + body_len.min(1 << 16));
         frame.extend_from_slice(&header);
-        let mut remaining = body_len;
-        while remaining > 0 {
-            let step = remaining.min(CHUNK);
-            let at = frame.len();
-            frame.resize(at + step, 0);
-            self.inner.read_exact(&mut frame[at..])?;
-            remaining -= step;
-        }
+        read_body_chunked(&mut self.inner, &mut frame, body_len)?;
         decode_frame(&frame)
             .map(Some)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))

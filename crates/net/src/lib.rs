@@ -36,6 +36,13 @@
 //! [`baffle_nn::wire`] format — nothing crosses an actor boundary except
 //! serialized messages.
 //!
+//! Durability lives in [`wal`]: a [`wal::DurableServer`] journals every
+//! round outcome to a checksummed write-ahead log and compacts it into
+//! atomic checkpoints, a [`wal::Standby`] tails the log as a warm
+//! replica, and [`wal::recover`] rebuilds a crashed server —
+//! bit-identically — from `checkpoint + log tail`, re-running any round
+//! the crash tore mid-flight.
+//!
 //! # Example
 //!
 //! ```
@@ -58,3 +65,4 @@ pub mod scheduler;
 pub mod server;
 pub mod socket;
 pub mod transport;
+pub mod wal;

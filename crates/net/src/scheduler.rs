@@ -32,9 +32,13 @@
 //!   then drops the state machine and banks its [`ClientReport`];
 //! - **restart** — [`SchedulerHandle::restart`] attaches the id afresh
 //!   and builds a **new** machine via the factory, with an empty
-//!   history cache, exactly like a rejoining process.
+//!   history cache, exactly like a rejoining process;
+//! - **rendezvous** — [`SchedulerHandle::rendezvous`] drains and
+//!   dispatches everything already delivered, giving the round driver a
+//!   quiesce barrier (standby promotion runs one between tearing down
+//!   the crashed primary's route and registering its replacement).
 //!
-//! Both commands are synchronous (the call returns only after the
+//! All commands are synchronous (the call returns only after the
 //! scheduler has applied them), so a round driver can order them
 //! against round boundaries the way the threaded path orders
 //! `disconnect`/`register` calls.
@@ -52,6 +56,7 @@ pub type ClientFactory = Box<dyn FnMut(NodeId, Outbox) -> Client + Send>;
 enum Command {
     Crash { id: NodeId, ack: Sender<bool> },
     Restart { id: NodeId, ack: Sender<()> },
+    Rendezvous { ack: Sender<()> },
     Finish,
 }
 
@@ -129,6 +134,26 @@ impl SchedulerHandle {
         done.recv().unwrap_or_else(|_| {
             panic!(
                 "scheduler thread panicked while applying restart({id}) — \
+                 join() resurfaces its panic payload"
+            )
+        });
+    }
+
+    /// Quiesces the scheduler: drains and dispatches every event already
+    /// delivered to the mux, then returns. Standby promotion uses this
+    /// as its barrier — after the crashed primary's route is torn down
+    /// and before the standby takes over the `SERVER` id, the driver
+    /// rendezvouses so that any client work already in flight has fully
+    /// run (its replies book against the dead route as unroutable
+    /// instead of racing the route swap). Blocks until applied.
+    pub fn rendezvous(&self) {
+        let (ack, done) = unbounded();
+        if self.commands.send(Command::Rendezvous { ack }).is_err() {
+            panic!("scheduler thread gone before rendezvous was sent");
+        }
+        done.recv().unwrap_or_else(|_| {
+            panic!(
+                "scheduler thread panicked while applying rendezvous — \
                  join() resurfaces its panic payload"
             )
         });
@@ -221,6 +246,17 @@ fn apply(
         Command::Restart { id, ack } => {
             let outbox = mux.attach(id);
             machines.insert(id, factory(id, outbox));
+            let _ = ack.send(());
+        }
+        Command::Rendezvous { ack } => {
+            // Drain-and-dispatch everything already delivered, so the
+            // caller knows no client step started before the rendezvous
+            // is still running when the ack arrives.
+            let mut pending = Vec::new();
+            while let Some(env) = mux.try_recv() {
+                pending.push(env);
+            }
+            dispatch(pending, machines, reports);
             let _ = ack.send(());
         }
         Command::Finish => *finishing = true,

@@ -141,7 +141,14 @@ impl std::fmt::Display for CheckpointError {
 impl std::error::Error for CheckpointError {}
 
 const CHECKPOINT_MAGIC: u32 = 0xBAFF_C4C4;
-const CHECKPOINT_VERSION: u32 = 1;
+/// v1 was versioned but unchecksummed: a bit-flipped blob could decode
+/// into a plausible-but-wrong state (a damaged float still parses). v2
+/// inserts a whole-body FNV-1a checksum after the version word, so any
+/// single-bit damage is rejected before structural parsing begins. v1
+/// blobs are refused with an error naming the version.
+const CHECKPOINT_VERSION: u32 = 2;
+/// Bytes before the checksummed body: magic, version, checksum.
+const CHECKPOINT_HEADER: usize = 12;
 
 /// One accepted model as it goes out to validators: its dense encoding
 /// under the profile's history codec, plus — under a top-k profile — the
@@ -286,6 +293,80 @@ impl Server {
         self.endpoint
     }
 
+    /// The protocol configuration this server runs under.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The committed history-sync points, sorted by client — the same
+    /// view [`Server::checkpoint`] serializes. The WAL journals each
+    /// round's *change* to this map, so the durability layer snapshots
+    /// it before and after every round.
+    pub fn sync_committed(&self) -> Vec<(usize, ModelId)> {
+        self.sync.committed()
+    }
+
+    /// Replaces the server's transport endpoint — the standby-promotion
+    /// primitive: a warm replica built on a private network takes over
+    /// the real `SERVER` route the moment the primary's registration is
+    /// gone. The replica's private endpoint is dropped here; nothing was
+    /// ever routed to it.
+    pub(crate) fn set_endpoint(&mut self, endpoint: Endpoint) {
+        self.endpoint = endpoint;
+    }
+
+    /// Integrates one journaled round outcome during WAL replay, without
+    /// running the protocol: advances the round counter and, for an
+    /// accepted round, installs the journaled global model into the
+    /// history/ship-cache/sync state exactly as the live integration
+    /// step would have; then re-applies the round's sync-map commits and
+    /// resets. The replay layer (`net::wal`) validates records before
+    /// calling — this method only integrates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round` is not the next round or if an accepted model's
+    /// parameter count mismatches the architecture; both are validated
+    /// by the caller, so a violation here is a replay-layer bug.
+    pub fn apply_replayed_outcome(
+        &mut self,
+        round: u64,
+        accepted_params: Option<&[f32]>,
+        commits: &[(usize, ModelId)],
+        resets: &[usize],
+    ) {
+        assert_eq!(round, self.round + 1, "replayed outcomes must arrive in round order");
+        self.round = round;
+        if let Some(params) = accepted_params {
+            assert_eq!(params.len(), self.param_len, "replayed model must match architecture");
+            let prev_params = self.global.params();
+            self.global.set_params(params);
+            let hist_id = self.history.push(self.global.clone());
+            let id = self.sync.push_accepted();
+            debug_assert_eq!(hist_id, id, "history and sync ids must stay in lockstep");
+            self.history_entries.push_back(HistoryEntry { id, params: wire::encode_f32(params) });
+            self.ship_cache.push_back(build_ship_entry(
+                &self.config.wire,
+                id,
+                Some(&prev_params),
+                params,
+            ));
+            if self.history_entries.len() > self.history.capacity() {
+                self.history_entries.pop_front();
+                self.ship_cache.pop_front();
+            }
+        }
+        // Resets before commits: a round can reset a gapped validator it
+        // never re-shipped, but it cannot commit and then reset the same
+        // client, so the order only matters for distinct clients anyway.
+        for &client in resets {
+            self.sync.reset(client);
+        }
+        for &(client, id) in commits {
+            self.sync.commit(client, id);
+        }
+    }
+
     /// Serializes everything a replacement server needs to continue the
     /// protocol bit-for-bit: the round counter, the trusted history
     /// window (wire-encoded, newest entry = current global model), and
@@ -299,6 +380,8 @@ impl Server {
         let mut buf = Vec::new();
         buf.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
         buf.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        // Checksum placeholder — filled in over the body once it exists.
+        buf.extend_from_slice(&0u32.to_le_bytes());
         buf.extend_from_slice(&self.round.to_le_bytes());
         buf.extend_from_slice(&self.sync.accepted().to_le_bytes());
         buf.extend_from_slice(&(self.history_entries.len() as u32).to_le_bytes());
@@ -313,6 +396,8 @@ impl Server {
             buf.extend_from_slice(&(client as u64).to_le_bytes());
             buf.extend_from_slice(&id.to_le_bytes());
         }
+        let checksum = wire::fnv1a(&buf[CHECKPOINT_HEADER..]);
+        buf[8..CHECKPOINT_HEADER].copy_from_slice(&checksum.to_le_bytes());
         Bytes::from(buf)
     }
 
@@ -339,8 +424,18 @@ impl Server {
             return Err(CheckpointError::new("bad magic"));
         }
         let version = r.u32("version")?;
+        if version == 1 {
+            return Err(CheckpointError::new(
+                "unsupported version 1: pre-checksum blobs cannot be integrity-verified, \
+                 re-create the checkpoint with the current server",
+            ));
+        }
         if version != CHECKPOINT_VERSION {
             return Err(CheckpointError::new(format!("unsupported version {version}")));
+        }
+        let checksum = r.u32("checksum")?;
+        if wire::fnv1a(&checkpoint[CHECKPOINT_HEADER..]) != checksum {
+            return Err(CheckpointError::new("body checksum mismatch"));
         }
         let round = r.u64("round")?;
         let accepted = r.u64("accepted count")?;

@@ -15,11 +15,37 @@
 //!   or lost deltas are repaired by truncation + acknowledged re-ship);
 //! - with an attacker in the population, poisoned rounds are still
 //!   rejected — the defense survives a faulty wire.
+//!
+//! The failover scenario extends the suite to the durability layer
+//! (DESIGN.md §19): a scripted primary crash mid-round with hot-standby
+//! takeover must uphold every invariant above, and the promoted
+//! standby's state must be byte-identical to the primary's pre-crash
+//! checkpoint.
 
 use baffle::net::deployment::{Deployment, DeploymentConfig, DeploymentOutcome};
 use baffle::net::fault::{FaultEvent, FaultPlan, LinkPolicy};
 use baffle::net::message::NodeId;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::time::Duration;
+
+/// Runs `f` and, on panic, prints the seed and the full fault-plan
+/// summary before resuming — a chaos failure reproduces from the log
+/// alone, without reverse-engineering the plan from the seed.
+fn with_plan_context<T>(seed: u64, plan: &FaultPlan, f: impl FnOnce() -> T) -> T {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(value) => value,
+        Err(payload) => {
+            eprintln!("chaos failure under seed {seed}; {}", plan.summary());
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// A per-test scratch directory for durability state, unique per
+/// process so parallel test binaries never collide.
+fn wal_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("baffle-chaos-{}-{}", tag, std::process::id()))
+}
 
 /// Every probabilistic fault at once, plus one crash/restart and one
 /// round-long partition. Node 3 crashes at round 3 and rejoins with an
@@ -123,8 +149,11 @@ fn soak_all_faults_uphold_invariants_across_seeds() {
     let mut total_corrupted = 0u64;
     for seed in [5u64, 6, 7] {
         let config = chaos_config(seed);
-        let outcome = Deployment::run(config.clone());
-        assert_invariants(seed, &config, &outcome);
+        let outcome = with_plan_context(seed, &chaos_plan(seed), || {
+            let outcome = Deployment::run(config.clone());
+            assert_invariants(seed, &config, &outcome);
+            outcome
+        });
         total_dropped += outcome.messages_dropped;
         total_duplicated += outcome.messages_duplicated;
         total_corrupted += outcome.messages_corrupted;
@@ -143,32 +172,36 @@ fn soak_all_faults_uphold_invariants_across_seeds() {
 /// `attacker_rounds_are_rejected_once_history_matures` test.
 #[test]
 fn poisoned_rounds_are_still_rejected_under_chaos() {
-    let mut config = DeploymentConfig::small(2);
+    let seed = 2u64;
+    let mut config = DeploymentConfig::small(seed);
     config.rounds = 14;
-    config.faults = Some(FaultPlan::uniform(
+    let plan = FaultPlan::uniform(
         LinkPolicy::lossless()
             .with_delay(Duration::from_millis(1), Duration::from_millis(2))
             .with_duplicate(0.05)
             .with_reorder(0.1, Duration::from_millis(4)),
         0xFEED,
-    ));
-    let outcome = Deployment::run(config);
-    assert_eq!(outcome.rounds.len(), 14);
-    let rejected = outcome.rounds.iter().filter(|r| !r.accepted).count();
-    assert!(rejected >= 1, "no poisoned round was rejected under chaos");
-    assert!(
-        outcome.final_backdoor_accuracy < 0.5,
-        "backdoor persisted under chaos: {}",
-        outcome.final_backdoor_accuracy
     );
-    // No message was ever dropped or damaged, so rejections can only be
-    // the defense's verdicts — and the intake must stay clean.
-    assert_eq!(outcome.messages_dropped, 0);
-    assert_eq!(outcome.messages_corrupted, 0);
-    for r in &outcome.rounds {
-        assert_eq!(r.rejected_submissions, 0, "round {}", r.round);
-        assert_eq!(r.rejected_votes, 0, "round {}", r.round);
-    }
+    config.faults = Some(plan.clone());
+    with_plan_context(seed, &plan, || {
+        let outcome = Deployment::run(config.clone());
+        assert_eq!(outcome.rounds.len(), 14, "seed {seed}: rounds missing");
+        let rejected = outcome.rounds.iter().filter(|r| !r.accepted).count();
+        assert!(rejected >= 1, "seed {seed}: no poisoned round was rejected under chaos");
+        assert!(
+            outcome.final_backdoor_accuracy < 0.5,
+            "seed {seed}: backdoor persisted under chaos: {}",
+            outcome.final_backdoor_accuracy
+        );
+        // No message was ever dropped or damaged, so rejections can only
+        // be the defense's verdicts — and the intake must stay clean.
+        assert_eq!(outcome.messages_dropped, 0, "seed {seed}: a lossless link loses nothing");
+        assert_eq!(outcome.messages_corrupted, 0, "seed {seed}: nothing corrupts");
+        for r in &outcome.rounds {
+            assert_eq!(r.rejected_submissions, 0, "seed {seed} round {}", r.round);
+            assert_eq!(r.rejected_votes, 0, "seed {seed} round {}", r.round);
+        }
+    });
 }
 
 /// A crash without restart leaves the node's route gone for good: every
@@ -177,26 +210,34 @@ fn poisoned_rounds_are_still_rejected_under_chaos() {
 /// loss, so loss assertions on a lossless plan stay exact.
 #[test]
 fn crash_without_restart_books_unroutable_sends_not_drops() {
-    let mut config = DeploymentConfig::small(12);
+    let seed = 12u64;
+    let mut config = DeploymentConfig::small(seed);
     config.malicious_clients = 0;
     config.rounds = 5;
     config.phase_timeout = Duration::from_millis(1200);
-    config.faults = Some(FaultPlan::lossless(12).event(FaultEvent::Crash {
+    let plan = FaultPlan::lossless(seed).event(FaultEvent::Crash {
         node: NodeId(2),
         at_round: 2,
         restart_round: None,
-    }));
-    let outcome = Deployment::run(config.clone());
-    assert_eq!(outcome.rounds.len(), 5, "a crashed client must not stall the server");
-    // At minimum the shutdown notice to the dead node has no route.
-    assert!(outcome.messages_unroutable > 0, "no-route sends must be booked");
-    assert_eq!(outcome.messages_dropped, 0, "a lossless link loses nothing");
-    assert_eq!(outcome.messages_corrupted, 0);
-    // The crashed incarnation still exits with a (banked) report, and
-    // nothing doubles it up.
-    assert_eq!(outcome.client_reports.len(), config.num_clients);
-    let crashed = outcome.client_reports.iter().filter(|r| r.id == NodeId(2)).count();
-    assert_eq!(crashed, 1, "a never-restarted node reports exactly once");
+    });
+    config.faults = Some(plan.clone());
+    with_plan_context(seed, &plan, || {
+        let outcome = Deployment::run(config.clone());
+        assert_eq!(
+            outcome.rounds.len(),
+            5,
+            "seed {seed}: a crashed client must not stall the server"
+        );
+        // At minimum the shutdown notice to the dead node has no route.
+        assert!(outcome.messages_unroutable > 0, "seed {seed}: no-route sends must be booked");
+        assert_eq!(outcome.messages_dropped, 0, "seed {seed}: a lossless link loses nothing");
+        assert_eq!(outcome.messages_corrupted, 0, "seed {seed}: nothing corrupts");
+        // The crashed incarnation still exits with a (banked) report,
+        // and nothing doubles it up.
+        assert_eq!(outcome.client_reports.len(), config.num_clients, "seed {seed}");
+        let crashed = outcome.client_reports.iter().filter(|r| r.id == NodeId(2)).count();
+        assert_eq!(crashed, 1, "seed {seed}: a never-restarted node reports exactly once");
+    });
 }
 
 /// A total blackout towards one node is expressible (`drop_prob = 1.0`,
@@ -204,23 +245,79 @@ fn crash_without_restart_books_unroutable_sends_not_drops() {
 #[test]
 fn total_blackout_to_one_node_only_costs_participation() {
     use baffle::net::fault::LinkSelector;
-    let mut config = DeploymentConfig::small(9);
+    let seed = 9u64;
+    let mut config = DeploymentConfig::small(seed);
     config.malicious_clients = 0;
     config.rounds = 5;
     config.phase_timeout = Duration::from_millis(1200);
-    config.faults = Some(
-        FaultPlan::lossless(9)
-            .link(LinkSelector::to(NodeId(6)), LinkPolicy::lossless().with_drop(1.0)),
-    );
-    let outcome = Deployment::run(config.clone());
-    assert_eq!(outcome.rounds.len(), 5, "a blackholed client must not stall the server");
-    for r in &outcome.rounds {
-        assert_eq!(r.rejected_submissions, 0, "round {}", r.round);
-        assert_eq!(r.rejected_votes, 0, "round {}", r.round);
+    let plan = FaultPlan::lossless(seed)
+        .link(LinkSelector::to(NodeId(6)), LinkPolicy::lossless().with_drop(1.0));
+    config.faults = Some(plan.clone());
+    with_plan_context(seed, &plan, || {
+        let outcome = Deployment::run(config.clone());
+        assert_eq!(
+            outcome.rounds.len(),
+            5,
+            "seed {seed}: a blackholed client must not stall the server"
+        );
+        for r in &outcome.rounds {
+            assert_eq!(r.rejected_submissions, 0, "seed {seed} round {}", r.round);
+            assert_eq!(r.rejected_votes, 0, "seed {seed} round {}", r.round);
+        }
+        // Node 6 heard no protocol traffic at all (only the fault-exempt
+        // shutdown control message, which lets its actor exit cleanly).
+        let report = outcome.client_reports.iter().find(|r| r.id == NodeId(6)).expect("report");
+        assert_eq!(
+            report.rounds_participated, 0,
+            "seed {seed}: a blackholed node cannot participate"
+        );
+        assert!(report.window_contiguous, "seed {seed}: gapped window on node 6");
+    });
+}
+
+/// The durability tentpole end-to-end, under the full chaos plan: the
+/// primary crashes **mid-round** — the torn round's `RoundStart` is
+/// journaled and the round actually runs, but no outcome record ever
+/// lands — and the hot standby that has been tailing the WAL takes
+/// over. Every standing invariant must survive the failover: all seven
+/// rounds complete in sequence (the torn round re-run by the new
+/// server), zero honest-client rejections even though torn-round
+/// traffic is still in flight during the re-ask, and no client exits
+/// with a gapped history window. The recovery criterion is exact: the
+/// promoted standby's checkpoint must be byte-identical to the one the
+/// primary cut immediately before the torn round.
+#[test]
+fn primary_crash_mid_round_fails_over_to_hot_standby() {
+    for seed in [5u64, 6, 7] {
+        let config = chaos_config(seed);
+        let plan = chaos_plan(seed);
+        let dir = wal_dir(&format!("failover-{seed}"));
+        let report = with_plan_context(seed, &plan, || {
+            Deployment::build(config.clone()).run_with_failover(&dir, 4)
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_invariants(seed, &config, &report.outcome);
+        assert_eq!(
+            report.recovery_info.torn_round,
+            Some(4),
+            "seed {seed}: the torn round must be detected from the log"
+        );
+        assert_eq!(report.torn_round.round, 4, "seed {seed}: the doomed primary ran round 4");
+        assert_eq!(
+            report.recovery_info.checkpoint_round, 0,
+            "seed {seed}: the standby restored from the launch checkpoint"
+        );
+        assert_eq!(
+            report.recovery_info.replayed, 3,
+            "seed {seed}: three journaled outcomes replayed on top of it"
+        );
+        assert_eq!(
+            report.promoted_checkpoint, report.pre_crash_checkpoint,
+            "seed {seed}: promoted standby must match the pre-crash state bit-for-bit"
+        );
+        assert!(
+            report.recovery.is_some(),
+            "seed {seed}: no round was accepted after the takeover"
+        );
     }
-    // Node 6 heard no protocol traffic at all (only the fault-exempt
-    // shutdown control message, which lets its actor exit cleanly).
-    let report = outcome.client_reports.iter().find(|r| r.id == NodeId(6)).expect("report");
-    assert_eq!(report.rounds_participated, 0, "a blackholed node cannot participate");
-    assert!(report.window_contiguous);
 }
